@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+The bench profile shrinks the scaled datasets further (so a full
+``pytest benchmarks/ --benchmark-only`` run finishes on a laptop) while
+keeping every structural ratio from DESIGN.md section 3: the degree-band
+ordering across datasets, representatives as a fraction of topic size, and
+k as a fraction of the per-query topic count. EXPERIMENTS.md records this
+profile next to every committed number.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import ExperimentConfig, ExperimentSuite
+
+#: Bench-profile node counts (paper sizes in DESIGN.md section 3). Sized
+#: for a single-core CI runner; scale these up freely on real hardware -
+#: every structural ratio is preserved by construction.
+BENCH_SIZES = {
+    "data_2k": 800,
+    "data_350k": 1000,
+    "data_1.2m": 1200,
+    "data_3m": 1600,
+}
+
+
+def bench_config() -> ExperimentConfig:
+    """The committed bench profile."""
+    return ExperimentConfig(
+        seed=42,
+        n_queries=2,
+        n_users=1,
+        samples_per_node=10,
+        deviation_budget=25,
+        dataset_sizes=dict(BENCH_SIZES),
+    )
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    """One suite per session so datasets/engines are built once."""
+    return ExperimentSuite(bench_config())
+
+
+def emit(table) -> None:
+    """Print a figure table under a visible separator."""
+    print()
+    print("=" * 72)
+    print(table.render())
+    print("=" * 72)

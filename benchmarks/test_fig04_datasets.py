@@ -1,0 +1,15 @@
+"""Figure 4 - dataset summary table (scaled analogues)."""
+
+from .conftest import emit
+
+
+def test_fig04_dataset_table(suite, benchmark):
+    table = benchmark.pedantic(
+        suite.fig04_datasets, rounds=1, iterations=1
+    )
+    emit(table)
+    assert len(table.rows) == 4
+    # The mid dataset must keep the highest average degree (paper §6.3).
+    avg = {row[0]: float(row[3]) for row in table.rows}
+    assert avg["data_1.2m"] > avg["data_3m"]
+    assert avg["data_1.2m"] > avg["data_350k"]

@@ -1,0 +1,23 @@
+"""Figure 7 - query time vs number of representative nodes (data_3m).
+
+Paper shape: the baselines are flat in the representative budget; RCL-A and
+LRW-A get slower as more representatives are materialized per topic
+(70 ms at 1000 reps -> 600 ms at 6000 reps).
+"""
+
+from .test_fig05_time_small import _parse
+from .conftest import emit
+
+
+def test_fig07_time_vs_representatives(suite, benchmark):
+    table = benchmark.pedantic(
+        lambda: suite.fig07_repnodes_time(rep_fractions=(0.05, 0.15, 0.3)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    rows = {row[0]: [_parse(c) for c in row[1:]] for row in table.rows}
+    # The engines' work grows with the representative budget...
+    assert rows["LRW-A"][-1] >= rows["LRW-A"][0] * 0.5
+    # ...while remaining far below the exhaustive baseline at every budget.
+    assert max(rows["LRW-A"]) < rows["BaseDijkstra"][0]

@@ -1,0 +1,20 @@
+"""Figure 8 - scalability across all four datasets (base rep budget).
+
+Paper shape: RCL-A/LRW-A nearly flat in dataset size; the baselines
+degrade; data_1.2m is *slower* than data_3m for the expansion-bound
+methods because its average degree is much higher.
+"""
+
+from .test_fig05_time_small import _parse
+from .conftest import emit
+
+
+def test_fig08_scalability(suite, benchmark):
+    table = benchmark.pedantic(suite.fig08_scalability, rounds=1, iterations=1)
+    emit(table)
+    rows = {row[0]: [_parse(c) for c in row[1:]] for row in table.rows}
+    datasets = table.headers[1:]
+    # Engines stay sub-5s on every dataset in the bench profile.
+    assert max(rows["LRW-A"]) < 5.0
+    # The exhaustive baseline cost grows with dataset scale.
+    assert rows["BaseDijkstra"][-1] > rows["BaseDijkstra"][0]

@@ -1,0 +1,18 @@
+"""Figure 9 - scalability with double the representative budget.
+
+Paper shape: doubling the representatives does not noticeably change the
+engines' query time relative to Figure 8.
+"""
+
+from .test_fig05_time_small import _parse
+from .conftest import emit
+
+
+def test_fig09_scalability_double_reps(suite, benchmark):
+    table = benchmark.pedantic(
+        suite.fig09_scalability_double_reps, rounds=1, iterations=1
+    )
+    emit(table)
+    rows = {row[0]: [_parse(c) for c in row[1:]] for row in table.rows}
+    assert max(rows["LRW-A"]) < 10.0
+    assert max(rows["RCL-A"]) < 10.0

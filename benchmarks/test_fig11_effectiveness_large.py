@@ -1,0 +1,16 @@
+"""Figure 11 - precision vs BasePropagation on the scaled data_3m.
+
+Paper shape: LRW-A above 0.8, RCL-A below it, BaseDijkstra lowest.
+"""
+
+from .conftest import emit
+
+
+def test_fig11_precision_large(suite, benchmark):
+    table = benchmark.pedantic(
+        suite.fig11_effectiveness_large, rounds=1, iterations=1
+    )
+    emit(table)
+    last_k = {row[0]: float(row[-1]) for row in table.rows}
+    assert last_k["LRW-A"] > 0.1
+    assert last_k["RCL-A"] > 0.1

@@ -1,0 +1,23 @@
+"""Figure 12 - precision vs the representative budget (data_3m).
+
+Paper shape: RCL-A's precision improves as representatives increase
+(0.75 -> 0.82 at 6000); LRW-A is already near its ceiling so extra
+representatives help little.
+"""
+
+from .conftest import emit
+
+
+def test_fig12_precision_vs_representatives(suite, benchmark):
+    table = benchmark.pedantic(
+        lambda: suite.fig12_repnodes_precision(
+            rep_fractions=(0.05, 0.15, 0.3)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    rows = {row[0]: [float(c) for c in row[1:]] for row in table.rows}
+    # More representatives never catastrophically hurt either summarizer.
+    assert rows["LRW-A"][-1] >= rows["LRW-A"][0] - 0.2
+    assert rows["RCL-A"][-1] >= rows["RCL-A"][0] - 0.2

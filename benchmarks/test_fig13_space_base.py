@@ -1,0 +1,25 @@
+"""Figure 13 - peak allocation while searching (base rep budget).
+
+Paper shape: BaseMatrix consumes dramatically more space than every other
+method (120 GB at full scale, hence measured only on the small dataset);
+the index-based methods stay modest, growing with dataset size.
+"""
+
+from .conftest import emit
+
+
+def _bytes(cell: str) -> float:
+    for suffix, factor in (("GB", 2**30), ("MB", 2**20), ("KB", 2**10), ("B", 1)):
+        if cell.endswith(suffix):
+            return float(cell[: -len(suffix)]) * factor
+    raise ValueError(cell)
+
+
+def test_fig13_space(suite, benchmark):
+    table = benchmark.pedantic(suite.fig13_space, rounds=1, iterations=1)
+    emit(table)
+    rows = {row[0]: row[1:] for row in table.rows}
+    # BaseMatrix dwarfs the engines on the small dataset...
+    assert _bytes(rows["BaseMatrix"][0]) > 5 * _bytes(rows["LRW-A"][0])
+    # ...and is marked infeasible on the larger ones, as in the paper.
+    assert all("n/a" in cell for cell in rows["BaseMatrix"][1:])

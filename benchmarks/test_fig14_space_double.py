@@ -1,0 +1,18 @@
+"""Figure 14 - space cost with double the representative budget.
+
+Paper shape: doubling the representative sets does not change the space
+picture materially; RCL-A/LRW-A stay below the baselines.
+"""
+
+from .test_fig13_space_base import _bytes
+from .conftest import emit
+
+
+def test_fig14_space_double_reps(suite, benchmark):
+    table = benchmark.pedantic(
+        suite.fig14_space_double_reps, rounds=1, iterations=1
+    )
+    emit(table)
+    rows = {row[0]: row[1:] for row in table.rows}
+    # Summarized methods remain cheaper than the exhaustive matrix method.
+    assert _bytes(rows["BaseMatrix"][0]) > _bytes(rows["LRW-A"][0])

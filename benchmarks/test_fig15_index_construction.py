@@ -1,0 +1,26 @@
+"""Figure 15 - per-topic summary construction cost.
+
+Paper shape: RCL-A needs minutes per topic and is insensitive to the
+sample rate (centroid computation dominates); LRW-A needs seconds per
+topic and is insensitive to R.
+"""
+
+from .test_fig05_time_small import _parse
+from .conftest import emit
+
+
+def test_fig15_summary_construction(suite, benchmark):
+    rcl_table, lrw_table = benchmark.pedantic(
+        lambda: suite.fig15_index_construction(
+            sample_rates=(0.01, 0.05, 0.1), r_values=(5, 10, 15), topics=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(rcl_table)
+    emit(lrw_table)
+    rcl_times = [_parse(row[1]) for row in rcl_table.rows]
+    lrw_times = [_parse(row[1]) for row in lrw_table.rows]
+    # RCL-A construction is slower than LRW-A at every setting (the
+    # paper's 450-560 s vs 14 s contrast).
+    assert min(rcl_times) > max(lrw_times)

@@ -1,0 +1,23 @@
+"""Figure 16 - summary construction time as L grows.
+
+Paper shape: RCL-A's time rises steeply with L (larger groups make the
+centroid computation expensive); LRW-A changes much less.
+"""
+
+from .test_fig05_time_small import _parse
+from .conftest import emit
+
+
+def test_fig16_construction_vs_length(suite, benchmark):
+    table = benchmark.pedantic(
+        lambda: suite.fig16_construction_vs_length(
+            lengths=(2, 3, 4, 5), topics=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    rcl = [_parse(row[1]) for row in table.rows]
+    lrw = [_parse(row[2]) for row in table.rows]
+    # LRW-A's growth from smallest to largest L stays well below RCL-A's.
+    assert rcl[-1] > lrw[-1]

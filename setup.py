@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (offline environments without `wheel`).
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` where PEP 660 editable builds are
+unavailable.
+"""
+
+from setuptools import setup
+
+setup()

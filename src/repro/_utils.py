@@ -1,0 +1,86 @@
+"""Small internal helpers shared across the library.
+
+These are implementation details; nothing here is part of the public API.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from .exceptions import ConfigurationError
+
+#: The types accepted wherever the library needs randomness.
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def coerce_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Accepts ``None`` (fresh entropy), an ``int`` seed, or an existing
+    generator (returned unchanged so callers can share a stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def require_positive(name: str, value: float) -> None:
+    """Raise :class:`ConfigurationError` unless ``value > 0``."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(name: str, value: float) -> None:
+    """Raise :class:`ConfigurationError` unless ``value >= 0``."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_probability(name: str, value: float, *, inclusive_zero: bool = True) -> None:
+    """Raise :class:`ConfigurationError` unless *value* lies in [0, 1].
+
+    With ``inclusive_zero=False`` the admissible interval is (0, 1].
+    """
+    low_ok = value >= 0 if inclusive_zero else value > 0
+    if not (low_ok and value <= 1):
+        bounds = "[0, 1]" if inclusive_zero else "(0, 1]"
+        raise ConfigurationError(f"{name} must be in {bounds}, got {value!r}")
+
+
+def require_in_range(name: str, value: int, low: int, high: Optional[int] = None) -> None:
+    """Raise :class:`ConfigurationError` unless ``low <= value`` (``<= high``)."""
+    if value < low or (high is not None and value > high):
+        hi = "inf" if high is None else str(high)
+        raise ConfigurationError(f"{name} must be in [{low}, {hi}], got {value!r}")
+
+
+def as_int_array(values: Iterable[int]) -> np.ndarray:
+    """Materialize *values* as a contiguous ``int64`` array."""
+    arr = np.asarray(list(values) if not isinstance(values, (np.ndarray, list)) else values,
+                     dtype=np.int64)
+    return np.ascontiguousarray(arr)
+
+
+def stable_top_indices(scores: Sequence[float], count: int) -> np.ndarray:
+    """Indices of the *count* largest scores, ties broken by smaller index.
+
+    Sorting is fully deterministic, which keeps experiments reproducible even
+    when many candidates share a score.
+    """
+    arr = np.asarray(scores, dtype=np.float64)
+    count = min(count, arr.size)
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    # argsort on (-score, index) via stable mergesort on negated scores.
+    order = np.argsort(-arr, kind="stable")
+    return order[:count].astype(np.int64)
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Return a row-normalized copy of *matrix*; all-zero rows stay zero."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    sums = matrix.sum(axis=1, keepdims=True)
+    safe = np.where(sums == 0.0, 1.0, sums)
+    return matrix / safe

@@ -1,0 +1,18 @@
+"""The paper's three baselines (DESIGN.md S25-S27)."""
+
+from .base import BaselineRanker
+from .dijkstra import BaseDijkstraRanker, max_probability_path, path_probability
+from .matrix import BaseMatrixRanker
+from .propagation import BasePropagationRanker
+from .relevance import HybridRanker, RelevanceOnlyRanker
+
+__all__ = [
+    "BaselineRanker",
+    "BaseMatrixRanker",
+    "BaseDijkstraRanker",
+    "BasePropagationRanker",
+    "RelevanceOnlyRanker",
+    "HybridRanker",
+    "max_probability_path",
+    "path_probability",
+]

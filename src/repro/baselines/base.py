@@ -1,0 +1,83 @@
+"""Common interface of the paper's baseline rankers (S25-S27).
+
+All three baselines answer the same question as the PIT engine - "rank the
+q-related topics by influence on this user" - so they share the
+:class:`~repro.core.search.SearchResult` output type and a small template
+method: subclasses implement :meth:`BaselineRanker.topic_influence` and the
+base class does topic retrieval, ranking and tie-breaking.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Union
+
+from .._utils import require_in_range
+from ..core.search import SearchResult
+from ..graph import SocialGraph
+from ..topics import KeywordQuery, TopicIndex
+
+__all__ = ["BaselineRanker"]
+
+
+class BaselineRanker(abc.ABC):
+    """Template for the exhaustive topic-influence baselines.
+
+    Parameters
+    ----------
+    graph / topic_index:
+        The social network and its topic space.
+    """
+
+    #: Machine name used in reports ("matrix", "dijkstra", "propagation").
+    name: str = "abstract"
+
+    def __init__(self, graph: SocialGraph, topic_index: TopicIndex):
+        self._graph = graph
+        self._topic_index = topic_index
+
+    @property
+    def graph(self) -> SocialGraph:
+        """The social graph."""
+        return self._graph
+
+    @property
+    def topic_index(self) -> TopicIndex:
+        """The topic space."""
+        return self._topic_index
+
+    @abc.abstractmethod
+    def topic_influence(self, topic_id: int, user: int) -> float:
+        """Influence of one topic on *user* under this baseline's model."""
+
+    def _before_search(self) -> None:
+        """Hook invoked at the start of every :meth:`search` call.
+
+        Subclasses use it to reset per-query state (deviation budgets,
+        per-query matrix rebuilds).
+        """
+
+    def search(
+        self,
+        user: int,
+        query: Union[str, KeywordQuery],
+        k: int = 10,
+    ) -> List[SearchResult]:
+        """Rank the q-related topics by influence on *user*.
+
+        Ties break on topic label, matching the engine's determinism.
+        """
+        require_in_range("k", k, 1)
+        self._before_search()
+        user = self._graph._check_node(user)
+        topic_ids = self._topic_index.related_topics(query)
+        scored = [
+            SearchResult(
+                topic_id=t,
+                label=self._topic_index.label(t),
+                influence=self.topic_influence(t, user),
+            )
+            for t in topic_ids
+        ]
+        scored.sort(key=lambda r: (-r.influence, r.label))
+        return scored[:k]

@@ -1,0 +1,237 @@
+"""BaseDijkstra - shortest-path + path-substitution baseline (S26, §6.1).
+
+"BaseDijkstra first computes the shortest path from each topic node to the
+query user using Dijkstra's algorithm, and then replaces a sub-path in the
+shortest path with an alternative path that can connect the two end points
+of the sub-path. By repeating the replacement operation, we can generate a
+number of distinct paths from the topic node to the query user node."
+
+The *shortest* path under influence semantics is the **maximum-probability**
+path, i.e. Dijkstra on edge costs ``-log Λ(u, v)``. Alternative paths come
+from a bounded Yen-style deviation search: for each edge of the current best
+path, ban it, re-route the suffix, and splice. The influence of a topic node
+on the user is the summed probability of the distinct paths found; topic
+influence averages over topic nodes with the uniform ``1/|V_t|`` weights.
+
+One documented optimization over the literal pseudocode: the base shortest
+paths for *all* topic nodes come from a single reverse Dijkstra rooted at
+the query user (identical results, one heap instead of ``|V_t|``); the
+deviation reruns are still per topic node and dominate the cost, which is
+why this baseline is the slowest at scale in the paper (25 h) and here.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .._utils import require_in_range
+from ..graph import SocialGraph
+from ..topics import TopicIndex
+from .base import BaselineRanker
+
+__all__ = ["BaseDijkstraRanker", "max_probability_path", "path_probability"]
+
+
+def path_probability(graph: SocialGraph, path: Sequence[int]) -> float:
+    """Product of edge transition probabilities along *path*."""
+    probability = 1.0
+    for u, v in zip(path, path[1:]):
+        probability *= graph.edge_probability(int(u), int(v))
+    return probability
+
+
+def max_probability_path(
+    graph: SocialGraph,
+    source: int,
+    target: int,
+    *,
+    banned_edges: Optional[Set[Tuple[int, int]]] = None,
+    banned_nodes: Optional[Set[int]] = None,
+) -> Optional[List[int]]:
+    """Dijkstra on ``-log`` weights: the single most probable source->target path.
+
+    Returns the node sequence (inclusive) or ``None`` when no path exists
+    under the bans.
+    """
+    source = graph._check_node(source)
+    target = graph._check_node(target)
+    banned_edges = banned_edges or set()
+    banned_nodes = banned_nodes or set()
+    if source in banned_nodes or target in banned_nodes:
+        return None
+    if source == target:
+        return [source]
+
+    dist: Dict[int, float] = {source: 0.0}
+    parent: Dict[int, int] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled: Set[int] = set()
+    while heap:
+        cost, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        if node == target:
+            break
+        targets, probs = graph.out_edges(node)
+        for nxt, probability in zip(targets, probs):
+            nxt = int(nxt)
+            if nxt in banned_nodes or (node, nxt) in banned_edges:
+                continue
+            candidate = cost - math.log(float(probability))
+            if candidate < dist.get(nxt, math.inf):
+                dist[nxt] = candidate
+                parent[nxt] = node
+                heapq.heappush(heap, (candidate, nxt))
+    if target not in settled:
+        return None
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+class BaseDijkstraRanker(BaselineRanker):
+    """Influence from a bounded set of high-probability distinct paths.
+
+    Parameters
+    ----------
+    graph / topic_index:
+        The social network and its topic space.
+    max_alternatives:
+        Deviation paths generated per topic node (on top of the best path).
+    deviation_budget:
+        Optional cap on deviation Dijkstra re-runs *per query*. The paper's
+        procedure is unbounded (and needs 25 hours at full scale); the
+        benchmark harness sets a budget so timing sweeps finish, after
+        which remaining topic nodes fall back to their best path only.
+        ``None`` (default) reproduces the unbounded behaviour.
+    """
+
+    name = "dijkstra"
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        topic_index: TopicIndex,
+        *,
+        max_alternatives: int = 3,
+        deviation_budget: Optional[int] = None,
+    ):
+        super().__init__(graph, topic_index)
+        require_in_range("max_alternatives", max_alternatives, 0)
+        if deviation_budget is not None:
+            require_in_range("deviation_budget", deviation_budget, 0)
+        self._max_alternatives = int(max_alternatives)
+        self._deviation_budget = deviation_budget
+        self._deviations_used = 0
+        # Per-user reverse shortest-path tree cache: user -> parent map.
+        self._tree_cache: Dict[int, Dict[int, int]] = {}
+
+    def _before_search(self) -> None:
+        self._deviations_used = 0
+
+    def _budget_left(self) -> bool:
+        return (
+            self._deviation_budget is None
+            or self._deviations_used < self._deviation_budget
+        )
+
+    # ------------------------------------------------------------------
+    def _reverse_tree(self, user: int) -> Dict[int, int]:
+        """Parent pointers of the max-probability paths from all nodes to *user*.
+
+        ``parent[x]`` is the next hop on the best ``x -> user`` path. Built
+        with one Dijkstra over the reversed graph and cached per user.
+        """
+        cached = self._tree_cache.get(user)
+        if cached is not None:
+            return cached
+        parent: Dict[int, int] = {}
+        dist: Dict[int, float] = {user: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, user)]
+        settled: Set[int] = set()
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            sources, probs = self._graph.in_edges(node)
+            for prev, probability in zip(sources, probs):
+                prev = int(prev)
+                candidate = cost - math.log(float(probability))
+                if candidate < dist.get(prev, math.inf):
+                    dist[prev] = candidate
+                    parent[prev] = node
+                    heapq.heappush(heap, (candidate, prev))
+        self._tree_cache[user] = parent
+        return parent
+
+    def _best_path(self, source: int, user: int) -> Optional[List[int]]:
+        """Best source->user path recovered from the reverse tree."""
+        if source == user:
+            return [source]
+        parent = self._reverse_tree(user)
+        if source not in parent:
+            return None
+        path = [source]
+        while path[-1] != user:
+            path.append(parent[path[-1]])
+        return path
+
+    def distinct_paths(self, source: int, user: int) -> List[List[int]]:
+        """The best path plus up to ``max_alternatives`` deviation paths."""
+        best = self._best_path(source, user)
+        if best is None:
+            return []
+        paths = [best]
+        seen = {tuple(best)}
+        # Deviate at each edge of the best path: ban it, re-route the
+        # remainder, splice with the prefix (sub-path replacement).
+        for i in range(len(best) - 1):
+            if len(paths) - 1 >= self._max_alternatives:
+                break
+            if not self._budget_left():
+                break
+            self._deviations_used += 1
+            prefix = best[: i + 1]
+            banned_edge = {(best[i], best[i + 1])}
+            banned_nodes = set(prefix[:-1])
+            suffix = max_probability_path(
+                self._graph,
+                best[i],
+                user,
+                banned_edges=banned_edge,
+                banned_nodes=banned_nodes,
+            )
+            if suffix is None:
+                continue
+            candidate = prefix[:-1] + suffix
+            key = tuple(candidate)
+            if key not in seen:
+                seen.add(key)
+                paths.append(candidate)
+        return paths
+
+    def node_influence(self, source: int, user: int) -> float:
+        """Summed probability of the distinct source->user paths."""
+        return sum(
+            path_probability(self._graph, path)
+            for path in self.distinct_paths(source, user)
+            if len(path) > 1
+        )
+
+    def topic_influence(self, topic_id: int, user: int) -> float:
+        """Average node influence over ``V_t`` (uniform local weights)."""
+        topic_nodes = self._topic_index.topic_nodes(topic_id)
+        if topic_nodes.size == 0:
+            return 0.0
+        total = sum(
+            self.node_influence(int(node), user) for node in topic_nodes
+        )
+        return total / topic_nodes.size

@@ -1,0 +1,139 @@
+"""BaseMatrix - exhaustive matrix-power propagation (S25, paper §6.1).
+
+"For each q-related topic, the influence is propagated to the social users
+through a number of matrix multiplication iterations (set to 6 in this
+work)." The aggregated influence is exact over *walks* of length 1..L, so
+the paper uses BaseMatrix as the ground truth on the small dataset.
+
+Two execution modes:
+
+* ``materialize=False`` (default) - per query, each topic's source vector is
+  pushed through ``L`` transposed mat-vec products. Numerically identical
+  to the matrix-power formulation and the cheapest exact evaluation.
+* ``materialize=True`` - builds (and caches) the cumulative power matrix
+  ``M = Σ_{l=1..L} P^l`` with sparse matrix-matrix products, then answers
+  by reading ``M``. This is the paper's literal procedure and the reason
+  BaseMatrix is hopeless at scale (the powers densify - the paper reports
+  120 GB at 3M nodes); it exists here so the Figure 13/14 space-cost
+  experiment can measure exactly that blow-up.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._utils import require_in_range
+from ..core.influence import topic_influence_vector
+from ..graph import SocialGraph
+from ..topics import TopicIndex
+from .base import BaselineRanker
+
+__all__ = ["BaseMatrixRanker"]
+
+
+class BaseMatrixRanker(BaselineRanker):
+    """Exact walk-based influence by repeated matrix multiplication.
+
+    Parameters
+    ----------
+    graph / topic_index:
+        The social network and its topic space.
+    length:
+        ``L`` - the number of propagation iterations (paper: 6).
+    materialize:
+        Build the explicit cumulative power matrix (see module docstring).
+    cache_vectors:
+        Cache per-topic influence vectors across queries. Off by default
+        (the paper recomputes per query); effectiveness harnesses turn it
+        on when using BaseMatrix as ground truth for many queries.
+    rebuild_per_query:
+        With ``materialize=True``, discard the cumulative power matrix at
+        the start of every :meth:`search` call, so each query pays the full
+        "number of matrix multiplication iterations" the paper times -
+        this is the mode the Figure 5 bench uses.
+    """
+
+    name = "matrix"
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        topic_index: TopicIndex,
+        *,
+        length: int = 6,
+        materialize: bool = False,
+        cache_vectors: bool = False,
+        rebuild_per_query: bool = False,
+    ):
+        super().__init__(graph, topic_index)
+        require_in_range("length", length, 1)
+        self._length = int(length)
+        self._materialize = bool(materialize)
+        self._cache_vectors = bool(cache_vectors)
+        self._rebuild_per_query = bool(rebuild_per_query)
+        self._cumulative = None
+        self._vector_cache = {}
+
+    def _before_search(self) -> None:
+        if self._rebuild_per_query:
+            self._cumulative = None
+            self._vector_cache.clear()
+
+    @property
+    def length(self) -> int:
+        """Number of propagation iterations ``L``."""
+        return self._length
+
+    # ------------------------------------------------------------------
+    def cumulative_power_matrix(self):
+        """``Σ_{l=1..L} P^l`` as a CSR matrix (built once, cached)."""
+        if self._cumulative is None:
+            transition = self._graph.transition_matrix()
+            power = transition.copy()
+            total = transition.copy()
+            for _ in range(self._length - 1):
+                power = (power @ transition).tocsr()
+                total = (total + power).tocsr()
+            self._cumulative = total
+        return self._cumulative
+
+    def influence_vector(self, topic_id: int) -> np.ndarray:
+        """Influence of *topic_id* on every node (exact, walk-based)."""
+        topic_id = self._topic_index.resolve(topic_id)
+        cached = self._vector_cache.get(topic_id)
+        if cached is not None:
+            return cached
+        topic_nodes = self._topic_index.topic_nodes(topic_id)
+        if self._materialize:
+            matrix = self.cumulative_power_matrix()
+            source = np.zeros(self._graph.n_nodes, dtype=np.float64)
+            source[topic_nodes] = 1.0 / topic_nodes.size
+            vector = np.asarray(matrix.T @ source).ravel()
+        else:
+            vector = topic_influence_vector(
+                self._graph, topic_nodes, self._length
+            )
+        if self._cache_vectors:
+            self._vector_cache[topic_id] = vector
+        return vector
+
+    def topic_influence(self, topic_id: int, user: int) -> float:
+        """Exact influence of one topic on *user*."""
+        return float(self.influence_vector(topic_id)[self._graph._check_node(user)])
+
+    def memory_bytes(self) -> int:
+        """Approximate space held by materialized powers and cached vectors.
+
+        This is what the Figure 13/14 space benches report for BaseMatrix.
+        """
+        total = 0
+        if self._cumulative is not None:
+            total += int(
+                self._cumulative.data.nbytes
+                + self._cumulative.indices.nbytes
+                + self._cumulative.indptr.nbytes
+            )
+        total += sum(v.nbytes for v in self._vector_cache.values())
+        return total

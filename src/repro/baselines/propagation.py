@@ -1,0 +1,73 @@
+"""BasePropagation - per-topic-node use of the propagation index (S27, §6.1).
+
+"The basic idea of BasePropagation is to calculate the propagation influence
+of each topic node for a given user using only the personalized influence
+propagation index described in Section 5.1."
+
+Unlike RCL-A/LRW-A, no summarization happens: every topic node is looked up
+in ``Γ(user)`` directly, so the method pays ``O(|V_t|)`` per topic and must
+"retrieve all topic nodes into the memory at the beginning of each query
+evaluation" - which is exactly why the paper finds it slower and hungrier
+than the summarized methods, yet much faster than the exhaustive baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.propagation import PropagationIndex
+from ..exceptions import ConfigurationError
+from ..graph import SocialGraph
+from ..topics import TopicIndex
+from .base import BaselineRanker
+
+__all__ = ["BasePropagationRanker"]
+
+
+class BasePropagationRanker(BaselineRanker):
+    """Exact-within-θ influence via direct propagation-index lookups.
+
+    Parameters
+    ----------
+    graph / topic_index:
+        The social network and its topic space.
+    propagation_index:
+        A :class:`~repro.core.propagation.PropagationIndex`; pass the
+        engine's instance to share materialized entries, or leave ``None``
+        to build a private one with the given *theta*.
+    theta:
+        Path-probability threshold for a privately built index.
+    """
+
+    name = "propagation"
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        topic_index: TopicIndex,
+        *,
+        propagation_index: Optional[PropagationIndex] = None,
+        theta: float = 0.05,
+    ):
+        super().__init__(graph, topic_index)
+        if propagation_index is None:
+            propagation_index = PropagationIndex(graph, theta)
+        elif propagation_index.graph is not graph:
+            raise ConfigurationError(
+                "propagation_index was built for a different graph"
+            )
+        self._propagation = propagation_index
+
+    @property
+    def propagation_index(self) -> PropagationIndex:
+        """The underlying §5.1 index."""
+        return self._propagation
+
+    def topic_influence(self, topic_id: int, user: int) -> float:
+        """``(1/|V_t|) Σ_{u ∈ V_t} Γ(user)[u]``."""
+        topic_nodes = self._topic_index.topic_nodes(topic_id)
+        if topic_nodes.size == 0:
+            return 0.0
+        gamma = self._propagation.entry(user).gamma
+        total = sum(gamma.get(int(node), 0.0) for node in topic_nodes)
+        return total / topic_nodes.size

@@ -1,0 +1,204 @@
+"""Command-line interface (S32): ``pit-search <command>``.
+
+Commands
+--------
+``datasets``
+    Print the Figure 4 dataset summary for the bundled scaled analogues.
+``search``
+    Build a dataset + engine and answer one PIT-Search query.
+``experiment``
+    Run one of the per-figure experiments and print its table.
+
+Examples
+--------
+::
+
+    pit-search datasets --size 800
+    pit-search search --dataset data_2k --user 3 --query phone --k 5
+    pit-search experiment --figure 5 --queries 2 --users 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .evaluation import ExperimentConfig, ExperimentSuite
+
+__all__ = ["main", "build_parser"]
+
+#: Figure id -> ExperimentSuite method name.
+FIGURES = {
+    "4": "fig04_datasets",
+    "5": "fig05_time_small",
+    "6": "fig06_time_large",
+    "7": "fig07_repnodes_time",
+    "8": "fig08_scalability",
+    "9": "fig09_scalability_double_reps",
+    "10": "fig10_effectiveness_small",
+    "11": "fig11_effectiveness_large",
+    "12": "fig12_repnodes_precision",
+    "15": "fig15_index_construction",
+    "16": "fig16_construction_vs_length",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="pit-search",
+        description="Personalized Influential Topic Search (paper reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets = sub.add_parser(
+        "datasets", help="print the Figure 4 dataset summary"
+    )
+    datasets.add_argument("--size", type=int, default=None,
+                          help="override node count for every dataset")
+    datasets.add_argument("--seed", type=int, default=42)
+
+    search = sub.add_parser("search", help="run one PIT-Search query")
+    search.add_argument("--dataset", default="data_2k",
+                        choices=["data_2k", "data_350k", "data_1.2m", "data_3m"])
+    search.add_argument("--size", type=int, default=None)
+    search.add_argument("--user", type=int, required=True)
+    search.add_argument("--query", required=True)
+    search.add_argument("--k", type=int, default=10)
+    search.add_argument("--summarizer", default="lrw", choices=["lrw", "rcl"])
+    search.add_argument("--theta", type=float, default=0.002)
+    search.add_argument("--seed", type=int, default=42)
+
+    diagnose = sub.add_parser(
+        "diagnose", help="print summary diagnostics for a query's topics"
+    )
+    diagnose.add_argument("--dataset", default="data_2k",
+                          choices=["data_2k", "data_350k", "data_1.2m", "data_3m"])
+    diagnose.add_argument("--size", type=int, default=None)
+    diagnose.add_argument("--query", required=True)
+    diagnose.add_argument("--summarizer", default="lrw", choices=["lrw", "rcl"])
+    diagnose.add_argument("--with-error", action="store_true",
+                          help="also compute the Definition 1 L1 error")
+    diagnose.add_argument("--seed", type=int, default=42)
+
+    experiment = sub.add_parser(
+        "experiment", help="run a per-figure experiment"
+    )
+    experiment.add_argument("--figure", required=True, choices=sorted(FIGURES))
+    experiment.add_argument("--queries", type=int, default=2)
+    experiment.add_argument("--users", type=int, default=2)
+    experiment.add_argument("--size", type=int, default=None,
+                            help="override node count for every dataset")
+    experiment.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _suite(args, sizes: Optional[dict] = None) -> ExperimentSuite:
+    config = ExperimentConfig(
+        seed=args.seed,
+        n_queries=getattr(args, "queries", 2),
+        n_users=getattr(args, "users", 2),
+        deviation_budget=120,
+        dataset_sizes=sizes or {},
+    )
+    return ExperimentSuite(config)
+
+
+def _sizes_for(args) -> dict:
+    if getattr(args, "size", None) is None:
+        return {}
+    return {name: args.size
+            for name in ("data_2k", "data_350k", "data_1.2m", "data_3m")}
+
+
+def _run_datasets(args) -> int:
+    suite = _suite(args, _sizes_for(args))
+    print(suite.fig04_datasets().render())
+    return 0
+
+
+def _run_search(args) -> int:
+    from .core import PITEngine
+    from .datasets import DATASETS
+
+    factory = DATASETS[args.dataset]
+    kwargs = {}
+    if args.size is not None:
+        kwargs["n_nodes"] = args.size
+    if args.dataset == "data_2k":
+        kwargs["with_corpus"] = False
+    bundle = factory(seed=args.seed, **kwargs)
+    print(bundle.describe())
+    engine = PITEngine.from_dataset(
+        bundle,
+        summarizer=args.summarizer,
+        theta=args.theta,
+        seed=args.seed,
+    )
+    results, stats = engine.search(
+        args.user, args.query, k=args.k, with_stats=True
+    )
+    if not results:
+        print(f"no topics match query {args.query!r}")
+        return 1
+    print(f"\nTop-{args.k} topics for user {args.user} / query {args.query!r} "
+          f"({stats.topics_considered} candidates, "
+          f"{stats.topics_pruned} pruned):")
+    for rank, result in enumerate(results, start=1):
+        print(f"  {rank:2d}. {result.label:28s} {result.influence:.6f}")
+    return 0
+
+
+def _run_diagnose(args) -> int:
+    from .core import PITEngine, diagnostics_table
+    from .datasets import DATASETS
+
+    factory = DATASETS[args.dataset]
+    kwargs = {}
+    if args.size is not None:
+        kwargs["n_nodes"] = args.size
+    if args.dataset == "data_2k":
+        kwargs["with_corpus"] = False
+    bundle = factory(seed=args.seed, **kwargs)
+    engine = PITEngine.from_dataset(
+        bundle, summarizer=args.summarizer, seed=args.seed
+    )
+    topics = bundle.topic_index.related_topics(args.query)
+    if not topics:
+        print(f"no topics match query {args.query!r}")
+        return 1
+    summaries = [engine.summary(t) for t in topics]
+    table = diagnostics_table(
+        bundle.graph, bundle.topic_index, summaries,
+        compute_error=args.with_error,
+    )
+    print(table.render())
+    return 0
+
+
+def _run_experiment(args) -> int:
+    suite = _suite(args, _sizes_for(args))
+    method = getattr(suite, FIGURES[args.figure])
+    outcome = method()
+    tables = outcome if isinstance(outcome, tuple) else (outcome,)
+    for table in tables:
+        print(table.render())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _run_datasets,
+        "search": _run_search,
+        "diagnose": _run_diagnose,
+        "experiment": _run_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

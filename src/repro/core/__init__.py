@@ -1,0 +1,71 @@
+"""The paper's core contribution (DESIGN.md S13-S24).
+
+* :mod:`repro.core.rcl` - RCL-A random-clustering summarizer (§3).
+* :mod:`repro.core.lrw` - LRW-A L-length random-walk summarizer (§4).
+* :mod:`repro.core.propagation` - personalized propagation index (§5.1).
+* :mod:`repro.core.search` - top-k PIT-Search (§5.2).
+* :mod:`repro.core.engine` - end-to-end facade.
+"""
+
+from .diagnostics import SummaryDiagnostics, diagnose_summary, diagnostics_table
+from .dynamics import (
+    TopicUpdate,
+    apply_topic_update,
+    invalidate_propagation,
+    refresh_walk_index,
+    updated_topic_index,
+)
+from .engine import PITEngine
+from .persistence import (
+    load_propagation_index,
+    load_summaries,
+    load_walk_index,
+    save_propagation_index,
+    save_summaries,
+    save_walk_index,
+)
+from .influence import (
+    enumerate_simple_paths,
+    propagate_influence,
+    simple_path_influence,
+    source_vector,
+    topic_influence_vector,
+)
+from .lrw import LRWSummarizer
+from .propagation import PropagationEntry, PropagationIndex
+from .rcl import RCLSummarizer
+from .search import PersonalizedSearcher, SearchResult, SearchStats
+from .summarization import Summarizer, TopicSummary, summarization_error
+
+__all__ = [
+    "PITEngine",
+    "RCLSummarizer",
+    "LRWSummarizer",
+    "Summarizer",
+    "TopicSummary",
+    "summarization_error",
+    "PropagationIndex",
+    "PropagationEntry",
+    "PersonalizedSearcher",
+    "SearchResult",
+    "SearchStats",
+    "propagate_influence",
+    "topic_influence_vector",
+    "source_vector",
+    "simple_path_influence",
+    "enumerate_simple_paths",
+    "SummaryDiagnostics",
+    "diagnose_summary",
+    "diagnostics_table",
+    "TopicUpdate",
+    "updated_topic_index",
+    "apply_topic_update",
+    "invalidate_propagation",
+    "refresh_walk_index",
+    "save_summaries",
+    "load_summaries",
+    "save_propagation_index",
+    "load_propagation_index",
+    "save_walk_index",
+    "load_walk_index",
+]

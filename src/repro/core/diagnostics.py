@@ -1,0 +1,153 @@
+"""Summary diagnostics (library extension).
+
+Operational tooling a user of the library needs before trusting a summary:
+how much of the topic's local weight was migrated, how concentrated the
+representative weights are, how far the representatives sit from the topic
+nodes, and (optionally, since it costs a propagation) the Definition 1 L1
+error. The engine-level report aggregates these over a set of topics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graph import SocialGraph, hop_distances
+from ..topics import TopicIndex
+from .summarization import TopicSummary, summarization_error
+
+__all__ = ["SummaryDiagnostics", "diagnose_summary", "diagnostics_table"]
+
+
+@dataclass(frozen=True)
+class SummaryDiagnostics:
+    """Quality indicators for one topic summary.
+
+    Attributes
+    ----------
+    topic_id / label:
+        The topic.
+    topic_size:
+        ``|V_t|``.
+    n_representatives:
+        Summary size.
+    total_weight:
+        Migrated local weight (1.0 = nothing lost).
+    weight_entropy:
+        Normalized Shannon entropy of the weights in [0, 1]; 1 means the
+        weight is spread evenly over the representatives, 0 means a single
+        representative dominates.
+    representative_overlap:
+        Fraction of representatives that are themselves topic nodes.
+    mean_distance_to_topic:
+        Mean hop distance from each representative to its nearest topic
+        node (0 for topic-node representatives).
+    l1_error:
+        Definition 1 error, when requested (None otherwise).
+    """
+
+    topic_id: int
+    label: str
+    topic_size: int
+    n_representatives: int
+    total_weight: float
+    weight_entropy: float
+    representative_overlap: float
+    mean_distance_to_topic: float
+    l1_error: Optional[float]
+
+
+def _normalized_entropy(weights: Sequence[float]) -> float:
+    values = np.asarray([w for w in weights if w > 0], dtype=np.float64)
+    if values.size <= 1:
+        return 0.0
+    probabilities = values / values.sum()
+    entropy = float(-(probabilities * np.log(probabilities)).sum())
+    return entropy / math.log(values.size)
+
+
+def diagnose_summary(
+    graph: SocialGraph,
+    topic_index: TopicIndex,
+    summary: TopicSummary,
+    *,
+    compute_error: bool = False,
+    error_length: int = 6,
+    distance_cap: int = 6,
+) -> SummaryDiagnostics:
+    """Compute :class:`SummaryDiagnostics` for one summary."""
+    topic_id = summary.topic_id
+    label = topic_index.label(topic_id)
+    topic_nodes = topic_index.topic_nodes(topic_id)
+    topic_set = set(int(v) for v in topic_nodes)
+    reps = summary.representatives
+
+    if reps:
+        overlap = sum(1 for r in reps if r in topic_set) / len(reps)
+        distances = []
+        for rep in reps:
+            if rep in topic_set:
+                distances.append(0)
+                continue
+            dist = hop_distances(graph, rep, distance_cap)
+            reachable = [
+                int(dist[v]) for v in topic_set if dist[v] >= 0
+            ]
+            distances.append(min(reachable) if reachable else distance_cap + 1)
+        mean_distance = float(np.mean(distances))
+    else:
+        overlap = 0.0
+        mean_distance = float("nan")
+
+    error = None
+    if compute_error:
+        error = summarization_error(
+            graph, topic_nodes, summary, length=error_length
+        )
+    return SummaryDiagnostics(
+        topic_id=topic_id,
+        label=label,
+        topic_size=int(topic_nodes.size),
+        n_representatives=len(reps),
+        total_weight=summary.total_weight,
+        weight_entropy=_normalized_entropy(list(summary.weights.values())),
+        representative_overlap=overlap,
+        mean_distance_to_topic=mean_distance,
+        l1_error=error,
+    )
+
+
+def diagnostics_table(
+    graph: SocialGraph,
+    topic_index: TopicIndex,
+    summaries: Iterable[TopicSummary],
+    *,
+    compute_error: bool = False,
+):
+    """A :class:`~repro.evaluation.reporting.Table` over many summaries."""
+    from ..evaluation.reporting import Table
+
+    table = Table(
+        "Topic summary diagnostics",
+        ["topic", "|V_t|", "reps", "weight", "entropy", "overlap",
+         "mean dist", "L1 error"],
+    )
+    for summary in summaries:
+        diag = diagnose_summary(
+            graph, topic_index, summary, compute_error=compute_error
+        )
+        table.add_row([
+            diag.label,
+            diag.topic_size,
+            diag.n_representatives,
+            f"{diag.total_weight:.3f}",
+            f"{diag.weight_entropy:.3f}",
+            f"{diag.representative_overlap:.2f}",
+            f"{diag.mean_distance_to_topic:.2f}",
+            "-" if diag.l1_error is None else f"{diag.l1_error:.4f}",
+        ])
+    return table

@@ -1,0 +1,192 @@
+"""Dynamic maintenance of the offline artifacts (paper §4.4).
+
+"The offline pre-processing is updated after a period of time when the
+social network and topics have changed." This module implements that
+refresh *incrementally* instead of rebuilding everything:
+
+* :func:`apply_topic_update` - users start/stop discussing topics. A new
+  :class:`~repro.topics.TopicIndex` is derived, and only the summaries of
+  topics whose member sets actually changed are invalidated; unchanged
+  topics keep their cached summaries (re-keyed, since topic ids are
+  label-ordered).
+* :func:`invalidate_propagation` - edges changed around a set of nodes.
+  Every cached propagation entry that could see those nodes (as target,
+  member of Γ, or marked frontier) is dropped and will rebuild lazily.
+
+Both operations leave the walk index untouched; it is a Monte-Carlo sample
+whose staleness degrades gracefully, and the paper likewise rebuilds it
+only "after a period of time". :func:`refresh_walk_index` forces that
+rebuild when desired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..exceptions import ConfigurationError
+from ..topics import TopicIndex
+from .engine import PITEngine
+from .propagation import PropagationIndex
+
+__all__ = [
+    "TopicUpdate",
+    "updated_topic_index",
+    "apply_topic_update",
+    "invalidate_propagation",
+    "refresh_walk_index",
+]
+
+
+@dataclass(frozen=True)
+class TopicUpdate:
+    """A batch of membership changes.
+
+    Attributes
+    ----------
+    add:
+        ``node -> labels`` the node newly discusses.
+    remove:
+        ``node -> labels`` the node no longer discusses.
+    """
+
+    add: Mapping[int, Tuple[str, ...]] = field(default_factory=dict)
+    remove: Mapping[int, Tuple[str, ...]] = field(default_factory=dict)
+
+    @staticmethod
+    def adding(node: int, *labels: str) -> "TopicUpdate":
+        """Convenience single-node addition."""
+        return TopicUpdate(add={int(node): tuple(labels)})
+
+    @staticmethod
+    def removing(node: int, *labels: str) -> "TopicUpdate":
+        """Convenience single-node removal."""
+        return TopicUpdate(remove={int(node): tuple(labels)})
+
+    def merged_with(self, other: "TopicUpdate") -> "TopicUpdate":
+        """Combine two batches (other's changes applied after self's)."""
+        add: Dict[int, Tuple[str, ...]] = {
+            int(n): tuple(ls) for n, ls in self.add.items()
+        }
+        for node, labels in other.add.items():
+            node = int(node)
+            add[node] = tuple(add.get(node, ())) + tuple(labels)
+        remove: Dict[int, Tuple[str, ...]] = {
+            int(n): tuple(ls) for n, ls in self.remove.items()
+        }
+        for node, labels in other.remove.items():
+            node = int(node)
+            remove[node] = tuple(remove.get(node, ())) + tuple(labels)
+        return TopicUpdate(add=add, remove=remove)
+
+
+def updated_topic_index(index: TopicIndex, update: TopicUpdate) -> TopicIndex:
+    """A new :class:`TopicIndex` with *update* applied.
+
+    Removing a label a node does not carry is an error (it usually means
+    the caller's view of the index is stale).
+    """
+    assignment: Dict[int, List[str]] = {}
+    for node in range(index.n_nodes):
+        labels = [index.label(t) for t in index.topics_of_node(node)]
+        assignment[node] = labels
+    for node, labels in update.remove.items():
+        node = int(node)
+        if not 0 <= node < index.n_nodes:
+            raise ConfigurationError(f"node {node} outside the topic index")
+        for label in labels:
+            label = label.strip().lower()
+            try:
+                assignment[node].remove(label)
+            except ValueError:
+                raise ConfigurationError(
+                    f"node {node} does not carry topic {label!r}"
+                ) from None
+    for node, labels in update.add.items():
+        node = int(node)
+        if not 0 <= node < index.n_nodes:
+            raise ConfigurationError(f"node {node} outside the topic index")
+        for label in labels:
+            label = label.strip().lower()
+            if label not in assignment[node]:
+                assignment[node].append(label)
+    populated = {n: ls for n, ls in assignment.items() if ls}
+    return TopicIndex(index.n_nodes, populated)
+
+
+def apply_topic_update(engine: PITEngine, update: TopicUpdate) -> Dict[str, int]:
+    """Apply a :class:`TopicUpdate` to an engine in place.
+
+    Re-keys the summary cache by label, keeps summaries whose member sets
+    are unchanged, and drops the rest (they rebuild lazily on next use).
+
+    Returns
+    -------
+    Statistics: ``{"kept": ..., "invalidated": ..., "topics": ...}``.
+    """
+    old_index = engine.topic_index
+    new_index = updated_topic_index(old_index, update)
+
+    kept = 0
+    invalidated = 0
+    new_summaries = {}
+    old_by_label = {
+        old_index.label(topic_id): summary
+        for topic_id, summary in engine._summaries.items()
+    }
+    for label, summary in old_by_label.items():
+        if label not in new_index:
+            invalidated += 1
+            continue
+        new_id = new_index.resolve(label)
+        old_members = old_index.topic_nodes(label).tolist()
+        new_members = new_index.topic_nodes(label).tolist()
+        if old_members == new_members:
+            # Same member set: the summary is still exact; re-key it.
+            new_summaries[new_id] = type(summary)(new_id, dict(summary.weights))
+            kept += 1
+        else:
+            invalidated += 1
+
+    engine._topic_index = new_index
+    engine._summaries = new_summaries
+    engine._summarizer = None  # summarizers hold the old index; rebuild lazily
+    engine._searcher._topic_index = new_index
+    return {
+        "kept": kept,
+        "invalidated": invalidated,
+        "topics": new_index.n_topics,
+    }
+
+
+def invalidate_propagation(
+    index: PropagationIndex, affected_nodes: Iterable[int]
+) -> int:
+    """Drop cached entries that could observe *affected_nodes*.
+
+    An entry must be rebuilt when its target is affected or when any
+    affected node appears in its Γ or marked sets (a changed edge there
+    can alter aggregated probabilities or marking). Returns the number of
+    entries dropped.
+    """
+    affected: Set[int] = {int(v) for v in affected_nodes}
+    if not affected:
+        return 0
+    doomed = []
+    for node, entry in index._entries.items():
+        if (
+            node in affected
+            or affected & set(entry.gamma)
+            or affected & entry.marked
+        ):
+            doomed.append(node)
+    for node in doomed:
+        del index._entries[node]
+    return len(doomed)
+
+
+def refresh_walk_index(engine: PITEngine) -> None:
+    """Force the walk index (and everything derived from it) to rebuild."""
+    engine._walk_index = None
+    engine._summarizer = None
+    engine._summaries = {}

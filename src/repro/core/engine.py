@@ -1,0 +1,219 @@
+"""End-to-end PIT-Search engine facade (S24).
+
+Ties the whole stack together the way the paper's Algorithms 5 and 9 do:
+
+* **offline** - build the walk index (Algorithm 6) once per graph, derive a
+  topic summary per topic with the configured summarizer (RCL-A or LRW-A),
+  and materialize propagation entries on demand;
+* **online** - answer ``search(user, query, k)`` via Algorithm 10.
+
+Summaries and propagation entries are cached, so repeated queries pay only
+the online cost - exactly the paper's amortization story.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .._utils import SeedLike, coerce_rng
+from ..exceptions import ConfigurationError
+from ..graph import SocialGraph
+from ..topics import KeywordQuery, TopicIndex
+from ..walks import WalkIndex
+from .lrw import LRWSummarizer
+from .propagation import PropagationIndex
+from .rcl import RCLSummarizer
+from .search import PersonalizedSearcher, SearchResult, SearchStats
+from .summarization import Summarizer, TopicSummary
+
+__all__ = ["PITEngine"]
+
+_SUMMARIZER_NAMES = ("lrw", "rcl")
+
+
+class PITEngine:
+    """One-stop PIT-Search over a graph + topic index.
+
+    Parameters
+    ----------
+    graph / topic_index:
+        The social network and its topic space.
+    summarizer:
+        ``"lrw"`` (default), ``"rcl"``, or a pre-built
+        :class:`~repro.core.summarization.Summarizer` instance.
+    theta:
+        Propagation-index path-probability threshold ``θ``.
+    walk_length / samples_per_node:
+        ``L`` and ``R`` of the walk index (shared by both summarizers).
+    rep_fraction:
+        ``μ`` - representatives per topic as a fraction of ``|V_t|``.
+    sample_rate:
+        RCL-A's ``|V'|/|V|`` sampling rate (ignored for LRW-A).
+    max_expand_rounds:
+        Online Expand recursion bound.
+    seed:
+        Seed or generator for all stochastic stages.
+
+    Examples
+    --------
+    >>> from repro.datasets import data_2k
+    >>> from repro.core.engine import PITEngine
+    >>> bundle = data_2k(seed=7, with_corpus=False)
+    >>> engine = PITEngine.from_dataset(bundle, summarizer="lrw", seed=7)
+    >>> results = engine.search(user=3, query="phone", k=3)
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        topic_index: TopicIndex,
+        *,
+        summarizer: Union[str, Summarizer] = "lrw",
+        theta: float = 0.002,
+        walk_length: int = 5,
+        samples_per_node: int = 25,
+        rep_fraction: float = 0.1,
+        sample_rate: float = 0.05,
+        max_expand_rounds: int = 8,
+        seed: SeedLike = None,
+    ):
+        if graph.n_nodes != topic_index.n_nodes:
+            raise ConfigurationError(
+                f"graph has {graph.n_nodes} nodes but topic index covers "
+                f"{topic_index.n_nodes}"
+            )
+        self._graph = graph
+        self._topic_index = topic_index
+        self._rng = coerce_rng(seed)
+        self._walk_length = int(walk_length)
+        self._samples = int(samples_per_node)
+        self._rep_fraction = float(rep_fraction)
+        self._sample_rate = float(sample_rate)
+        self._walk_index: Optional[WalkIndex] = None
+        self._summarizer_spec = summarizer
+        self._summarizer: Optional[Summarizer] = None
+        self._summaries: Dict[int, TopicSummary] = {}
+        self.propagation_index = PropagationIndex(graph, theta)
+        self._searcher = PersonalizedSearcher(
+            topic_index,
+            self.summary,
+            self.propagation_index,
+            max_expand_rounds=max_expand_rounds,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, bundle, **kwargs) -> "PITEngine":
+        """Build an engine from a :class:`~repro.datasets.DatasetBundle`."""
+        return cls(bundle.graph, bundle.topic_index, **kwargs)
+
+    @property
+    def graph(self) -> SocialGraph:
+        """The social graph."""
+        return self._graph
+
+    @property
+    def topic_index(self) -> TopicIndex:
+        """The topic space."""
+        return self._topic_index
+
+    @property
+    def walk_index(self) -> WalkIndex:
+        """The shared Algorithm 6 walk index (built on first access)."""
+        if self._walk_index is None:
+            self._walk_index = WalkIndex.built(
+                self._graph,
+                self._walk_length,
+                self._samples,
+                seed=self._rng,
+            )
+        return self._walk_index
+
+    @property
+    def summarizer(self) -> Summarizer:
+        """The configured offline summarizer (built on first access)."""
+        if self._summarizer is None:
+            self._summarizer = self._make_summarizer(self._summarizer_spec)
+        return self._summarizer
+
+    def _make_summarizer(self, spec: Union[str, Summarizer]) -> Summarizer:
+        if isinstance(spec, Summarizer):
+            return spec
+        if spec == "lrw":
+            return LRWSummarizer(
+                self._graph,
+                self._topic_index,
+                self.walk_index,
+                rep_fraction=self._rep_fraction,
+            )
+        if spec == "rcl":
+            return RCLSummarizer(
+                self._graph,
+                self._topic_index,
+                max_hops=self._walk_length,
+                sample_rate=self._sample_rate,
+                rep_fraction=self._rep_fraction,
+                walk_index=self.walk_index,
+                seed=self._rng,
+            )
+        raise ConfigurationError(
+            f"unknown summarizer {spec!r}; choose from {_SUMMARIZER_NAMES} "
+            "or pass a Summarizer instance"
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self, topic_id: int) -> TopicSummary:
+        """Cached topic summary (offline stage, lazily per topic)."""
+        topic_id = self._topic_index.resolve(topic_id)
+        cached = self._summaries.get(topic_id)
+        if cached is None:
+            cached = self.summarizer.summarize(topic_id)
+            self._summaries[topic_id] = cached
+        return cached
+
+    def build(self, topics: Optional[Iterable[Union[int, str]]] = None) -> "PITEngine":
+        """Run the offline stage eagerly.
+
+        Builds the walk index and the summaries of *topics* (default: every
+        topic in the space). Propagation entries stay lazy - they are
+        per-user and the paper also materializes them independently.
+        """
+        if topics is None:
+            topics = range(self._topic_index.n_topics)
+        for topic in topics:
+            self.summary(self._topic_index.resolve(topic))
+        return self
+
+    @property
+    def n_summaries(self) -> int:
+        """Number of topic summaries built so far."""
+        return len(self._summaries)
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        user: int,
+        query: Union[str, KeywordQuery],
+        k: int = 10,
+        *,
+        with_stats: bool = False,
+    ):
+        """Top-k personalized influential topics for *user* (Algorithm 10).
+
+        Returns the ranked :class:`~repro.core.search.SearchResult` list,
+        or ``(results, stats)`` when *with_stats* is true.
+        """
+        results, stats = self._searcher.search(user, query, k)
+        if with_stats:
+            return results, stats
+        return results
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of all engine-owned indexes."""
+        total = self.propagation_index.memory_bytes()
+        if self._walk_index is not None and self._walk_index.is_built:
+            total += self._walk_index.memory_bytes()
+        total += sum(
+            16 * len(s.weights) for s in self._summaries.values()
+        )
+        return total

@@ -1,0 +1,178 @@
+"""Influence propagation primitives shared across the core and baselines.
+
+The paper defines the influence of a weighted source set on a node as the
+sum over propagation paths of the product of edge transition probabilities
+(Definition 1). Enumerating simple paths is exponential, so - exactly like
+the paper's BaseMatrix ground truth - the canonical computation here is
+*walk based*: ``L`` rounds of sparse matrix-vector products accumulate the
+probability mass arriving over walks of length 1..L.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from .._utils import require_in_range
+from ..exceptions import ConfigurationError
+from ..graph import SocialGraph
+
+__all__ = [
+    "source_vector",
+    "propagate_influence",
+    "topic_influence_vector",
+    "simple_path_influence",
+    "enumerate_simple_paths",
+]
+
+SourceWeights = Union[Mapping[int, float], np.ndarray]
+
+
+def source_vector(graph: SocialGraph, weights: SourceWeights) -> np.ndarray:
+    """Normalize *weights* into a dense length-``n`` source vector.
+
+    Accepts a ``node -> weight`` mapping or an already-dense array (which is
+    validated and copied).
+    """
+    n = graph.n_nodes
+    if isinstance(weights, np.ndarray):
+        if weights.shape != (n,):
+            raise ConfigurationError(
+                f"weight vector has shape {weights.shape}, expected ({n},)"
+            )
+        vector = weights.astype(np.float64, copy=True)
+    else:
+        vector = np.zeros(n, dtype=np.float64)
+        for node, weight in weights.items():
+            node = graph._check_node(node)
+            vector[node] += float(weight)
+    if np.any(vector < 0):
+        raise ConfigurationError("source weights must be non-negative")
+    return vector
+
+
+def propagate_influence(
+    graph: SocialGraph,
+    weights: SourceWeights,
+    length: int,
+    *,
+    include_source_mass: bool = False,
+) -> np.ndarray:
+    """Influence of weighted sources on every node over walks of length <= L.
+
+    Computes ``sum_{l=1..L} (P^T)^l x`` where ``P`` is the transition matrix
+    and ``x`` the source vector: entry ``v`` aggregates, over every walk of
+    length 1..L from a source to ``v``, the walk probability times the
+    source weight. This is exactly what the paper's BaseMatrix does with
+    "a number of matrix multiplication iterations" (§6.1).
+
+    Parameters
+    ----------
+    graph:
+        The social graph.
+    weights:
+        Source weights (e.g. ``1/|V_t|`` per topic node, or a summary's
+        representative weights).
+    length:
+        ``L`` - the maximum walk length.
+    include_source_mass:
+        When true, the l=0 term (the source vector itself) is included;
+        the paper's influence definitions exclude it.
+    """
+    require_in_range("length", length, 1)
+    x = source_vector(graph, weights)
+    transition_t = graph.transition_matrix().T.tocsr()
+    total = x.copy() if include_source_mass else np.zeros_like(x)
+    current = x
+    for _ in range(length):
+        current = transition_t @ current
+        total += current
+    return total
+
+
+def enumerate_simple_paths(
+    graph: SocialGraph,
+    source: int,
+    target: int,
+    max_length: int,
+    *,
+    max_paths: int = 100_000,
+):
+    """All simple (cycle-free) paths source -> target of length <= L.
+
+    Yields ``(path, probability)`` pairs where *path* is the node tuple and
+    *probability* the product of its edge transition probabilities. This is
+    Definition 1's literal ``P_u^v`` path set; exponential in general, so a
+    *max_paths* budget guards the enumeration (exceeding it raises).
+
+    Used for ground-truth checks on small graphs - Example 1's Figure 2
+    table is exactly this enumeration.
+    """
+    from ..exceptions import BudgetExceededError
+
+    source = graph._check_node(source)
+    target = graph._check_node(target)
+    require_in_range("max_length", max_length, 1)
+    emitted = 0
+    stack = [(source, (source,), 1.0)]
+    while stack:
+        node, path, probability = stack.pop()
+        if len(path) - 1 >= max_length:
+            continue
+        targets, probs = graph.out_edges(node)
+        for nxt, edge_probability in zip(targets, probs):
+            nxt = int(nxt)
+            if nxt in path:
+                continue
+            extended = probability * float(edge_probability)
+            if nxt == target:
+                emitted += 1
+                if emitted > max_paths:
+                    raise BudgetExceededError("simple-path enumeration", max_paths)
+                yield path + (nxt,), extended
+            else:
+                stack.append((nxt, path + (nxt,), extended))
+
+
+def simple_path_influence(
+    graph: SocialGraph,
+    sources: Iterable[int],
+    target: int,
+    max_length: int,
+    *,
+    max_paths: int = 100_000,
+) -> float:
+    """Definition 1's exact ``I(t, v)`` over simple paths.
+
+    ``(1/|V_t|) * sum_{u in V_t} sum_{p in P_u^v} Pr(p)`` with paths up to
+    *max_length* hops. Exponential in general - intended for small graphs
+    and ground-truth tests (BaseMatrix's walk-counting is the scalable
+    approximation the paper itself uses).
+    """
+    nodes = [graph._check_node(v) for v in sources]
+    if not nodes:
+        raise ConfigurationError("source set is empty")
+    total = 0.0
+    for source in nodes:
+        if source == target:
+            continue
+        for _, probability in enumerate_simple_paths(
+            graph, source, target, max_length, max_paths=max_paths
+        ):
+            total += probability
+    return total / len(nodes)
+
+
+def topic_influence_vector(
+    graph: SocialGraph, topic_nodes: Iterable[int], length: int
+) -> np.ndarray:
+    """``I(t, .)`` - influence of a topic's node set with uniform local weights.
+
+    Each topic node gets local weight ``1/|V_t|`` (paper §2 / Example 1).
+    """
+    nodes = [graph._check_node(v) for v in topic_nodes]
+    if not nodes:
+        raise ConfigurationError("topic node set is empty")
+    weight = 1.0 / len(nodes)
+    return propagate_influence(graph, {v: weight for v in nodes}, length)

@@ -1,0 +1,13 @@
+"""LRW-A: L-length random-walk summarizer (paper §4, S18-S20)."""
+
+from .migration import migrate_influence, migration_matrix
+from .pipeline import LRWSummarizer
+from .repnodes import diversified_pagerank, select_representatives
+
+__all__ = [
+    "LRWSummarizer",
+    "diversified_pagerank",
+    "select_representatives",
+    "migrate_influence",
+    "migration_matrix",
+]

@@ -1,0 +1,130 @@
+"""LRW-A summarizer - Algorithm 9 assembled (S20).
+
+Offline stage of the L-length random-walk approach: for each topic,
+
+1. rank all nodes with the diversified, vertex-reinforced PageRank of
+   Algorithm 7 (restart mass on the topic nodes, reinforcement from the
+   walk index's time-variant hitting frequencies);
+2. keep the top ``μ·|V_t|`` nodes as representatives;
+3. migrate the topic nodes' local influence onto them with the absorbing
+   random walks of Algorithm 8.
+
+The expensive, query-independent part - the walk index - is built once per
+graph (Algorithm 6) and shared across topics, which is exactly the paper's
+amortization argument in §6.6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..._utils import SeedLike, require_in_range, require_probability
+from ...exceptions import ConfigurationError
+from ...graph import SocialGraph
+from ...topics import TopicIndex
+from ...walks import WalkIndex
+from ..summarization import Summarizer, TopicSummary
+from .migration import migrate_influence
+from .repnodes import select_representatives
+
+__all__ = ["LRWSummarizer"]
+
+
+class LRWSummarizer(Summarizer):
+    """Approximate L-length random walk (LRW-A) social summarizer.
+
+    Parameters
+    ----------
+    graph:
+        The social graph.
+    topic_index:
+        Topic space (provides ``V_t`` per topic).
+    walk_index:
+        A built :class:`~repro.walks.WalkIndex` over *graph*. Its ``L`` and
+        ``R`` are the paper's parameters of the same names.
+    damping:
+        ``λ`` of Equation 5.
+    rep_fraction:
+        ``μ`` - representatives per topic as a fraction of ``|V_t|``.
+    absorb_first:
+        Absorbing semantics for influence migration (see
+        :mod:`~repro.core.lrw.migration`).
+    initial / reinforcement / candidates:
+        Interpretation knobs of Algorithm 7; defaults follow Equation 5's
+        personalized semantics with DivRank self-reinforcement and a
+        topic-node candidate pool (see :mod:`~repro.core.lrw.repnodes`).
+    """
+
+    name = "lrw"
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        topic_index: TopicIndex,
+        walk_index: WalkIndex,
+        *,
+        damping: float = 0.85,
+        rep_fraction: float = 0.05,
+        absorb_first: bool = True,
+        initial: str = "restart",
+        reinforcement: str = "divrank",
+        candidates: str = "topic",
+    ):
+        require_probability("damping", damping)
+        require_probability("rep_fraction", rep_fraction, inclusive_zero=False)
+        if walk_index.graph is not graph:
+            raise ConfigurationError("walk_index was built for a different graph")
+        if not walk_index.is_built:
+            walk_index.build()
+        self._graph = graph
+        self._topic_index = topic_index
+        self._walk_index = walk_index
+        self._damping = float(damping)
+        self._rep_fraction = float(rep_fraction)
+        self._absorb_first = bool(absorb_first)
+        self._initial = initial
+        self._reinforcement = reinforcement
+        self._candidates = candidates
+
+    @property
+    def graph(self) -> SocialGraph:
+        """The summarized graph."""
+        return self._graph
+
+    @property
+    def topic_index(self) -> TopicIndex:
+        """The topic space."""
+        return self._topic_index
+
+    @property
+    def walk_index(self) -> WalkIndex:
+        """The shared Algorithm 6 walk index."""
+        return self._walk_index
+
+    def representatives(self, topic_id: int):
+        """Algorithm 7: the ranked representative node ids for a topic."""
+        topic_id = self._topic_index.resolve(topic_id)
+        topic_nodes = self._topic_index.topic_nodes(topic_id)
+        return select_representatives(
+            self._graph,
+            topic_nodes,
+            self._walk_index,
+            damping=self._damping,
+            rep_fraction=self._rep_fraction,
+            initial=self._initial,
+            reinforcement=self._reinforcement,
+            candidates=self._candidates,
+        )
+
+    def summarize(self, topic_id: int) -> TopicSummary:
+        """Algorithm 9 offline stage: RepNodes + InfluenceMigration."""
+        topic_id = self._topic_index.resolve(topic_id)
+        topic_nodes = self._topic_index.topic_nodes(topic_id)
+        reps = self.representatives(topic_id)
+        return migrate_influence(
+            topic_id,
+            self._walk_index,
+            [int(v) for v in topic_nodes],
+            [int(v) for v in reps],
+            absorb_first=self._absorb_first,
+        )

@@ -1,0 +1,236 @@
+"""Persistence for the offline artifacts (library extension).
+
+The paper amortizes its expensive offline stage ("building the L-length
+random walk index required around seven hours ... Since it is only ran
+once, this cost is amortized", §6.6) - which presumes the artifacts are
+*stored*. This module provides that storage:
+
+* topic summaries - JSON (human-inspectable, tiny);
+* propagation entries - compressed NPZ (flat arrays);
+* walk indexes - compressed NPZ (paths flattened with offsets).
+
+All loaders validate the declared graph signature (node/edge counts) so an
+index cannot silently be replayed against a different graph.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, IndexNotBuiltError
+from ..graph import SocialGraph
+from ..walks import WalkIndex
+from ..walks.engine import WalkRecord
+from .propagation import PropagationEntry, PropagationIndex
+from .summarization import TopicSummary
+
+__all__ = [
+    "save_summaries",
+    "load_summaries",
+    "save_propagation_index",
+    "load_propagation_index",
+    "save_walk_index",
+    "load_walk_index",
+]
+
+PathLike = Union[str, Path]
+
+
+def _graph_signature(graph: SocialGraph) -> Dict[str, int]:
+    return {"n_nodes": graph.n_nodes, "n_edges": graph.n_edges}
+
+
+def _check_signature(payload: Dict, graph: SocialGraph, path: Path) -> None:
+    expected = _graph_signature(graph)
+    found = {
+        "n_nodes": int(payload["n_nodes"]),
+        "n_edges": int(payload["n_edges"]),
+    }
+    if found != expected:
+        raise ConfigurationError(
+            f"{path}: artifact was built for a graph with {found}, "
+            f"but the supplied graph has {expected}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Topic summaries
+# ---------------------------------------------------------------------------
+
+
+def save_summaries(
+    summaries: Dict[int, TopicSummary], graph: SocialGraph, path: PathLike
+) -> None:
+    """Write ``topic_id -> TopicSummary`` to a JSON file."""
+    payload = {
+        **_graph_signature(graph),
+        "summaries": {
+            str(topic_id): {str(node): weight
+                            for node, weight in summary.weights.items()}
+            for topic_id, summary in summaries.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_summaries(path: PathLike, graph: SocialGraph) -> Dict[int, TopicSummary]:
+    """Read summaries written by :func:`save_summaries`."""
+    path = Path(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    _check_signature(payload, graph, path)
+    summaries: Dict[int, TopicSummary] = {}
+    for topic_key, weights in payload["summaries"].items():
+        topic_id = int(topic_key)
+        summaries[topic_id] = TopicSummary(
+            topic_id, {int(node): float(w) for node, w in weights.items()}
+        )
+    return summaries
+
+
+# ---------------------------------------------------------------------------
+# Propagation index
+# ---------------------------------------------------------------------------
+
+
+def save_propagation_index(index: PropagationIndex, path: PathLike) -> None:
+    """Write every *cached* entry of a propagation index to NPZ.
+
+    Lazy entries that were never materialized are not persisted; loading
+    restores exactly the cached set (further entries rebuild lazily).
+    """
+    nodes: List[int] = []
+    offsets: List[int] = [0]
+    sources: List[int] = []
+    probabilities: List[float] = []
+    marked_offsets: List[int] = [0]
+    marked_nodes: List[int] = []
+    branch_counts: List[int] = []
+    for node in sorted(index._entries):
+        entry = index._entries[node]
+        nodes.append(node)
+        for source in sorted(entry.gamma):
+            sources.append(source)
+            probabilities.append(entry.gamma[source])
+        offsets.append(len(sources))
+        for m in sorted(entry.marked):
+            marked_nodes.append(m)
+        marked_offsets.append(len(marked_nodes))
+        branch_counts.append(entry.branches)
+    np.savez_compressed(
+        Path(path),
+        n_nodes=np.asarray([index.graph.n_nodes]),
+        n_edges=np.asarray([index.graph.n_edges]),
+        theta=np.asarray([index.theta]),
+        nodes=np.asarray(nodes, dtype=np.int64),
+        offsets=np.asarray(offsets, dtype=np.int64),
+        sources=np.asarray(sources, dtype=np.int64),
+        probabilities=np.asarray(probabilities, dtype=np.float64),
+        marked_offsets=np.asarray(marked_offsets, dtype=np.int64),
+        marked_nodes=np.asarray(marked_nodes, dtype=np.int64),
+        branch_counts=np.asarray(branch_counts, dtype=np.int64),
+    )
+
+
+def load_propagation_index(path: PathLike, graph: SocialGraph) -> PropagationIndex:
+    """Read a propagation index written by :func:`save_propagation_index`."""
+    path = Path(path)
+    with np.load(path) as data:
+        payload = {key: data[key] for key in data.files}
+    _check_signature(
+        {"n_nodes": payload["n_nodes"][0], "n_edges": payload["n_edges"][0]},
+        graph,
+        path,
+    )
+    index = PropagationIndex(graph, float(payload["theta"][0]))
+    nodes = payload["nodes"]
+    offsets = payload["offsets"]
+    marked_offsets = payload["marked_offsets"]
+    for i, node in enumerate(nodes):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        gamma = {
+            int(s): float(p)
+            for s, p in zip(payload["sources"][lo:hi],
+                            payload["probabilities"][lo:hi])
+        }
+        mlo, mhi = int(marked_offsets[i]), int(marked_offsets[i + 1])
+        marked = {int(m) for m in payload["marked_nodes"][mlo:mhi]}
+        index._entries[int(node)] = PropagationEntry(
+            int(node), gamma, marked, int(payload["branch_counts"][i])
+        )
+    return index
+
+
+# ---------------------------------------------------------------------------
+# Walk index
+# ---------------------------------------------------------------------------
+
+
+def save_walk_index(index: WalkIndex, path: PathLike) -> None:
+    """Write a built walk index to NPZ (paths flattened with offsets)."""
+    if not index.is_built:
+        raise IndexNotBuiltError("cannot save an unbuilt WalkIndex")
+    flat_paths: List[int] = []
+    flat_counts: List[int] = []
+    offsets: List[int] = [0]
+    for node in range(index.graph.n_nodes):
+        for record in index.walks_from(node):
+            flat_paths.extend(int(v) for v in record.path)
+            flat_counts.extend(int(c) for c in record.visit_counts)
+            offsets.append(len(flat_paths))
+    np.savez_compressed(
+        Path(path),
+        n_nodes=np.asarray([index.graph.n_nodes]),
+        n_edges=np.asarray([index.graph.n_edges]),
+        walk_length=np.asarray([index.walk_length]),
+        samples=np.asarray([index.samples_per_node]),
+        offsets=np.asarray(offsets, dtype=np.int64),
+        paths=np.asarray(flat_paths, dtype=np.int64),
+        counts=np.asarray(flat_counts, dtype=np.int64),
+        hit=index.hitting_frequencies(),
+    )
+
+
+def load_walk_index(path: PathLike, graph: SocialGraph) -> WalkIndex:
+    """Read a walk index written by :func:`save_walk_index`.
+
+    The reverse-reachability sets are reconstructed from the stored paths,
+    so the loaded index answers every query identically to the saved one.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        payload = {key: data[key] for key in data.files}
+    _check_signature(
+        {"n_nodes": payload["n_nodes"][0], "n_edges": payload["n_edges"][0]},
+        graph,
+        path,
+    )
+    index = WalkIndex(
+        graph,
+        int(payload["walk_length"][0]),
+        int(payload["samples"][0]),
+    )
+    samples = index.samples_per_node
+    offsets = payload["offsets"]
+    paths = payload["paths"]
+    counts = payload["counts"]
+    walks: List[List[WalkRecord]] = [[] for _ in range(graph.n_nodes)]
+    reverse = [set() for _ in range(graph.n_nodes)]
+    cursor = 0
+    for node in range(graph.n_nodes):
+        for _ in range(samples):
+            lo, hi = int(offsets[cursor]), int(offsets[cursor + 1])
+            cursor += 1
+            path_arr = paths[lo:hi].copy()
+            count_arr = counts[lo:hi].copy()
+            steps = int(count_arr.sum() - 1)
+            walks[node].append(WalkRecord(path_arr, count_arr, steps))
+            for visited in path_arr[1:]:
+                reverse[int(visited)].add(node)
+    index._walks = walks
+    index._hit_frequency = payload["hit"]
+    index._reverse = reverse
+    return index

@@ -1,0 +1,218 @@
+"""Personalized influence propagation index - paper §5.1 (S21).
+
+For a node ``v``, the index materializes every node that can reach ``v``
+along at least one cycle-free path whose transition probability (product of
+edge probabilities) is at least ``θ``, together with the *aggregated*
+probability over all such paths - the ``v.hashmap`` of Algorithms 10/11,
+written ``Γ(v)``.
+
+Construction is the reverse branch expansion of Figure 3: starting from
+``v``, in-edges extend branches backwards; a branch dies when its path
+probability drops below ``θ`` or it would revisit one of its own nodes.
+A node may appear on many branches (its contributions add up).
+
+A node ``u ∈ Γ(v)`` is *marked* (``Γ*(v)``, "potential to be expanded")
+when it has at least one in-neighbour outside ``Γ(v) ∪ {v}`` - influence
+could flow into ``u`` from parts of the graph the index cannot see, which
+is what the online search's upper bound and Expand step reason about. This
+reproduces the Figure 3 narrative exactly (only node 11 is marked there).
+
+Branch counts are worst-case exponential, so expansion takes a budget;
+``strict`` selects raising versus truncating (truncation only loses
+below-θ-adjacent mass and is safe for the search's bounds).
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import deque
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from .._utils import require_in_range, require_probability
+from ..exceptions import BudgetExceededError, ConfigurationError
+from ..graph import SocialGraph
+
+__all__ = ["PropagationEntry", "PropagationIndex"]
+
+
+class PropagationEntry:
+    """Materialized neighbourhood of one node.
+
+    Attributes
+    ----------
+    node:
+        The target node ``v``.
+    gamma:
+        ``Γ(v)`` - ``source -> aggregated path probability`` for every
+        source with a qualifying path to ``v``.
+    marked:
+        ``Γ*(v)`` - the subset of ``Γ(v)`` with expansion potential.
+    branches:
+        Number of branch extensions performed (diagnostics).
+    """
+
+    __slots__ = ("node", "gamma", "marked", "branches")
+
+    def __init__(
+        self,
+        node: int,
+        gamma: Dict[int, float],
+        marked: Set[int],
+        branches: int,
+    ):
+        self.node = node
+        self.gamma = gamma
+        self.marked = marked
+        self.branches = branches
+
+    def probability(self, source: int) -> float:
+        """Aggregated propagation probability of *source* to this node."""
+        return float(self.gamma.get(int(source), 0.0))
+
+    def max_expandable_probability(self) -> float:
+        """``maxEP`` - the largest Γ value among marked nodes (0 if none)."""
+        if not self.marked:
+            return 0.0
+        return max(self.gamma[u] for u in self.marked)
+
+    @property
+    def size(self) -> int:
+        """``|Γ(v)|``."""
+        return len(self.gamma)
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size (16 bytes per Γ entry, 8 per mark)."""
+        return 16 * len(self.gamma) + 8 * len(self.marked)
+
+
+class PropagationIndex:
+    """Lazy, cached per-node propagation entries over a graph.
+
+    Parameters
+    ----------
+    graph:
+        The social graph.
+    theta:
+        ``θ`` - minimum path probability for materialization.
+    max_branches:
+        Per-node budget on branch extensions.
+    strict:
+        Raise :class:`BudgetExceededError` instead of truncating when the
+        budget binds.
+
+    Entries are built on first access and cached; :meth:`build_all`
+    materializes every node up front (the paper's offline variant).
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        theta: float = 0.05,
+        *,
+        max_branches: int = 200_000,
+        strict: bool = False,
+    ):
+        require_probability("theta", theta, inclusive_zero=False)
+        require_in_range("max_branches", max_branches, 1)
+        self._graph = graph
+        self._theta = float(theta)
+        self._max_branches = int(max_branches)
+        self._strict = bool(strict)
+        self._entries: Dict[int, PropagationEntry] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> SocialGraph:
+        """The indexed graph."""
+        return self._graph
+
+    @property
+    def theta(self) -> float:
+        """The path-probability threshold ``θ``."""
+        return self._theta
+
+    @property
+    def n_cached(self) -> int:
+        """Number of entries materialized so far."""
+        return len(self._entries)
+
+    def entry(self, node: int) -> PropagationEntry:
+        """The propagation entry of *node*, building it if needed."""
+        node = self._graph._check_node(node)
+        cached = self._entries.get(node)
+        if cached is None:
+            cached = self._build_entry(node)
+            self._entries[node] = cached
+        return cached
+
+    def build_all(self) -> "PropagationIndex":
+        """Materialize every node (offline pre-processing)."""
+        for node in range(self._graph.n_nodes):
+            self.entry(node)
+        return self
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of all cached entries."""
+        return sum(e.memory_bytes() for e in self._entries.values())
+
+    # ------------------------------------------------------------------
+    def _build_entry(self, target: int) -> PropagationEntry:
+        """Reverse branch expansion from *target* (Figure 3 procedure)."""
+        theta = self._theta
+        graph = self._graph
+        gamma: Dict[int, float] = {}
+        branches = 0
+        # Each queue item is (node, path probability, nodes on this branch).
+        # The branch set makes branches cycle-free; frozensets are shared
+        # between siblings, only extended on push.
+        queue: deque = deque()
+        root_set = frozenset((target,))
+        sources, probs = graph.in_edges(target)
+        for source, probability in zip(sources, probs):
+            probability = float(probability)
+            if probability >= theta:
+                queue.append((int(source), probability, root_set))
+        truncated = False
+        while queue:
+            node, probability, branch = queue.popleft()
+            branches += 1
+            if branches > self._max_branches:
+                if self._strict:
+                    raise BudgetExceededError(
+                        f"propagation entry of node {target}", self._max_branches
+                    )
+                truncated = True
+                break
+            gamma[node] = gamma.get(node, 0.0) + probability
+            extended = branch | {node}
+            sources, probs = graph.in_edges(node)
+            for source, edge_probability in zip(sources, probs):
+                source = int(source)
+                if source in extended or source == target:
+                    continue
+                extended_probability = probability * float(edge_probability)
+                if extended_probability >= theta:
+                    queue.append((source, extended_probability, extended))
+        if truncated:
+            warnings.warn(
+                f"propagation entry of node {target} truncated at "
+                f"{self._max_branches} branches (theta={theta})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        marked = self._mark_potential(target, gamma)
+        return PropagationEntry(target, gamma, marked, branches)
+
+    def _mark_potential(self, target: int, gamma: Dict[int, float]) -> Set[int]:
+        """Nodes in Γ with an in-neighbour the index cannot see."""
+        inside = set(gamma)
+        inside.add(target)
+        marked: Set[int] = set()
+        for node in gamma:
+            for source in self._graph.in_neighbors(node):
+                if int(source) not in inside:
+                    marked.add(node)
+                    break
+        return marked

@@ -1,0 +1,31 @@
+"""RCL-A: approximate random clustering summarizer (paper §3, S13-S17)."""
+
+from .centroid import closeness_centrality, select_central, vote_candidates
+from .grouping import (
+    GroupingProbabilities,
+    PairwiseGrouping,
+    compute_grouping_probabilities,
+    grouping_probability,
+    label_pairs,
+)
+from .no_overlap import greedy_no_overlap, group_size_cap, no_overlap_from_tree
+from .pipeline import RCLSummarizer
+from .set_enumeration import GROUPING_POLICIES, SETreeNode, SetEnumerationTree
+
+__all__ = [
+    "RCLSummarizer",
+    "GroupingProbabilities",
+    "PairwiseGrouping",
+    "compute_grouping_probabilities",
+    "grouping_probability",
+    "label_pairs",
+    "SetEnumerationTree",
+    "SETreeNode",
+    "GROUPING_POLICIES",
+    "greedy_no_overlap",
+    "no_overlap_from_tree",
+    "group_size_cap",
+    "closeness_centrality",
+    "select_central",
+    "vote_candidates",
+]

@@ -1,0 +1,136 @@
+"""Centroid selection for a topic-node group - Algorithm 4 (S16).
+
+A group's representative is the node with the best closeness centrality
+with respect to the group (Definition 3). Computing exact centrality for
+every graph node is Θ(|V|³), so the paper first *votes*: every node that can
+reach a group member within L hops gets one vote per member it reaches, the
+top voters become candidates, and exact (hop-limited) centrality is
+evaluated only for them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..._utils import require_in_range
+from ...exceptions import ConfigurationError
+from ...graph import SocialGraph, hop_distances, reverse_reachable
+from ...walks import WalkIndex
+
+__all__ = ["closeness_centrality", "select_central", "vote_candidates"]
+
+
+def closeness_centrality(
+    graph: SocialGraph,
+    node: int,
+    group: Sequence[int],
+    *,
+    max_hops: int,
+    unreachable_distance: Optional[int] = None,
+) -> float:
+    """Definition 3: ``|V_g| / sum_j distance(node, group_j)``.
+
+    Distances are forward hop counts from *node*, capped at *max_hops*
+    (the paper bounds intra-group distances by ``2L``). Members unreachable
+    within the cap count as *unreachable_distance* (default ``max_hops+1``),
+    so candidates that miss part of the group are penalized rather than
+    crashing the computation.
+    """
+    if not group:
+        raise ConfigurationError("group is empty")
+    require_in_range("max_hops", max_hops, 1)
+    if unreachable_distance is None:
+        unreachable_distance = max_hops + 1
+    dist = hop_distances(graph, node, max_hops)
+    total = 0.0
+    for member in group:
+        d = int(dist[graph._check_node(member)])
+        total += d if d >= 0 else unreachable_distance
+    if total == 0.0:
+        # Only possible for a singleton group containing the node itself.
+        return float("inf")
+    return len(group) / total
+
+
+def vote_candidates(
+    graph: SocialGraph,
+    group: Sequence[int],
+    *,
+    max_hops: int,
+    walk_index: Optional[WalkIndex] = None,
+    include_members: bool = True,
+) -> Tuple[List[int], Dict[int, int]]:
+    """Algorithm 4 lines 1-7: vote counting and top-candidate extraction.
+
+    Every node reaching member ``v_i`` within L hops earns a vote; the
+    candidates are the nodes holding the maximum vote count. Reachability
+    uses the sampled walk index when given, exact reverse BFS otherwise.
+
+    Returns
+    -------
+    (candidates, votes):
+        *candidates* sorted ascending; *votes* is the full tally (useful
+        for diagnostics and tests).
+    """
+    if not group:
+        raise ConfigurationError("group is empty")
+    votes: Dict[int, int] = {}
+    for member in group:
+        member = graph._check_node(member)
+        if walk_index is not None:
+            reachers = walk_index.reverse_reachable(member)
+        else:
+            reachers = reverse_reachable(graph, member, max_hops)
+        for reacher in reachers:
+            reacher = int(reacher)
+            votes[reacher] = votes.get(reacher, 0) + 1
+        if include_members:
+            # A member trivially reaches itself in 0 hops.
+            votes[member] = votes.get(member, 0) + 1
+    if not votes:
+        return [], votes
+    top = max(votes.values())
+    candidates = sorted(node for node, count in votes.items() if count == top)
+    return candidates, votes
+
+
+def select_central(
+    graph: SocialGraph,
+    group: Sequence[int],
+    *,
+    max_hops: int,
+    walk_index: Optional[WalkIndex] = None,
+    max_candidates: int = 8,
+) -> int:
+    """Algorithm 4: the best central node for *group*.
+
+    When more than *max_candidates* nodes tie for the top vote count, only
+    the best-connected ones (largest total degree, then smallest id) enter
+    the exact centrality evaluation - the candidate-set reduction the paper
+    describes as its first optimization at the end of §3.2.
+
+    Falls back to the group member with the largest out-degree when voting
+    produces no candidates (possible on sampled reachability when no walk
+    reached any member).
+    """
+    require_in_range("max_candidates", max_candidates, 1)
+    group = [graph._check_node(v) for v in group]
+    candidates, _ = vote_candidates(
+        graph, group, max_hops=max_hops, walk_index=walk_index
+    )
+    if not candidates:
+        return max(group, key=lambda v: (graph.out_degree(v), -v))
+    if len(candidates) > max_candidates:
+        degrees = graph.total_degrees()
+        candidates = sorted(candidates, key=lambda v: (-int(degrees[v]), v))
+        candidates = sorted(candidates[:max_candidates])
+    best = candidates[0]
+    best_score = -1.0
+    for candidate in candidates:
+        score = closeness_centrality(graph, candidate, group, max_hops=2 * max_hops)
+        if score > best_score:
+            best = candidate
+            best_score = score
+    return best

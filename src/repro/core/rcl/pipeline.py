@@ -1,0 +1,162 @@
+"""RCL-A summarizer - Algorithms 1 + 5 assembled (S17).
+
+Offline stage of the RCL-A approach: for each topic,
+
+1. sample ``V'`` (degree-proportional by default, §3.1/§6),
+2. compute pairwise grouping probabilities over the topic nodes and label
+   pairs with Rules 1-3 (Algorithm 1),
+3. extract non-overlapping groups (Algorithms 2 + 3),
+4. select one closeness-centrality centroid per group (Algorithm 4),
+5. weight each centroid by the share of topic nodes it represents
+   (Algorithm 5 line 5; DESIGN.md note 10).
+
+The result is a :class:`~repro.core.summarization.TopicSummary` per topic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..._utils import SeedLike, coerce_rng, require_in_range, require_probability
+from ...exceptions import ConfigurationError
+from ...graph import SocialGraph, sample_nodes_by_degree, sample_rate_to_count
+from ...topics import TopicIndex
+from ...walks import WalkIndex
+from ..summarization import Summarizer, TopicSummary
+from .centroid import select_central
+from .grouping import compute_grouping_probabilities, label_pairs
+from .no_overlap import greedy_no_overlap, no_overlap_from_tree
+
+__all__ = ["RCLSummarizer"]
+
+
+class RCLSummarizer(Summarizer):
+    """Approximate random clustering (RCL-A) social summarizer.
+
+    Parameters
+    ----------
+    graph:
+        The social graph.
+    topic_index:
+        Topic space (provides ``V_t`` per topic).
+    max_hops:
+        ``L`` - the reachability horizon for grouping and voting.
+    sample_rate:
+        ``|V'| / |V|`` - size of the sampled node set (paper sweeps 1%,
+        5%, 10% in Figure 15).
+    rep_fraction:
+        Desired representatives per topic as a fraction of ``|V_t|``;
+        fixes ``C_Size = ceil(rep_fraction * |V_t|)``. Matches LRW-A's
+        ``mu`` so the two summarizers are comparable at equal budget.
+    walk_index:
+        Optional pre-built :class:`~repro.walks.WalkIndex`; when given, its
+        sampled ``I_L`` reachability replaces exact reverse BFS (the
+        paper's indexed variant; much faster on large graphs).
+    policy:
+        ``CHECK_GROUPING`` policy, ``"all"`` or ``"any"``.
+    use_tree:
+        Route group extraction through the literal set-enumeration tree
+        (Algorithm 2/3) instead of its greedy closed form. Exponential in
+        the worst case; for tests and small topics.
+    seed:
+        Seed or generator driving sampling and Rule 3 randomization.
+    """
+
+    name = "rcl"
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        topic_index: TopicIndex,
+        *,
+        max_hops: int = 4,
+        sample_rate: float = 0.05,
+        rep_fraction: float = 0.05,
+        walk_index: Optional[WalkIndex] = None,
+        policy: str = "all",
+        use_tree: bool = False,
+        seed: SeedLike = None,
+    ):
+        require_in_range("max_hops", max_hops, 1)
+        require_probability("sample_rate", sample_rate, inclusive_zero=False)
+        require_probability("rep_fraction", rep_fraction, inclusive_zero=False)
+        if walk_index is not None and walk_index.graph is not graph:
+            raise ConfigurationError("walk_index was built for a different graph")
+        self._graph = graph
+        self._topic_index = topic_index
+        self._max_hops = int(max_hops)
+        self._sample_rate = float(sample_rate)
+        self._rep_fraction = float(rep_fraction)
+        self._walk_index = walk_index
+        self._policy = policy
+        self._use_tree = bool(use_tree)
+        self._rng = coerce_rng(seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> SocialGraph:
+        """The summarized graph."""
+        return self._graph
+
+    @property
+    def topic_index(self) -> TopicIndex:
+        """The topic space."""
+        return self._topic_index
+
+    def n_clusters_for(self, topic_id: int) -> int:
+        """``C_Size`` for a topic: ``ceil(rep_fraction * |V_t|)``."""
+        size = self._topic_index.topic_size(topic_id)
+        return max(1, math.ceil(self._rep_fraction * size))
+
+    # ------------------------------------------------------------------
+    def cluster_topic(self, topic_id: int) -> List[Tuple[int, ...]]:
+        """Algorithm 1 (+2/3): non-overlapping groups of topic *node ids*."""
+        topic_nodes = self._topic_index.topic_nodes(topic_id)
+        if topic_nodes.size == 0:
+            raise ConfigurationError(
+                f"topic {topic_id} has no member nodes to cluster"
+            )
+        if topic_nodes.size == 1:
+            return [(int(topic_nodes[0]),)]
+        sample_count = sample_rate_to_count(self._graph, self._sample_rate)
+        sample = sample_nodes_by_degree(self._graph, sample_count, self._rng)
+        _, gp_pos, gp_neg = compute_grouping_probabilities(
+            self._graph,
+            topic_nodes,
+            sample,
+            max_hops=self._max_hops,
+            walk_index=self._walk_index,
+        )
+        labels = label_pairs(gp_pos, gp_neg, seed=self._rng)
+        n_clusters = self.n_clusters_for(topic_id)
+        if self._use_tree:
+            position_groups = no_overlap_from_tree(
+                labels, n_clusters, policy=self._policy
+            )
+        else:
+            position_groups = greedy_no_overlap(
+                labels, n_clusters, policy=self._policy
+            )
+        ordered = np.asarray(sorted(set(int(v) for v in topic_nodes)), dtype=np.int64)
+        return [tuple(int(ordered[p]) for p in group) for group in position_groups]
+
+    def summarize(self, topic_id: int) -> TopicSummary:
+        """Algorithm 5 offline stage: groups -> centroids -> weights."""
+        topic_id = self._topic_index.resolve(topic_id)
+        groups = self.cluster_topic(topic_id)
+        total_nodes = sum(len(g) for g in groups)
+        weights: Dict[int, float] = {}
+        for group in groups:
+            central = select_central(
+                self._graph,
+                group,
+                max_hops=self._max_hops,
+                walk_index=self._walk_index,
+            )
+            share = len(group) / total_nodes
+            # Two groups may elect the same centroid; their shares merge.
+            weights[central] = weights.get(central, 0.0) + share
+        return TopicSummary(topic_id, weights)

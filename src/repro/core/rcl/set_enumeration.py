@@ -1,0 +1,179 @@
+"""Set-enumeration tree over groupable topic nodes - Algorithm 2 (S14).
+
+The SETree enumerates candidate topic-node groups: the root holds the empty
+set, depth-1 nodes are singletons, and a child extends its parent's set by
+one later element that passes ``CHECK_GROUPING`` against the set. The paper
+leaves ``CHECK_GROUPING``'s exact semantics open; we implement two policies
+(DESIGN.md note 3):
+
+* ``"all"`` (default) - the new element must be pairwise grouped with every
+  member, so every emitted set is a clique of the grouping relation;
+* ``"any"`` - one grouped member suffices (looser, larger groups).
+
+The tree is worst-case exponential, so construction takes a node budget;
+at the paper's group sizes the budget never binds, but a hostile labelling
+cannot hang the library (``strict`` controls whether hitting the budget
+raises or truncates).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...exceptions import BudgetExceededError, ConfigurationError
+
+__all__ = ["SETreeNode", "SetEnumerationTree", "GROUPING_POLICIES"]
+
+GROUPING_POLICIES = ("all", "any")
+
+
+class SETreeNode:
+    """One tree node: an index set over the topic-node array.
+
+    ``members`` are *positions* into the topic-node array (not graph ids),
+    matching the label-matrix axes of
+    :class:`~repro.core.rcl.grouping.PairwiseGrouping`.
+    """
+
+    __slots__ = ("members", "children", "parent")
+
+    def __init__(self, members: Tuple[int, ...], parent: Optional["SETreeNode"]):
+        self.members = members
+        self.parent = parent
+        self.children: List["SETreeNode"] = []
+
+    @property
+    def tail(self) -> int:
+        """The largest (most recently added) member position."""
+        return self.members[-1]
+
+    def is_leaf(self) -> bool:
+        """Whether the node has no children."""
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SETreeNode{self.members!r}"
+
+
+class SetEnumerationTree:
+    """Materialized set-enumeration tree for one topic's grouping labels.
+
+    Parameters
+    ----------
+    labels:
+        Symmetric 0/1 matrix from
+        :func:`~repro.core.rcl.grouping.label_pairs`.
+    policy:
+        ``CHECK_GROUPING`` policy, ``"all"`` or ``"any"``.
+    max_nodes:
+        Construction budget (tree nodes, root excluded).
+    strict:
+        Raise :class:`BudgetExceededError` when the budget binds (default
+        warns and truncates).
+    """
+
+    def __init__(
+        self,
+        labels: np.ndarray,
+        *,
+        policy: str = "all",
+        max_nodes: int = 50_000,
+        strict: bool = False,
+    ):
+        if labels.ndim != 2 or labels.shape[0] != labels.shape[1]:
+            raise ConfigurationError("labels must be a square matrix")
+        if policy not in GROUPING_POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {policy!r}; choose from {GROUPING_POLICIES}"
+            )
+        if max_nodes < 1:
+            raise ConfigurationError(f"max_nodes must be >= 1, got {max_nodes}")
+        self._labels = labels
+        self._policy = policy
+        self._n = labels.shape[0]
+        self.root = SETreeNode((), None)
+        self._n_nodes = 0
+        self._build(max_nodes, strict)
+
+    # ------------------------------------------------------------------
+    def check_grouping(self, members: Sequence[int], candidate: int) -> bool:
+        """``CHECK_GROUPING`` - may *candidate* join the set *members*?"""
+        if not members:
+            return True
+        if self._policy == "all":
+            return all(self._labels[m, candidate] == 1 for m in members)
+        return any(self._labels[m, candidate] == 1 for m in members)
+
+    def _build(self, max_nodes: int, strict: bool) -> None:
+        # Depth-1 layer: every position as a singleton child of the root.
+        frontier: List[SETreeNode] = []
+        for position in range(self._n):
+            child = SETreeNode((position,), self.root)
+            self.root.children.append(child)
+            frontier.append(child)
+            self._n_nodes += 1
+        # Breadth-first expansion: extend each set with later positions that
+        # pass CHECK_GROUPING (the "right-side sibling" merge of Alg. 2).
+        cursor = 0
+        while cursor < len(frontier):
+            node = frontier[cursor]
+            cursor += 1
+            for candidate in range(node.tail + 1, self._n):
+                if not self.check_grouping(node.members, candidate):
+                    continue
+                if self._n_nodes >= max_nodes:
+                    if strict:
+                        raise BudgetExceededError("set-enumeration tree", max_nodes)
+                    warnings.warn(
+                        f"set-enumeration tree truncated at {max_nodes} nodes",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    return
+                child = SETreeNode(node.members + (candidate,), node)
+                node.children.append(child)
+                frontier.append(child)
+                self._n_nodes += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of tree nodes built (root excluded)."""
+        return self._n_nodes
+
+    def iter_sets(self) -> Iterator[Tuple[int, ...]]:
+        """Yield every enumerated set (pre-order)."""
+        stack = list(reversed(self.root.children))
+        while stack:
+            node = stack.pop()
+            yield node.members
+            stack.extend(reversed(node.children))
+
+    def maximal_sets(self) -> List[Tuple[int, ...]]:
+        """All leaf sets (sets with no groupable extension)."""
+        return [members for members in self._iter_leaves()]
+
+    def _iter_leaves(self) -> Iterator[Tuple[int, ...]]:
+        stack = list(reversed(self.root.children))
+        while stack:
+            node = stack.pop()
+            if node.is_leaf():
+                yield node.members
+            else:
+                stack.extend(reversed(node.children))
+
+    def leftmost_deepest(self) -> Tuple[int, ...]:
+        """The leftmost leaf reached by always following the first child.
+
+        This is the set Algorithm 3 repeatedly extracts; for the ``"all"``
+        policy it equals the greedy clique seeded at the smallest position.
+        """
+        if not self.root.children:
+            raise ConfigurationError("tree is empty")
+        node = self.root.children[0]
+        while node.children:
+            node = node.children[0]
+        return node.members

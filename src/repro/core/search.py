@@ -1,0 +1,287 @@
+"""Top-k personalized influential topic search - Algorithms 10 & 11 (S22).
+
+Online stage. Given a query user ``v`` and keyword query ``q``:
+
+1. fetch the q-related topics and their summaries (representative node
+   sets with local weights);
+2. for each topic, aggregate the influence of the representatives that
+   appear in ``Γ(v)`` (the propagation entry of ``v``) - one hash lookup
+   per representative, no graph traversal;
+3. prune topics whose influence upper bound (current score + remaining
+   representative weight × ``maxEP``) cannot reach the current top-k;
+4. while un-pruned topics remain outside the current top-k, *expand*
+   through the marked frontier: probe ``Γ(u)`` of marked nodes ``u``,
+   discounting by ``Γ(v)[u]`` (DESIGN.md note: Algorithm 11's pseudocode
+   omits this factor; including it is required for the bound in step 3 to
+   be meaningful, and is the reading consistent with §5.1's path
+   semantics).
+
+The returned ranking is deterministic: ties break on topic label.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from .._utils import require_in_range
+from ..exceptions import ConfigurationError, QueryError
+from ..topics import KeywordQuery, TopicIndex
+from .propagation import PropagationIndex
+from .summarization import TopicSummary
+
+__all__ = ["SearchResult", "SearchStats", "PersonalizedSearcher"]
+
+SummaryProvider = Union[Mapping[int, TopicSummary], Callable[[int], TopicSummary]]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked topic.
+
+    Attributes
+    ----------
+    topic_id / label:
+        The topic.
+    influence:
+        Aggregated (approximate) influence of the topic on the query user.
+    """
+
+    topic_id: int
+    label: str
+    influence: float
+
+
+@dataclass
+class SearchStats:
+    """Work accounting for one search (used by the efficiency benches).
+
+    Attributes
+    ----------
+    topics_considered:
+        Number of q-related topics.
+    topics_pruned:
+        Topics eliminated by the upper-bound test before full evaluation.
+    entries_probed:
+        Propagation entries consulted (1 for the user + 1 per expanded
+        frontier node).
+    expansion_rounds:
+        Number of Expand recursions executed.
+    representatives_touched:
+        Representative-weight lookups performed.
+    """
+
+    topics_considered: int = 0
+    topics_pruned: int = 0
+    entries_probed: int = 0
+    expansion_rounds: int = 0
+    representatives_touched: int = 0
+
+
+class PersonalizedSearcher:
+    """Executes Algorithm 10 (with Algorithm 11's Expand) over an index stack.
+
+    Parameters
+    ----------
+    topic_index:
+        The topic space (query -> q-related topics, Algorithm 10 line 1).
+    summaries:
+        Topic summaries: either a mapping ``topic_id -> TopicSummary`` or a
+        callable (e.g. a cached summarizer) with that signature.
+    propagation_index:
+        The §5.1 personalized propagation index.
+    max_expand_rounds:
+        Recursion cap for Expand; the paper recurses until no frontier
+        remains, which the cap also allows (set it high) but bounds.
+    """
+
+    def __init__(
+        self,
+        topic_index: TopicIndex,
+        summaries: SummaryProvider,
+        propagation_index: PropagationIndex,
+        *,
+        max_expand_rounds: int = 8,
+    ):
+        require_in_range("max_expand_rounds", max_expand_rounds, 0)
+        self._topic_index = topic_index
+        self._summaries = summaries
+        self._propagation = propagation_index
+        self._max_expand_rounds = int(max_expand_rounds)
+
+    # ------------------------------------------------------------------
+    def _summary(self, topic_id: int) -> TopicSummary:
+        if callable(self._summaries):
+            return self._summaries(topic_id)
+        try:
+            return self._summaries[topic_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no summary available for topic {topic_id}"
+            ) from None
+
+    @staticmethod
+    def _kth_best(scores: Dict[int, float], k: int) -> float:
+        """``min(T^k)`` - the k-th best current score (or -inf)."""
+        if len(scores) < k:
+            return float("-inf")
+        return heapq.nlargest(k, scores.values())[-1]
+
+    @staticmethod
+    def _top_k_ids(scores: Dict[int, float], labels: Dict[int, str], k: int) -> Set[int]:
+        ranked = sorted(scores, key=lambda t: (-scores[t], labels[t]))
+        return set(ranked[:k])
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        user: int,
+        query: Union[str, KeywordQuery],
+        k: int,
+    ) -> Tuple[List[SearchResult], SearchStats]:
+        """Top-k most influential q-related topics for *user*.
+
+        Returns the ranked results (length <= k; shorter when fewer topics
+        match the query) and the work statistics.
+        """
+        require_in_range("k", k, 1)
+        stats = SearchStats()
+        topic_ids = self._topic_index.related_topics(query)
+        stats.topics_considered = len(topic_ids)
+        if not topic_ids:
+            return [], stats
+
+        entry_v = self._propagation.entry(user)
+        stats.entries_probed += 1
+        gamma_v = entry_v.gamma
+
+        labels = {t: self._topic_index.label(t) for t in topic_ids}
+        heap: Dict[int, float] = {}
+        remaining: Dict[int, Dict[int, float]] = {}
+        remaining_weight: Dict[int, float] = {}
+
+        # Algorithm 10 lines 4-13: aggregate in-index representatives.
+        for topic_id in topic_ids:
+            summary = self._summary(topic_id)
+            weights = dict(summary.weights)
+            influence = 0.0
+            for rep in list(weights):
+                stats.representatives_touched += 1
+                probability = gamma_v.get(rep)
+                if probability is not None:
+                    influence += probability * weights.pop(rep)
+            heap[topic_id] = influence
+            remaining[topic_id] = weights
+            remaining_weight[topic_id] = sum(weights.values())
+
+        # Lines 14-20: initial pruning against the marked-frontier bound.
+        frontier: Dict[int, float] = {
+            u: gamma_v[u] for u in entry_v.marked
+        }
+        max_ep = max(frontier.values(), default=0.0)
+        active = set(topic_ids)
+        self._prune(active, heap, remaining, remaining_weight, max_ep, k, labels, stats)
+
+        # Lines 21-22 + Algorithm 11: expand while an active topic is
+        # outside the current top-k.
+        expanded: Set[int] = set()
+        rounds = 0
+        while (
+            frontier
+            and rounds < self._max_expand_rounds
+            and active - self._top_k_ids(heap, labels, k)
+        ):
+            rounds += 1
+            stats.expansion_rounds += 1
+            frontier = self._expand_round(
+                frontier, expanded, active, heap, remaining, remaining_weight,
+                k, labels, stats,
+            )
+
+        ranked = sorted(heap, key=lambda t: (-heap[t], labels[t]))[:k]
+        results = [
+            SearchResult(topic_id=t, label=labels[t], influence=heap[t])
+            for t in ranked
+        ]
+        return results, stats
+
+    # ------------------------------------------------------------------
+    def _prune(
+        self,
+        active: Set[int],
+        heap: Dict[int, float],
+        remaining: Dict[int, Dict[int, float]],
+        remaining_weight: Dict[int, float],
+        max_ep: float,
+        k: int,
+        labels: Dict[int, str],
+        stats: SearchStats,
+    ) -> None:
+        """Remove topics that can no longer change the top-k (lines 17-20)."""
+        kth = self._kth_best(heap, k)
+        for topic_id in list(active):
+            exhausted = not remaining[topic_id]
+            upper_bound = heap[topic_id] + remaining_weight[topic_id] * max_ep
+            if exhausted or kth >= upper_bound:
+                active.discard(topic_id)
+                if not exhausted:
+                    stats.topics_pruned += 1
+
+    def _expand_round(
+        self,
+        frontier: Dict[int, float],
+        expanded: Set[int],
+        active: Set[int],
+        heap: Dict[int, float],
+        remaining: Dict[int, Dict[int, float]],
+        remaining_weight: Dict[int, float],
+        k: int,
+        labels: Dict[int, str],
+        stats: SearchStats,
+    ) -> Dict[int, float]:
+        """One Expand recursion (Algorithm 11); returns the next frontier."""
+        next_frontier: Dict[int, float] = {}
+        # Deterministic order: strongest connection to v first. Processing
+        # in descending weight lets the mid-round bound use the next
+        # unprocessed weight as maxEP, so the round can stop early
+        # (Algorithm 11 lines 13-14 check termination per topic pass).
+        ordered = sorted(frontier, key=lambda u: (-frontier[u], u))
+        for position, node in enumerate(ordered):
+            if node in expanded:
+                continue
+            expanded.add(node)
+            weight_to_v = frontier[node]
+            entry_u = self._propagation.entry(node)
+            stats.entries_probed += 1
+            gamma_u = entry_u.gamma
+            for topic_id in list(active):
+                weights = remaining[topic_id]
+                gained = 0.0
+                for rep in list(weights):
+                    stats.representatives_touched += 1
+                    probability = gamma_u.get(rep)
+                    if probability is not None:
+                        gained += weight_to_v * probability * weights.pop(rep)
+                if gained:
+                    heap[topic_id] += gained
+                    remaining_weight[topic_id] = sum(weights.values())
+            for marked in entry_u.marked:
+                if marked in expanded:
+                    continue
+                reach = weight_to_v * gamma_u[marked]
+                if reach > next_frontier.get(marked, 0.0):
+                    next_frontier[marked] = reach
+            # Mid-round pruning: anything still to come is bounded by the
+            # largest unprocessed frontier weight (this round or the next).
+            pending_max = frontier[ordered[position + 1]] if position + 1 < len(ordered) else 0.0
+            round_max_ep = max(pending_max, max(next_frontier.values(), default=0.0))
+            self._prune(
+                active, heap, remaining, remaining_weight, round_max_ep, k,
+                labels, stats,
+            )
+            if not active - self._top_k_ids(heap, labels, k):
+                return next_frontier
+        max_ep = max(next_frontier.values(), default=0.0)
+        self._prune(active, heap, remaining, remaining_weight, max_ep, k, labels, stats)
+        return next_frontier

@@ -1,0 +1,123 @@
+"""Social summarization interfaces and quality metric (Definition 1, S23).
+
+A *t-aware social summarization* replaces a topic's (possibly huge) node set
+``V_t``, each node carrying local weight ``1/|V_t|``, with a small weighted
+set of representative nodes whose propagated influence approximates the
+original. :class:`TopicSummary` is that weighted set; :class:`Summarizer` is
+the interface both RCL-A and LRW-A implement; and
+:func:`summarization_error` evaluates Definition 1's L1 objective
+``sum_v |I(t, v) - I*(t, v)|``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graph import SocialGraph
+from ..topics import TopicIndex
+from .influence import propagate_influence, topic_influence_vector
+
+__all__ = ["TopicSummary", "Summarizer", "summarization_error"]
+
+
+@dataclass(frozen=True)
+class TopicSummary:
+    """Weighted representative nodes standing in for a topic's node set.
+
+    Attributes
+    ----------
+    topic_id:
+        The topic this summary represents.
+    weights:
+        ``representative node -> local influence weight``. Weights are the
+        initial propagation power of each representative (Definition 1);
+        they are non-negative and sum to at most 1 (equality when every
+        topic node's local weight was fully migrated).
+    """
+
+    topic_id: int
+    weights: Mapping[int, float]
+
+    def __post_init__(self):
+        total = 0.0
+        for node, weight in self.weights.items():
+            if weight < 0:
+                raise ConfigurationError(
+                    f"summary weight for node {node} is negative: {weight!r}"
+                )
+            total += weight
+        if total > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"summary weights sum to {total}, which exceeds 1"
+            )
+
+    @property
+    def representatives(self) -> Tuple[int, ...]:
+        """Representative node ids, sorted."""
+        return tuple(sorted(self.weights))
+
+    @property
+    def size(self) -> int:
+        """Number of representative nodes."""
+        return len(self.weights)
+
+    @property
+    def total_weight(self) -> float:
+        """Aggregate migrated weight (<= 1)."""
+        return float(sum(self.weights.values()))
+
+    def weight(self, node: int) -> float:
+        """Weight of one representative (0 when not a representative)."""
+        return float(self.weights.get(int(node), 0.0))
+
+    def restricted_to(self, nodes: Iterable[int]) -> "TopicSummary":
+        """A summary keeping only representatives in *nodes*."""
+        keep = set(int(v) for v in nodes)
+        return TopicSummary(
+            self.topic_id,
+            {v: w for v, w in self.weights.items() if v in keep},
+        )
+
+
+class Summarizer(abc.ABC):
+    """Common interface of the RCL-A and LRW-A offline summarizers.
+
+    Concrete summarizers are bound to a graph and a topic index at
+    construction and produce one :class:`TopicSummary` per topic.
+    """
+
+    #: Short machine name ("rcl" / "lrw"), used by the engine and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def summarize(self, topic_id: int) -> TopicSummary:
+        """Build the summary of one topic."""
+
+    def summarize_all(self, topic_ids: Iterable[int]) -> Dict[int, TopicSummary]:
+        """Build summaries for many topics (offline pre-processing stage)."""
+        return {int(t): self.summarize(int(t)) for t in topic_ids}
+
+
+def summarization_error(
+    graph: SocialGraph,
+    topic_nodes: Iterable[int],
+    summary: TopicSummary,
+    *,
+    length: int = 6,
+) -> float:
+    """Definition 1's objective: ``sum_v |I(t, v) - I*(t, v)|``.
+
+    ``I`` propagates the uniform topic-node weights, ``I*`` the summary's
+    representative weights, both over walks of length 1..``length``; the
+    returned value is the L1 distance between the two influence vectors.
+    Lower is better; 0 means the summary reproduces the topic's influence
+    field exactly.
+    """
+    exact = topic_influence_vector(graph, topic_nodes, length)
+    approx = propagate_influence(graph, dict(summary.weights), length)
+    return float(np.abs(exact - approx).sum())

@@ -1,0 +1,29 @@
+"""Dataset bundles and query workloads (DESIGN.md S28-S29)."""
+
+from .streams import ActivityStream
+from .synthetic import FILLER_WORDS, assign_topics, generate_tweets
+from .twitter import (
+    DATASETS,
+    DatasetBundle,
+    data_1_2m,
+    data_2k,
+    data_350k,
+    data_3m,
+)
+from .workload import Workload, generate_workload, rank_query_tokens
+
+__all__ = [
+    "DatasetBundle",
+    "DATASETS",
+    "data_2k",
+    "data_350k",
+    "data_1_2m",
+    "data_3m",
+    "assign_topics",
+    "generate_tweets",
+    "FILLER_WORDS",
+    "Workload",
+    "generate_workload",
+    "rank_query_tokens",
+    "ActivityStream",
+]

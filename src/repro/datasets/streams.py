@@ -1,0 +1,148 @@
+"""Temporal topic-activity streams (extension pairing with §4.4 dynamics).
+
+The paper refreshes its offline indexes "after a period of time when the
+social network and topics have changed" but never models the change
+process. For the dynamic-maintenance machinery in
+:mod:`repro.core.dynamics` to be testable under realistic churn, this
+module simulates one: a sequence of epochs, each a
+:class:`~repro.core.dynamics.TopicUpdate` batch in which
+
+* users *adopt* topics discussed by their in-neighbours (social contagion,
+  probability proportional to the number of adopted neighbours), and
+* users *drop* topics they carry with a constant churn rate.
+
+The stream is a pure function of its seed, like everything else here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .._utils import SeedLike, coerce_rng, require_in_range, require_probability
+from ..core.dynamics import TopicUpdate
+from ..exceptions import ConfigurationError
+from ..graph import SocialGraph
+from ..topics import TopicIndex
+
+__all__ = ["ActivityStream"]
+
+
+class ActivityStream:
+    """Generates epochs of topic adoption/churn over a social graph.
+
+    Parameters
+    ----------
+    graph:
+        The social graph (adoption flows along its edges).
+    topic_index:
+        The *initial* topic state; the stream tracks membership internally
+        from there.
+    adoption_rate:
+        Per-epoch probability scale of adopting a topic one in-neighbour
+        carries (two neighbours double the chance, capped at 1).
+    churn_rate:
+        Per-epoch probability a user drops each topic they carry.
+    max_changes_per_epoch:
+        Hard cap on emitted changes per epoch (keeps downstream
+        invalidation work bounded).
+    seed:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        topic_index: TopicIndex,
+        *,
+        adoption_rate: float = 0.02,
+        churn_rate: float = 0.01,
+        max_changes_per_epoch: int = 200,
+        seed: SeedLike = None,
+    ):
+        if graph.n_nodes != topic_index.n_nodes:
+            raise ConfigurationError(
+                "graph and topic index cover different node counts"
+            )
+        require_probability("adoption_rate", adoption_rate)
+        require_probability("churn_rate", churn_rate)
+        require_in_range("max_changes_per_epoch", max_changes_per_epoch, 1)
+        self._graph = graph
+        self._adoption = float(adoption_rate)
+        self._churn = float(churn_rate)
+        self._max_changes = int(max_changes_per_epoch)
+        self._rng = coerce_rng(seed)
+        # Mutable membership state: node -> set of labels.
+        self._labels = list(topic_index.labels)
+        self._membership: List[Set[str]] = [
+            {topic_index.label(t) for t in topic_index.topics_of_node(v)}
+            for v in range(graph.n_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    def membership(self, node: int) -> Set[str]:
+        """Current topic labels of *node* (copy)."""
+        return set(self._membership[self._graph._check_node(node)])
+
+    def current_index(self) -> TopicIndex:
+        """Materialize the current state as a fresh :class:`TopicIndex`."""
+        assignment = {
+            node: sorted(labels)
+            for node, labels in enumerate(self._membership)
+            if labels
+        }
+        return TopicIndex(self._graph.n_nodes, assignment)
+
+    # ------------------------------------------------------------------
+    def next_epoch(self) -> TopicUpdate:
+        """Advance one epoch and return the batched changes.
+
+        Applies the changes to the internal state, so successive calls
+        evolve the network.
+        """
+        additions: Dict[int, Tuple[str, ...]] = {}
+        removals: Dict[int, Tuple[str, ...]] = {}
+        changes = 0
+
+        for node in range(self._graph.n_nodes):
+            if changes >= self._max_changes:
+                break
+            carried = self._membership[node]
+            # Churn: drop carried topics.
+            dropped = tuple(
+                label for label in sorted(carried)
+                if self._rng.random() < self._churn
+            )
+            if dropped:
+                removals[node] = dropped
+                changes += len(dropped)
+            # Contagion: count in-neighbour adoption per label.
+            exposure: Dict[str, int] = {}
+            for neighbor in self._graph.in_neighbors(node):
+                for label in self._membership[int(neighbor)]:
+                    if label not in carried:
+                        exposure[label] = exposure.get(label, 0) + 1
+            adopted = tuple(
+                label for label in sorted(exposure)
+                if self._rng.random() < min(1.0, self._adoption * exposure[label])
+            )
+            if adopted:
+                additions[node] = adopted
+                changes += len(adopted)
+
+        update = TopicUpdate(add=additions, remove=removals)
+        self._apply(update)
+        return update
+
+    def _apply(self, update: TopicUpdate) -> None:
+        for node, labels in update.remove.items():
+            for label in labels:
+                self._membership[node].discard(label)
+        for node, labels in update.add.items():
+            self._membership[node].update(labels)
+
+    def epochs(self, count: int) -> Iterator[TopicUpdate]:
+        """Yield *count* successive epochs."""
+        require_in_range("count", count, 1)
+        for _ in range(count):
+            yield self.next_epoch()

@@ -1,0 +1,116 @@
+"""Synthetic topic assignment and tweet generation (substrate S28).
+
+The paper's corpus is 50M real tweets; offline we synthesize the two things
+the algorithms actually consume:
+
+* a **topic assignment** - which users discuss which topics. Users subscribe
+  to topics with probability proportional to tag popularity, so popular
+  topics get large ``V_t`` node sets exactly like trending Twitter topics.
+* a **tweet corpus** (optional, small datasets only) - text generated from
+  each user's topics, so the full LDA-based extraction pipeline
+  (:class:`~repro.topics.extraction.TopicExtractor`) can be demonstrated and
+  tested against ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .._utils import SeedLike, coerce_rng, require_in_range
+from ..exceptions import ConfigurationError
+from ..topics import TagBank, TweetCorpus, tokenize
+
+__all__ = ["assign_topics", "generate_tweets", "FILLER_WORDS"]
+
+#: Generic words mixed into synthetic tweets so documents are not pure
+#: topic labels (gives LDA something to separate).
+FILLER_WORDS = (
+    "today", "really", "love", "great", "check", "think", "best", "time",
+    "people", "good", "news", "just", "wow", "nice", "look", "still",
+)
+
+
+def assign_topics(
+    n_users: int,
+    tag_bank: TagBank,
+    *,
+    topics_per_user: int = 5,
+    popularity_exponent: float = 1.0,
+    seed: SeedLike = None,
+) -> Dict[int, List[str]]:
+    """Sample a ``user -> topic labels`` assignment.
+
+    Each user independently draws *topics_per_user* distinct tags with
+    probability proportional to ``popularity ** popularity_exponent``.
+    Raising the exponent concentrates users on fewer, hotter topics
+    (larger ``V_t``); zero gives uniform topics.
+    """
+    require_in_range("n_users", n_users, 1)
+    require_in_range("topics_per_user", topics_per_user, 1)
+    if topics_per_user > len(tag_bank):
+        raise ConfigurationError(
+            f"topics_per_user ({topics_per_user}) exceeds tag bank size "
+            f"({len(tag_bank)})"
+        )
+    if popularity_exponent < 0:
+        raise ConfigurationError(
+            f"popularity_exponent must be >= 0, got {popularity_exponent!r}"
+        )
+    rng = coerce_rng(seed)
+
+    weights = np.asarray(
+        [tag_bank.popularity(i) for i in range(len(tag_bank))], dtype=np.float64
+    )
+    weights = np.power(weights, popularity_exponent)
+    probs = weights / weights.sum()
+    tags = list(tag_bank.tags)
+
+    assignment: Dict[int, List[str]] = {}
+    for user in range(n_users):
+        chosen = rng.choice(len(tags), size=topics_per_user, replace=False, p=probs)
+        assignment[user] = [tags[int(i)] for i in sorted(chosen)]
+    return assignment
+
+
+def generate_tweets(
+    assignment: Dict[int, List[str]],
+    n_users: int,
+    *,
+    tweets_per_user: int = 8,
+    words_per_tweet: int = 8,
+    filler_ratio: float = 0.4,
+    seed: SeedLike = None,
+) -> TweetCorpus:
+    """Generate a tweet corpus consistent with a topic *assignment*.
+
+    Each tweet is written "about" one of the user's topics: its words are a
+    mix of the topic label's tokens and generic filler words, so LDA can
+    recover the topical structure while facing realistic noise.
+    """
+    require_in_range("n_users", n_users, 1)
+    require_in_range("tweets_per_user", tweets_per_user, 1)
+    require_in_range("words_per_tweet", words_per_tweet, 2)
+    if not 0.0 <= filler_ratio < 1.0:
+        raise ConfigurationError(
+            f"filler_ratio must be in [0, 1), got {filler_ratio!r}"
+        )
+    rng = coerce_rng(seed)
+
+    corpus = TweetCorpus(n_users)
+    for user in range(n_users):
+        topics = assignment.get(user, [])
+        if not topics:
+            continue
+        for _ in range(tweets_per_user):
+            topic = topics[int(rng.integers(len(topics)))]
+            topic_tokens = tokenize(topic) or [topic]
+            words: List[str] = []
+            for _ in range(words_per_tweet):
+                if rng.random() < filler_ratio:
+                    words.append(FILLER_WORDS[int(rng.integers(len(FILLER_WORDS)))])
+                else:
+                    words.append(topic_tokens[int(rng.integers(len(topic_tokens)))])
+            corpus.add_tweet(user, " ".join(words))
+    return corpus

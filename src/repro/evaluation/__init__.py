@@ -1,0 +1,33 @@
+"""Evaluation harness: metrics, timing, memory, tables, per-figure runs.
+
+See DESIGN.md systems S30-S31.
+"""
+
+from .experiments import METHODS, ExperimentConfig, ExperimentSuite
+from .memory import measure_peak_allocation, object_bytes
+from .metrics import (
+    kendall_tau,
+    mean_precision,
+    precision_at_k,
+    top_item_reciprocal_rank,
+)
+from .reporting import Table, format_bytes, format_seconds
+from .timing import Stopwatch, TimingSummary, time_workload
+
+__all__ = [
+    "ExperimentSuite",
+    "ExperimentConfig",
+    "METHODS",
+    "precision_at_k",
+    "mean_precision",
+    "kendall_tau",
+    "top_item_reciprocal_rank",
+    "Stopwatch",
+    "TimingSummary",
+    "time_workload",
+    "measure_peak_allocation",
+    "object_bytes",
+    "Table",
+    "format_seconds",
+    "format_bytes",
+]

@@ -1,0 +1,59 @@
+"""Space-cost accounting (S30, paper §6.5).
+
+Two complementary measurements:
+
+* :func:`measure_peak_allocation` - tracemalloc peak while running a
+  callable (what "space cost when searching" means operationally);
+* :func:`object_bytes` - recursive payload size of index structures, used
+  for the per-component breakdowns in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from typing import Callable, Tuple
+
+import numpy as np
+
+__all__ = ["measure_peak_allocation", "object_bytes"]
+
+
+def measure_peak_allocation(run: Callable[[], object]) -> Tuple[object, int]:
+    """Run *run* under tracemalloc and return ``(result, peak_bytes)``.
+
+    Nested use is not supported (tracemalloc is process-global); the
+    experiment runner serializes measurements.
+    """
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = run()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return result, int(peak)
+
+
+def object_bytes(obj, _seen=None) -> int:
+    """Recursive ``sys.getsizeof`` with numpy-aware payload accounting."""
+    if _seen is None:
+        _seen = set()
+    identity = id(obj)
+    if identity in _seen:
+        return 0
+    _seen.add(identity)
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes) + sys.getsizeof(obj)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        size += sum(
+            object_bytes(key, _seen) + object_bytes(value, _seen)
+            for key, value in obj.items()
+        )
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        size += sum(object_bytes(item, _seen) for item in obj)
+    return int(size)

@@ -1,0 +1,94 @@
+"""Effectiveness metrics (S30, paper §6.4).
+
+The paper's effectiveness figures report **precision**: the fraction of the
+approximate method's top-k topics that also appear in the reference top-k
+(BaseMatrix's on the small dataset, BasePropagation's on the large one).
+Ranking-sensitive companions (Kendall tau, reciprocal rank of the top topic)
+are provided for the extended analysis in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .._utils import require_in_range
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "precision_at_k",
+    "mean_precision",
+    "kendall_tau",
+    "top_item_reciprocal_rank",
+]
+
+
+def _ids(ranking: Sequence) -> List:
+    """Accept SearchResult lists or raw id sequences."""
+    return [getattr(item, "topic_id", item) for item in ranking]
+
+
+def precision_at_k(approx: Sequence, reference: Sequence, k: int) -> float:
+    """``|top-k(approx) ∩ top-k(reference)| / k`` (the paper's Precision).
+
+    When the reference offers fewer than *k* items the denominator shrinks
+    accordingly (otherwise no method could reach precision 1 on small topic
+    spaces).
+    """
+    require_in_range("k", k, 1)
+    approx_ids = _ids(approx)[:k]
+    reference_ids = _ids(reference)[:k]
+    if not reference_ids:
+        raise ConfigurationError("reference ranking is empty")
+    denominator = min(k, len(reference_ids))
+    return len(set(approx_ids) & set(reference_ids)) / denominator
+
+
+def mean_precision(
+    pairs: Iterable[Tuple[Sequence, Sequence]], k: int
+) -> float:
+    """Average :func:`precision_at_k` over (approx, reference) pairs."""
+    values = [precision_at_k(a, r, k) for a, r in pairs]
+    if not values:
+        raise ConfigurationError("no ranking pairs supplied")
+    return float(np.mean(values))
+
+
+def kendall_tau(approx: Sequence, reference: Sequence) -> float:
+    """Kendall tau-b between the two rankings on their common items.
+
+    Returns 1.0 when fewer than two common items exist (no discordance is
+    observable).
+    """
+    approx_ids = _ids(approx)
+    reference_ids = _ids(reference)
+    common = [i for i in approx_ids if i in set(reference_ids)]
+    if len(common) < 2:
+        return 1.0
+    approx_rank = {item: pos for pos, item in enumerate(approx_ids)}
+    reference_rank = {item: pos for pos, item in enumerate(reference_ids)}
+    a = [approx_rank[i] for i in common]
+    b = [reference_rank[i] for i in common]
+    from scipy.stats import kendalltau
+
+    tau, _ = kendalltau(a, b)
+    if np.isnan(tau):
+        return 1.0
+    return float(tau)
+
+
+def top_item_reciprocal_rank(approx: Sequence, reference: Sequence) -> float:
+    """1 / (1 + position) of the reference's best item inside *approx*.
+
+    0.0 when the reference top item does not appear in *approx* at all.
+    """
+    reference_ids = _ids(reference)
+    if not reference_ids:
+        raise ConfigurationError("reference ranking is empty")
+    target = reference_ids[0]
+    approx_ids = _ids(approx)
+    try:
+        return 1.0 / (1 + approx_ids.index(target))
+    except ValueError:
+        return 0.0

@@ -1,0 +1,88 @@
+"""Plain-text table rendering for experiment output (S31).
+
+The benchmark harness prints the same rows/series the paper's figures
+report; :class:`Table` keeps that output consistent, aligned, and easy to
+diff into EXPERIMENTS.md (it also renders GitHub markdown).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["Table", "format_seconds", "format_bytes"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-oriented duration: µs/ms/s/min like the paper's axis labels."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60.0:.1f}min"
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-oriented size (KB/MB/GB)."""
+    value = float(n_bytes)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024.0 or unit == "GB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{value:.0f}B"
+        value /= 1024.0
+    return f"{value:.1f}GB"  # pragma: no cover - unreachable
+
+
+class Table:
+    """A fixed-header table accumulating printable rows.
+
+    >>> t = Table("demo", ["k", "time"])
+    >>> t.add_row([10, "1.2ms"])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo
+    ...
+    """
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append one row (values are stringified)."""
+        row = [str(v) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Aligned plain-text rendering."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-markdown rendering (used when updating EXPERIMENTS.md)."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[str]:
+        """All cells of the named column."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,77 @@
+"""Wall-clock measurement helpers (S30).
+
+Everything the per-figure experiments need: a context-manager stopwatch and
+an averaging harness over query workloads.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Tuple
+
+import numpy as np
+
+from .._utils import require_in_range
+
+__all__ = ["Stopwatch", "TimingSummary", "time_workload"]
+
+
+class Stopwatch:
+    """Context-manager stopwatch using the monotonic performance counter.
+
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.seconds >= 0.0
+    True
+    """
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Aggregate of many per-call timings (seconds)."""
+
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+    calls: int
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean per call in milliseconds (how the paper's figures report)."""
+        return self.mean * 1000.0
+
+
+def time_workload(
+    run: Callable[..., object],
+    calls: Iterable[Tuple],
+) -> TimingSummary:
+    """Time ``run(*args)`` for every argument tuple in *calls*.
+
+    Returns the aggregate; results of ``run`` are discarded (the paper's
+    timing figures average wall-clock over 100 queries x 50 users).
+    """
+    durations: List[float] = []
+    for args in calls:
+        start = time.perf_counter()
+        run(*args)
+        durations.append(time.perf_counter() - start)
+    if not durations:
+        raise ValueError("no calls supplied")
+    arr = np.asarray(durations)
+    return TimingSummary(
+        total=float(arr.sum()),
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        calls=len(durations),
+    )

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the PIT-Search reproduction library.
+
+Every error raised intentionally by :mod:`repro` derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-construction and graph-access errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id was requested that does not exist in the graph."""
+
+    def __init__(self, node: int, n_nodes: int):
+        super().__init__(f"node {node!r} not in graph with {n_nodes} nodes")
+        self.node = node
+        self.n_nodes = n_nodes
+
+
+class EdgeError(GraphError):
+    """An edge is malformed (bad endpoints or bad transition probability)."""
+
+
+class EmptyGraphError(GraphError):
+    """An operation that requires a non-empty graph received an empty one."""
+
+
+class TopicError(ReproError):
+    """Base class for topic-space and topic-index errors."""
+
+
+class UnknownTopicError(TopicError, KeyError):
+    """A topic id or label was requested that is not in the topic space."""
+
+    def __init__(self, topic: object):
+        super().__init__(f"unknown topic: {topic!r}")
+        self.topic = topic
+
+
+class QueryError(ReproError):
+    """A keyword query was empty or otherwise unusable."""
+
+
+class IndexNotBuiltError(ReproError):
+    """An index was consulted before it was built.
+
+    Raised by the walk index, the propagation index, and the engine when the
+    offline stage has not been run.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter value is outside its documented domain."""
+
+
+class BudgetExceededError(ReproError):
+    """A bounded computation exhausted its configured budget.
+
+    The propagation index and the set-enumeration tree are worst-case
+    exponential; both accept budgets and raise this error (or degrade
+    gracefully, depending on the ``strict`` flag) when the budget is hit.
+    """
+
+    def __init__(self, what: str, budget: int):
+        super().__init__(f"{what} exceeded budget of {budget}")
+        self.what = what
+        self.budget = budget
+
+
+class DatasetError(ReproError):
+    """A dataset bundle is inconsistent or cannot be produced as requested."""

@@ -1,0 +1,71 @@
+"""Graph substrate: weighted digraph, generators, traversal, sampling, IO.
+
+See DESIGN.md systems S1-S5. The central type is
+:class:`~repro.graph.digraph.SocialGraph`.
+"""
+
+from .builder import GraphBuilder
+from .connectivity import (
+    ensure_weakly_connected,
+    is_weakly_connected,
+    weakly_connected_components,
+)
+from .digraph import Edge, SocialGraph
+from .generators import (
+    PROBABILITY_SCHEMES,
+    assign_probabilities,
+    banded_degree_graph,
+    preferential_attachment_graph,
+)
+from .io import load_edge_list, load_npz, save_edge_list, save_npz
+from .metrics import (
+    average_clustering_coefficient,
+    degree_summary,
+    gini_coefficient,
+    power_law_tail_exponent,
+    reciprocity,
+)
+from .sampling import (
+    sample_nodes_by_degree,
+    sample_nodes_uniform,
+    sample_rate_to_count,
+)
+from .traversal import (
+    forward_reachable,
+    hop_distance,
+    hop_distances,
+    pairwise_hop_distances,
+    reverse_hop_distances,
+    reverse_reachable,
+)
+
+__all__ = [
+    "Edge",
+    "SocialGraph",
+    "GraphBuilder",
+    "preferential_attachment_graph",
+    "banded_degree_graph",
+    "assign_probabilities",
+    "PROBABILITY_SCHEMES",
+    "weakly_connected_components",
+    "is_weakly_connected",
+    "ensure_weakly_connected",
+    "sample_nodes_by_degree",
+    "sample_nodes_uniform",
+    "sample_rate_to_count",
+    "forward_reachable",
+    "reverse_reachable",
+    "hop_distances",
+    "reverse_hop_distances",
+    "hop_distance",
+    "pairwise_hop_distances",
+    "save_edge_list",
+    "load_edge_list",
+    "save_npz",
+    "load_npz",
+    "reciprocity",
+    "power_law_tail_exponent",
+    "gini_coefficient",
+    "average_clustering_coefficient",
+    "degree_summary",
+]

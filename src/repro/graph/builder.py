@@ -1,0 +1,105 @@
+"""Incremental construction of :class:`~repro.graph.digraph.SocialGraph`.
+
+The builder collects edges (deduplicating and validating as it goes) and
+freezes them into an immutable CSR graph with :meth:`GraphBuilder.build`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..exceptions import EdgeError
+from .digraph import Edge, SocialGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Mutable accumulator for graph edges.
+
+    Parameters
+    ----------
+    n_nodes:
+        Optional fixed node count. When omitted, the node count grows to
+        ``max(endpoint) + 1`` as edges are added.
+
+    Examples
+    --------
+    >>> builder = GraphBuilder()
+    >>> builder.add_edge(0, 1, 0.5)
+    >>> builder.add_edge(1, 2, 0.25)
+    >>> graph = builder.build()
+    >>> graph.n_nodes, graph.n_edges
+    (3, 2)
+    """
+
+    def __init__(self, n_nodes: Optional[int] = None):
+        if n_nodes is not None and n_nodes < 0:
+            raise EdgeError(f"n_nodes must be non-negative, got {n_nodes}")
+        self._fixed_n = n_nodes
+        self._max_node = -1
+        self._edges: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        """Number of distinct edges added so far."""
+        return len(self._edges)
+
+    @property
+    def n_nodes(self) -> int:
+        """Current node count (fixed, or inferred from edges seen so far)."""
+        if self._fixed_n is not None:
+            return self._fixed_n
+        return self._max_node + 1
+
+    def add_edge(self, source: int, target: int, probability: float) -> None:
+        """Add the directed edge ``source -> target``.
+
+        Re-adding an existing edge with the same probability is a no-op;
+        with a different probability it is an error (silent overwrites hide
+        generator bugs).
+        """
+        source, target = int(source), int(target)
+        probability = float(probability)
+        if source == target:
+            raise EdgeError(f"self-loop on node {source} is not allowed")
+        if source < 0 or target < 0:
+            raise EdgeError("edge endpoints must be non-negative node ids")
+        if not 0.0 < probability <= 1.0:
+            raise EdgeError(
+                f"transition probability must be in (0, 1], got {probability!r}"
+            )
+        if self._fixed_n is not None and max(source, target) >= self._fixed_n:
+            raise EdgeError(
+                f"edge ({source}, {target}) outside fixed node count {self._fixed_n}"
+            )
+        key = (source, target)
+        existing = self._edges.get(key)
+        if existing is not None and existing != probability:
+            raise EdgeError(
+                f"edge ({source}, {target}) already added with probability "
+                f"{existing}, refusing to overwrite with {probability}"
+            )
+        self._edges[key] = probability
+        self._max_node = max(self._max_node, source, target)
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        """Add many ``(source, target, probability)`` triples."""
+        for source, target, probability in edges:
+            self.add_edge(source, target, probability)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether ``source -> target`` has been added."""
+        return (int(source), int(target)) in self._edges
+
+    def discard_edge(self, source: int, target: int) -> bool:
+        """Remove an edge if present; returns whether it existed."""
+        return self._edges.pop((int(source), int(target)), None) is not None
+
+    def build(self) -> SocialGraph:
+        """Freeze the accumulated edges into an immutable graph."""
+        n = self.n_nodes
+        return SocialGraph(
+            n, ((s, t, p) for (s, t), p in sorted(self._edges.items()))
+        )

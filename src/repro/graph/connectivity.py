@@ -1,0 +1,101 @@
+"""Connected-component analysis and connectivity repair (part of S2).
+
+The paper notes: "To ensure each generated dataset is a connected graph, a
+few synthetic edges among the close nodes across disconnected components are
+added" (§6.1). :func:`ensure_weakly_connected` implements exactly that
+repair: it finds weakly connected components and stitches each secondary
+component to the giant one with a pair of bridge edges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Tuple
+
+import numpy as np
+
+from .._utils import SeedLike, coerce_rng
+from ..exceptions import EmptyGraphError
+from .builder import GraphBuilder
+from .digraph import SocialGraph
+
+__all__ = [
+    "weakly_connected_components",
+    "is_weakly_connected",
+    "ensure_weakly_connected",
+]
+
+
+def weakly_connected_components(graph: SocialGraph) -> List[np.ndarray]:
+    """Weakly connected components, largest first.
+
+    Each component is a sorted ``int64`` array of node ids.
+    """
+    n = graph.n_nodes
+    label = np.full(n, -1, dtype=np.int64)
+    components: List[np.ndarray] = []
+    for start in range(n):
+        if label[start] != -1:
+            continue
+        comp_id = len(components)
+        members = [start]
+        label[start] = comp_id
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for nxt in np.concatenate([graph.out_neighbors(node), graph.in_neighbors(node)]):
+                nxt = int(nxt)
+                if label[nxt] == -1:
+                    label[nxt] = comp_id
+                    members.append(nxt)
+                    queue.append(nxt)
+        components.append(np.asarray(sorted(members), dtype=np.int64))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_weakly_connected(graph: SocialGraph) -> bool:
+    """Whether the graph forms a single weakly connected component."""
+    if graph.n_nodes == 0:
+        raise EmptyGraphError("connectivity of the empty graph is undefined")
+    return len(weakly_connected_components(graph)) == 1
+
+
+def ensure_weakly_connected(
+    graph: SocialGraph,
+    *,
+    bridge_probability: float = 0.1,
+    bidirectional: bool = True,
+    seed: SeedLike = None,
+) -> Tuple[SocialGraph, int]:
+    """Add bridge edges until the graph is weakly connected.
+
+    For every component other than the giant one, a random member is linked
+    to a random member of the giant component (and back, when
+    *bidirectional*), mirroring the paper's repair of its synthetic datasets.
+
+    Returns
+    -------
+    (graph, added):
+        The repaired graph and the number of bridge edges added. When the
+        input is already connected it is returned unchanged with ``added=0``.
+    """
+    components = weakly_connected_components(graph)
+    if len(components) <= 1:
+        return graph, 0
+    rng = coerce_rng(seed)
+
+    builder = GraphBuilder(graph.n_nodes)
+    builder.add_edges(graph.iter_edges())
+    giant = components[0]
+    added = 0
+    for component in components[1:]:
+        inside = int(rng.choice(component))
+        anchor = int(rng.choice(giant))
+        if not builder.has_edge(anchor, inside):
+            builder.add_edge(anchor, inside, bridge_probability)
+            added += 1
+        if bidirectional and not builder.has_edge(inside, anchor):
+            builder.add_edge(inside, anchor, bridge_probability)
+            added += 1
+    return builder.build(), added

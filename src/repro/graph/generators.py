@@ -1,0 +1,239 @@
+"""Synthetic Twitter-like graph generators (substrate S2).
+
+The paper evaluates on a 3M-user Twitter crawl plus three synthetic graphs
+drawn from its degree bands (51-100, 101-500, 500-1000). We cannot ship the
+crawl, so this module generates structurally comparable follow graphs:
+
+* :func:`preferential_attachment_graph` - scale-free directed graph whose
+  in-degree distribution is heavy-tailed, standing in for the real crawl.
+* :func:`banded_degree_graph` - every node's out-degree is drawn uniformly
+  from a band ``[low, high]``, reproducing the paper's synthetic datasets.
+
+Both produce plain edge sets; :func:`assign_probabilities` then attaches
+transition probabilities using one of the standard influence-model schemes
+(weighted cascade, trivalency, or uniform random).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from .._utils import SeedLike, coerce_rng, require_in_range, require_positive
+from ..exceptions import ConfigurationError
+from .builder import GraphBuilder
+from .digraph import SocialGraph
+
+__all__ = [
+    "preferential_attachment_graph",
+    "banded_degree_graph",
+    "assign_probabilities",
+    "PROBABILITY_SCHEMES",
+]
+
+#: Names accepted by :func:`assign_probabilities`.
+PROBABILITY_SCHEMES = ("weighted_cascade", "trivalency", "uniform", "attention")
+
+
+def _edge_set_to_graph(
+    n_nodes: int,
+    edges: Set[Tuple[int, int]],
+    scheme: str,
+    rng: np.random.Generator,
+) -> SocialGraph:
+    probs = assign_probabilities(n_nodes, edges, scheme=scheme, seed=rng)
+    return SocialGraph(n_nodes, probs)
+
+
+def preferential_attachment_graph(
+    n_nodes: int,
+    out_degree: int = 8,
+    *,
+    reciprocity: float = 0.2,
+    scheme: str = "weighted_cascade",
+    seed: SeedLike = None,
+) -> SocialGraph:
+    """Directed scale-free "follow" graph.
+
+    Each arriving node follows ``out_degree`` existing users, chosen with
+    probability proportional to (1 + current in-degree) - the rich-get-richer
+    dynamic that yields the heavy-tailed in-degree distribution observed on
+    Twitter. With probability *reciprocity* a followed user follows back,
+    which creates the mutual-influence cycles the paper's propagation paths
+    rely on.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of users; must be at least 2.
+    out_degree:
+        Follows created by each arriving node (clipped to the number of
+        existing nodes early in the process).
+    reciprocity:
+        Probability a follow is reciprocated.
+    scheme:
+        Probability scheme passed to :func:`assign_probabilities`.
+    seed:
+        Seed or generator for reproducibility.
+    """
+    require_in_range("n_nodes", n_nodes, 2)
+    require_positive("out_degree", out_degree)
+    if not 0.0 <= reciprocity <= 1.0:
+        raise ConfigurationError(f"reciprocity must be in [0, 1], got {reciprocity!r}")
+    rng = coerce_rng(seed)
+
+    edges: Set[Tuple[int, int]] = set()
+    # in_weight[v] = 1 + in_degree(v); sampled as an unnormalized categorical.
+    in_weight = np.ones(n_nodes, dtype=np.float64)
+    for new in range(1, n_nodes):
+        k = min(out_degree, new)
+        weights = in_weight[:new]
+        probs = weights / weights.sum()
+        targets = rng.choice(new, size=k, replace=False, p=probs)
+        for target in targets:
+            target = int(target)
+            if (new, target) not in edges:
+                edges.add((new, target))
+                in_weight[target] += 1.0
+            if reciprocity > 0.0 and rng.random() < reciprocity:
+                if (target, new) not in edges:
+                    edges.add((target, new))
+                    in_weight[new] += 1.0
+    return _edge_set_to_graph(n_nodes, edges, scheme, rng)
+
+
+def banded_degree_graph(
+    n_nodes: int,
+    degree_low: int,
+    degree_high: int,
+    *,
+    hub_bias: float = 1.0,
+    scheme: str = "weighted_cascade",
+    seed: SeedLike = None,
+) -> SocialGraph:
+    """Graph whose out-degrees are uniform in ``[degree_low, degree_high]``.
+
+    Reproduces the paper's synthetic datasets ("nodes with degree range
+    51-100, 101-500, 500-1000"). Follow targets are drawn from a Zipf-like
+    popularity distribution controlled by *hub_bias* (0 = uniform targets,
+    larger = more concentrated on popular users), so in-degrees remain
+    heavy-tailed like the source crawl.
+    """
+    require_in_range("n_nodes", n_nodes, 2)
+    require_in_range("degree_low", degree_low, 1)
+    require_in_range("degree_high", degree_high, degree_low)
+    if degree_high >= n_nodes:
+        raise ConfigurationError(
+            f"degree_high ({degree_high}) must be < n_nodes ({n_nodes})"
+        )
+    if hub_bias < 0:
+        raise ConfigurationError(f"hub_bias must be >= 0, got {hub_bias!r}")
+    rng = coerce_rng(seed)
+
+    # Popularity ~ 1 / rank^hub_bias over a random permutation of nodes.
+    ranks = rng.permutation(n_nodes) + 1
+    popularity = 1.0 / np.power(ranks.astype(np.float64), hub_bias)
+    popularity /= popularity.sum()
+
+    edges: Set[Tuple[int, int]] = set()
+    out_degrees = rng.integers(degree_low, degree_high + 1, size=n_nodes)
+    for source in range(n_nodes):
+        needed = int(out_degrees[source])
+        # Over-sample, then trim: cheaper than rejection one at a time.
+        attempts = 0
+        chosen: Set[int] = set()
+        while len(chosen) < needed and attempts < 8:
+            draw = rng.choice(n_nodes, size=2 * needed, replace=True, p=popularity)
+            for target in draw:
+                target = int(target)
+                if target != source:
+                    chosen.add(target)
+                    if len(chosen) == needed:
+                        break
+            attempts += 1
+        for target in list(chosen)[:needed]:
+            edges.add((source, target))
+    return _edge_set_to_graph(n_nodes, edges, scheme, rng)
+
+
+def assign_probabilities(
+    n_nodes: int,
+    edges: Iterable[Tuple[int, int]],
+    *,
+    scheme: str = "weighted_cascade",
+    seed: SeedLike = None,
+    uniform_low: float = 0.05,
+    uniform_high: float = 0.4,
+    attention_low: float = 0.6,
+    attention_high: float = 0.95,
+) -> List[Tuple[int, int, float]]:
+    """Attach transition probabilities to bare ``(source, target)`` edges.
+
+    Schemes (all standard in the influence-propagation literature):
+
+    ``weighted_cascade``
+        ``Λ(u, v) = 1 / in_degree(v)`` - every node distributes a unit of
+        attention over its influencers.
+    ``trivalency``
+        Each edge gets one of {0.1, 0.01, 0.001} uniformly at random.
+    ``uniform``
+        Each edge gets an independent ``U(uniform_low, uniform_high)`` draw.
+        The range matches the magnitude of the free edge weights in the
+        paper's Example 1 / Figure 3. Caution: with average degree ``d``
+        the per-step walk mass multiplies by ``d * mean``, so influence can
+        *grow* with path length on dense graphs.
+    ``attention``
+        Each node ``u`` spreads a total influence budget
+        ``U(attention_low, attention_high) < 1`` over its out-edges with
+        random proportions. Row sums of the transition matrix stay below
+        1, so aggregate walk mass strictly decays with path length - the
+        regime the paper's Definition 1 and its θ-thresholded propagation
+        index presume. This is the default scheme of the bundled datasets.
+    """
+    if scheme not in PROBABILITY_SCHEMES:
+        raise ConfigurationError(
+            f"unknown probability scheme {scheme!r}; choose from {PROBABILITY_SCHEMES}"
+        )
+    rng = coerce_rng(seed)
+    edge_list = sorted(set((int(s), int(t)) for s, t in edges))
+
+    if scheme == "weighted_cascade":
+        in_degree = np.zeros(n_nodes, dtype=np.int64)
+        for _, target in edge_list:
+            in_degree[target] += 1
+        return [
+            (s, t, 1.0 / float(in_degree[t]))
+            for s, t in edge_list
+        ]
+    if scheme == "attention":
+        if not 0.0 < attention_low <= attention_high < 1.0:
+            raise ConfigurationError(
+                "attention budgets must satisfy 0 < low <= high < 1, got "
+                f"({attention_low!r}, {attention_high!r})"
+            )
+        by_source: dict = {}
+        for s, t in edge_list:
+            by_source.setdefault(s, []).append(t)
+        triples: List[Tuple[int, int, float]] = []
+        for s in sorted(by_source):
+            targets = by_source[s]
+            budget = rng.uniform(attention_low, attention_high)
+            shares = rng.uniform(0.5, 1.5, size=len(targets))
+            shares *= budget / shares.sum()
+            triples.extend(
+                (s, t, float(p)) for t, p in zip(targets, shares)
+            )
+        return triples
+    if scheme == "trivalency":
+        choices = np.array([0.1, 0.01, 0.001])
+        draws = rng.choice(choices, size=len(edge_list))
+        return [(s, t, float(p)) for (s, t), p in zip(edge_list, draws)]
+    # uniform
+    if not 0.0 < uniform_low <= uniform_high <= 1.0:
+        raise ConfigurationError(
+            "uniform bounds must satisfy 0 < low <= high <= 1, got "
+            f"({uniform_low!r}, {uniform_high!r})"
+        )
+    draws = rng.uniform(uniform_low, uniform_high, size=len(edge_list))
+    return [(s, t, float(p)) for (s, t), p in zip(edge_list, draws)]

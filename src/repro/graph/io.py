@@ -1,0 +1,110 @@
+"""Graph serialization (substrate S5).
+
+Two formats are supported:
+
+* **Edge-list text** - one ``source target probability`` triple per line,
+  ``#`` comments allowed. Interoperable with SNAP-style tooling.
+* **NPZ bundles** - the CSR arrays verbatim; loss-free and fast for the
+  dataset cache used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .digraph import SocialGraph
+
+__all__ = [
+    "save_edge_list",
+    "load_edge_list",
+    "save_npz",
+    "load_npz",
+]
+
+PathLike = Union[str, Path]
+
+
+def save_edge_list(graph: SocialGraph, path: PathLike) -> None:
+    """Write the graph as a ``source target probability`` text file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# nodes={graph.n_nodes} edges={graph.n_edges}\n")
+        for source, target, probability in graph.iter_edges():
+            handle.write(f"{source} {target} {probability!r}\n")
+
+
+def load_edge_list(path: PathLike, n_nodes: int = None) -> SocialGraph:
+    """Read a graph written by :func:`save_edge_list`.
+
+    The node count is taken from the header comment when present, from the
+    *n_nodes* argument otherwise, and finally inferred from the maximum
+    endpoint id.
+    """
+    path = Path(path)
+    edges = []
+    header_nodes = None
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                header_nodes = _parse_header_nodes(line, header_nodes)
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise GraphError(
+                    f"{path}:{lineno}: expected 'source target probability', got {line!r}"
+                )
+            try:
+                edges.append((int(parts[0]), int(parts[1]), float(parts[2])))
+            except ValueError as exc:
+                raise GraphError(f"{path}:{lineno}: {exc}") from exc
+    if n_nodes is None:
+        n_nodes = header_nodes
+    if n_nodes is None:
+        n_nodes = 1 + max((max(s, t) for s, t, _ in edges), default=-1)
+    return SocialGraph(n_nodes, edges)
+
+
+def _parse_header_nodes(line: str, current):
+    for token in line.lstrip("#").split():
+        if token.startswith("nodes="):
+            try:
+                return int(token.split("=", 1)[1])
+            except ValueError:
+                return current
+    return current
+
+
+def save_npz(graph: SocialGraph, path: PathLike) -> None:
+    """Write the graph's CSR arrays to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        Path(path),
+        n_nodes=np.asarray([graph.n_nodes], dtype=np.int64),
+        out_indptr=graph._out_indptr,
+        out_targets=graph._out_targets,
+        out_probs=graph._out_probs,
+    )
+
+
+def load_npz(path: PathLike) -> SocialGraph:
+    """Read a graph written by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        try:
+            n_nodes = int(data["n_nodes"][0])
+            indptr = data["out_indptr"]
+            targets = data["out_targets"]
+            probs = data["out_probs"]
+        except KeyError as exc:
+            raise GraphError(f"{path}: missing array {exc}") from exc
+    edges = []
+    for node in range(n_nodes):
+        for j in range(indptr[node], indptr[node + 1]):
+            edges.append((node, int(targets[j]), float(probs[j])))
+    return SocialGraph(n_nodes, edges)

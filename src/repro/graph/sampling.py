@@ -1,0 +1,76 @@
+"""Node sampling strategies (substrate S3).
+
+RCL-A grouping measures reachability against a sampled node set ``V'``. The
+paper samples "each node with a probability proportional to the degree of the
+node" (§3.1 / §6). Uniform sampling is also provided for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._utils import SeedLike, coerce_rng
+from ..exceptions import ConfigurationError, EmptyGraphError
+from .digraph import SocialGraph
+
+__all__ = ["sample_nodes_by_degree", "sample_nodes_uniform", "sample_rate_to_count"]
+
+
+def sample_rate_to_count(graph: SocialGraph, rate: float) -> int:
+    """Translate a sample *rate* like the paper's 1% / 5% / 10% into a count.
+
+    Always returns at least 1 for a non-empty graph so that sampling-based
+    estimates remain defined.
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ConfigurationError(f"sample rate must be in (0, 1], got {rate!r}")
+    if graph.n_nodes == 0:
+        raise EmptyGraphError("cannot sample from an empty graph")
+    return max(1, int(round(rate * graph.n_nodes)))
+
+
+def sample_nodes_by_degree(
+    graph: SocialGraph, count: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Sample *count* distinct nodes with probability proportional to degree.
+
+    Degree here is total (in + out) degree. Isolated nodes (degree 0) can
+    only be drawn once all positive-degree nodes are exhausted, matching the
+    intuition that the sample should consist of socially active users.
+    """
+    _check_count(graph, count)
+    rng = coerce_rng(seed)
+    degrees = graph.total_degrees().astype(np.float64)
+    total = degrees.sum()
+    if total == 0.0:
+        # Every node is isolated; fall back to uniform.
+        return sample_nodes_uniform(graph, count, rng)
+    positive = np.flatnonzero(degrees > 0)
+    if count <= positive.size:
+        probs = degrees[positive] / degrees[positive].sum()
+        chosen = rng.choice(positive, size=count, replace=False, p=probs)
+        return np.sort(chosen.astype(np.int64))
+    # Need more nodes than have positive degree: take all of them, then pad
+    # uniformly from the isolated remainder.
+    isolated = np.flatnonzero(degrees == 0)
+    pad = rng.choice(isolated, size=count - positive.size, replace=False)
+    return np.sort(np.concatenate([positive, pad]).astype(np.int64))
+
+
+def sample_nodes_uniform(
+    graph: SocialGraph, count: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Sample *count* distinct nodes uniformly at random."""
+    _check_count(graph, count)
+    rng = coerce_rng(seed)
+    chosen = rng.choice(graph.n_nodes, size=count, replace=False)
+    return np.sort(chosen.astype(np.int64))
+
+
+def _check_count(graph: SocialGraph, count: int) -> None:
+    if graph.n_nodes == 0:
+        raise EmptyGraphError("cannot sample from an empty graph")
+    if not 0 < count <= graph.n_nodes:
+        raise ConfigurationError(
+            f"sample count must be in [1, {graph.n_nodes}], got {count!r}"
+        )

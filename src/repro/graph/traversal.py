@@ -1,0 +1,113 @@
+"""Hop-limited graph traversals (substrate S4).
+
+RCL-A grouping (paper §3.1) and centroid selection (§3.2) repeatedly need
+"the set of nodes that can reach ``u`` within ``L`` hops" and hop distances
+between nodes. These are plain breadth-first searches; the functions here
+work directly on the CSR arrays of :class:`~repro.graph.digraph.SocialGraph`
+and return numpy structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .digraph import SocialGraph
+
+__all__ = [
+    "forward_reachable",
+    "reverse_reachable",
+    "hop_distances",
+    "reverse_hop_distances",
+    "hop_distance",
+]
+
+_UNREACHED = -1
+
+
+def _bfs(graph: SocialGraph, source: int, max_hops: Optional[int], reverse: bool) -> np.ndarray:
+    """Hop distances from *source*, ``-1`` where unreached.
+
+    With ``reverse=True`` edges are traversed backwards, so the result is the
+    distance *to* ``source`` for every node. Level-synchronous over the CSR
+    arrays: each level is one vectorized gather + dedup, so the per-edge
+    Python overhead of a classic queue BFS is avoided.
+    """
+    if max_hops is not None and max_hops < 0:
+        raise ConfigurationError(f"max_hops must be >= 0, got {max_hops}")
+    if reverse:
+        indptr, targets = graph._in_indptr, graph._in_sources
+    else:
+        indptr, targets = graph._out_indptr, graph._out_targets
+    dist = np.full(graph.n_nodes, _UNREACHED, dtype=np.int64)
+    source = graph._check_node(source)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    depth = 0
+    while frontier.size and (max_hops is None or depth < max_hops):
+        chunks = [targets[indptr[u]:indptr[u + 1]] for u in frontier]
+        neighbors = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        if neighbors.size == 0:
+            break
+        neighbors = np.unique(neighbors)
+        neighbors = neighbors[dist[neighbors] == _UNREACHED]
+        if neighbors.size == 0:
+            break
+        depth += 1
+        dist[neighbors] = depth
+        frontier = neighbors
+    return dist
+
+
+def hop_distances(
+    graph: SocialGraph, source: int, max_hops: Optional[int] = None
+) -> np.ndarray:
+    """Minimum hop count from *source* to every node (``-1`` if unreached)."""
+    return _bfs(graph, source, max_hops, reverse=False)
+
+
+def reverse_hop_distances(
+    graph: SocialGraph, target: int, max_hops: Optional[int] = None
+) -> np.ndarray:
+    """Minimum hop count from every node *to* ``target`` (``-1`` if unreached)."""
+    return _bfs(graph, target, max_hops, reverse=True)
+
+
+def hop_distance(graph: SocialGraph, source: int, target: int,
+                 max_hops: Optional[int] = None) -> int:
+    """Minimum hops from *source* to *target*; ``-1`` when unreachable in bound."""
+    return int(hop_distances(graph, source, max_hops)[graph._check_node(target)])
+
+
+def forward_reachable(
+    graph: SocialGraph, source: int, max_hops: int, *, include_source: bool = False
+) -> np.ndarray:
+    """Ids of nodes reachable *from* ``source`` within ``max_hops`` hops."""
+    dist = hop_distances(graph, source, max_hops)
+    mask = dist >= (0 if include_source else 1)
+    return np.flatnonzero(mask).astype(np.int64)
+
+
+def reverse_reachable(
+    graph: SocialGraph, target: int, max_hops: int, *, include_target: bool = False
+) -> np.ndarray:
+    """Ids of nodes that can reach ``target`` within ``max_hops`` hops.
+
+    This is the set the paper writes as ``{x | x ->^L target}`` and that the
+    walk index materializes as ``I_L[target]`` (Algorithm 6, line 14).
+    """
+    dist = reverse_hop_distances(graph, target, max_hops)
+    mask = dist >= (0 if include_target else 1)
+    return np.flatnonzero(mask).astype(np.int64)
+
+
+def pairwise_hop_distances(
+    graph: SocialGraph, sources: Iterable[int], max_hops: Optional[int] = None
+) -> Dict[int, np.ndarray]:
+    """Hop-distance arrays keyed by each source in *sources*.
+
+    Convenience used by closeness-centrality computations; one BFS per source.
+    """
+    return {int(s): hop_distances(graph, int(s), max_hops) for s in sources}

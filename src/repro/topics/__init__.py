@@ -1,0 +1,29 @@
+"""Topic substrate: tweets, tokenization, LDA, tags, topic index, queries.
+
+See DESIGN.md systems S9-S12.
+"""
+
+from .documents import TweetCorpus
+from .extraction import ExtractionResult, TopicExtractor
+from .index import TopicIndex
+from .lda import LdaModel, Vocabulary, fit_lda
+from .query import KeywordQuery
+from .relevance import TfIdfScorer
+from .tags import DEFAULT_DOMAINS, TagBank
+from .tokenizer import STOPWORDS, tokenize
+
+__all__ = [
+    "TweetCorpus",
+    "TopicExtractor",
+    "ExtractionResult",
+    "TopicIndex",
+    "LdaModel",
+    "Vocabulary",
+    "fit_lda",
+    "KeywordQuery",
+    "TfIdfScorer",
+    "TagBank",
+    "DEFAULT_DOMAINS",
+    "tokenize",
+    "STOPWORDS",
+]

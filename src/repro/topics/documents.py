@@ -1,0 +1,79 @@
+"""Per-user tweet corpus model (part of S9).
+
+The paper treats "the posted messages [of a user] as a document" before
+running LDA (§6.1). :class:`TweetCorpus` stores raw tweets per user and
+exposes exactly that per-user document view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .tokenizer import tokenize
+
+__all__ = ["TweetCorpus"]
+
+
+class TweetCorpus:
+    """Tweets grouped by posting user.
+
+    Parameters
+    ----------
+    n_users:
+        Number of users; user ids are ``0 .. n_users-1`` and must align with
+        the node ids of the companion :class:`~repro.graph.SocialGraph`.
+    """
+
+    def __init__(self, n_users: int):
+        if n_users < 0:
+            raise ConfigurationError(f"n_users must be >= 0, got {n_users}")
+        self._tweets: List[List[str]] = [[] for _ in range(n_users)]
+
+    @property
+    def n_users(self) -> int:
+        """Number of users the corpus covers."""
+        return len(self._tweets)
+
+    @property
+    def n_tweets(self) -> int:
+        """Total number of tweets across all users."""
+        return sum(len(t) for t in self._tweets)
+
+    def _check_user(self, user: int) -> int:
+        user = int(user)
+        if not 0 <= user < len(self._tweets):
+            raise ConfigurationError(
+                f"user {user} outside corpus with {len(self._tweets)} users"
+            )
+        return user
+
+    def add_tweet(self, user: int, text: str) -> None:
+        """Append one tweet for *user*."""
+        self._tweets[self._check_user(user)].append(str(text))
+
+    def add_tweets(self, user: int, texts: Iterable[str]) -> None:
+        """Append several tweets for *user*."""
+        user = self._check_user(user)
+        self._tweets[user].extend(str(t) for t in texts)
+
+    def tweets(self, user: int) -> Sequence[str]:
+        """The tweets of *user*, in insertion order."""
+        return tuple(self._tweets[self._check_user(user)])
+
+    def user_document(self, user: int) -> str:
+        """All tweets of *user* joined into one document (paper §6.1)."""
+        return "\n".join(self._tweets[self._check_user(user)])
+
+    def user_tokens(self, user: int) -> List[str]:
+        """Tokenized per-user document."""
+        return tokenize(self.user_document(user))
+
+    def iter_documents(self) -> Iterator[Tuple[int, str]]:
+        """Yield ``(user, document)`` for every user with at least one tweet."""
+        for user, tweets in enumerate(self._tweets):
+            if tweets:
+                yield user, "\n".join(tweets)
+
+    def __len__(self) -> int:
+        return self.n_users

@@ -1,0 +1,132 @@
+"""Per-user topic extraction pipeline (substrate S11, paper §6.1).
+
+The paper's "collaborative method to generate a set of topics for each
+Twitter user":
+
+1. treat a user's posted messages as one document;
+2. run LDA to obtain a bag of ~16 seed terms per user;
+3. refine the seeds against the tag vocabulary (HetRec 2011 in the paper,
+   a synthetic :class:`~repro.topics.tags.TagBank` here);
+4. the surviving tags become the user's topics.
+
+:class:`TopicExtractor` wires those steps together and emits the
+``node -> topic labels`` assignment that :class:`~repro.topics.index.TopicIndex`
+consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .._utils import SeedLike, coerce_rng, require_in_range
+from ..exceptions import ConfigurationError
+from .documents import TweetCorpus
+from .lda import LdaModel, Vocabulary, fit_lda
+from .tags import TagBank
+
+__all__ = ["TopicExtractor", "ExtractionResult"]
+
+
+class ExtractionResult:
+    """Output of :meth:`TopicExtractor.run`.
+
+    Attributes
+    ----------
+    assignments:
+        ``user -> list of topic labels`` (input for ``TopicIndex``).
+    seeds:
+        ``user -> list of LDA seed terms`` (pre-refinement, for inspection).
+    model:
+        The fitted :class:`~repro.topics.lda.LdaModel`.
+    """
+
+    def __init__(
+        self,
+        assignments: Dict[int, List[str]],
+        seeds: Dict[int, List[str]],
+        model: LdaModel,
+    ):
+        self.assignments = assignments
+        self.seeds = seeds
+        self.model = model
+
+    @property
+    def n_users(self) -> int:
+        """Users with at least one extracted topic."""
+        return len(self.assignments)
+
+    def topic_space_size(self) -> int:
+        """Number of distinct topic labels across all users."""
+        return len({t for topics in self.assignments.values() for t in topics})
+
+
+class TopicExtractor:
+    """LDA + tag-refinement topic extraction.
+
+    Parameters
+    ----------
+    n_topics:
+        Latent LDA topics fitted over the whole corpus.
+    seed_terms_per_user:
+        Size of the per-user seed bag (paper: "normally 16 terms").
+    tags_per_user:
+        Maximum refined tags kept per user (paper reports ~200 topics per
+        user at full Twitter scale; synthetic corpora warrant fewer).
+    lda_iterations:
+        Gibbs sweeps for the LDA fit.
+    seed:
+        Seed or generator shared by all stochastic steps.
+    """
+
+    def __init__(
+        self,
+        n_topics: int = 12,
+        *,
+        seed_terms_per_user: int = 16,
+        tags_per_user: int = 20,
+        lda_iterations: int = 60,
+        seed: SeedLike = None,
+    ):
+        require_in_range("n_topics", n_topics, 1)
+        require_in_range("seed_terms_per_user", seed_terms_per_user, 1)
+        require_in_range("tags_per_user", tags_per_user, 1)
+        require_in_range("lda_iterations", lda_iterations, 1)
+        self._n_topics = n_topics
+        self._seed_terms = seed_terms_per_user
+        self._tags_per_user = tags_per_user
+        self._iterations = lda_iterations
+        self._rng = coerce_rng(seed)
+
+    def run(self, corpus: TweetCorpus, tag_bank: TagBank) -> ExtractionResult:
+        """Extract topics for every user with at least one tweet."""
+        users: List[int] = []
+        encoded: List[List[int]] = []
+        vocabulary = Vocabulary()
+        from .tokenizer import tokenize
+
+        for user, document in corpus.iter_documents():
+            tokens = tokenize(document)
+            if not tokens:
+                continue
+            users.append(user)
+            encoded.append(vocabulary.encode(tokens))
+        if not users:
+            raise ConfigurationError("corpus has no tokenizable tweets")
+
+        model = fit_lda(
+            encoded,
+            vocabulary,
+            self._n_topics,
+            iterations=self._iterations,
+            seed=self._rng,
+        )
+
+        assignments: Dict[int, List[str]] = {}
+        seeds: Dict[int, List[str]] = {}
+        for doc_index, user in enumerate(users):
+            seed_terms = model.seed_terms(doc_index, self._seed_terms)
+            seeds[user] = seed_terms
+            refined = tag_bank.refine(seed_terms, limit=self._tags_per_user)
+            if refined:
+                assignments[user] = refined
+        return ExtractionResult(assignments, seeds, model)

@@ -1,0 +1,156 @@
+"""Topic space and inverted topic -> node index (substrate S12).
+
+``T`` in the paper's ``G = (V, E, T, Λ)``: every user carries a set of
+topics; Algorithms 1, 7 and 8 all begin by fetching "the topic node set V_t
+from an inverted node index". :class:`TopicIndex` is that index, plus the
+query-to-topic matching used by Algorithm 10 line 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, UnknownTopicError
+from .query import KeywordQuery
+from .tokenizer import tokenize
+
+__all__ = ["TopicIndex"]
+
+TopicRef = Union[int, str]
+
+
+class TopicIndex:
+    """Immutable topic space with an inverted topic -> nodes index.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes in the companion graph; topic members must be valid
+        node ids.
+    assignments:
+        Mapping ``node -> iterable of topic labels`` describing which topics
+        each user discusses.
+
+    Notes
+    -----
+    Topic ids are assigned in sorted-label order, so the index is fully
+    deterministic for a given assignment.
+    """
+
+    def __init__(self, n_nodes: int, assignments: Mapping[int, Iterable[str]]):
+        if n_nodes < 0:
+            raise ConfigurationError(f"n_nodes must be >= 0, got {n_nodes}")
+        self._n_nodes = int(n_nodes)
+
+        members: Dict[str, set] = {}
+        for node, labels in assignments.items():
+            node = int(node)
+            if not 0 <= node < self._n_nodes:
+                raise ConfigurationError(
+                    f"node {node} outside graph with {self._n_nodes} nodes"
+                )
+            for label in labels:
+                label = str(label).strip().lower()
+                if not label:
+                    raise ConfigurationError(f"empty topic label for node {node}")
+                members.setdefault(label, set()).add(node)
+
+        self._labels: List[str] = sorted(members)
+        self._label_to_id: Dict[str, int] = {
+            label: i for i, label in enumerate(self._labels)
+        }
+        self._members: List[np.ndarray] = [
+            np.asarray(sorted(members[label]), dtype=np.int64)
+            for label in self._labels
+        ]
+        self._label_tokens: List[Tuple[str, ...]] = [
+            tuple(tokenize(label)) for label in self._labels
+        ]
+        node_topics: List[List[int]] = [[] for _ in range(self._n_nodes)]
+        for topic_id, nodes in enumerate(self._members):
+            for node in nodes:
+                node_topics[int(node)].append(topic_id)
+        self._node_topics: List[Tuple[int, ...]] = [tuple(t) for t in node_topics]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Node count of the companion graph."""
+        return self._n_nodes
+
+    @property
+    def n_topics(self) -> int:
+        """Number of distinct topics."""
+        return len(self._labels)
+
+    @property
+    def labels(self) -> Sequence[str]:
+        """All topic labels, indexable by topic id."""
+        return tuple(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, topic: TopicRef) -> bool:
+        try:
+            self.resolve(topic)
+        except UnknownTopicError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def resolve(self, topic: TopicRef) -> int:
+        """Topic id for an id or label; raises :class:`UnknownTopicError`."""
+        if isinstance(topic, str):
+            topic_id = self._label_to_id.get(topic.strip().lower())
+            if topic_id is None:
+                raise UnknownTopicError(topic)
+            return topic_id
+        topic_id = int(topic)
+        if not 0 <= topic_id < len(self._labels):
+            raise UnknownTopicError(topic)
+        return topic_id
+
+    def label(self, topic: TopicRef) -> str:
+        """Label of *topic*."""
+        return self._labels[self.resolve(topic)]
+
+    def topic_nodes(self, topic: TopicRef) -> np.ndarray:
+        """``V_t`` - sorted node ids carrying *topic* (read-only view)."""
+        return self._members[self.resolve(topic)]
+
+    def topic_size(self, topic: TopicRef) -> int:
+        """``|V_t|`` for *topic*."""
+        return int(self._members[self.resolve(topic)].size)
+
+    def topics_of_node(self, node: int) -> Tuple[int, ...]:
+        """Topic ids assigned to *node*."""
+        node = int(node)
+        if not 0 <= node < self._n_nodes:
+            raise ConfigurationError(
+                f"node {node} outside graph with {self._n_nodes} nodes"
+            )
+        return self._node_topics[node]
+
+    # ------------------------------------------------------------------
+    def related_topics(self, query: Union[str, KeywordQuery]) -> List[int]:
+        """Ids of all q-related topics (Algorithm 10, line 1).
+
+        *query* may be a raw string (parsed with default ``mode="all"``) or
+        a pre-parsed :class:`KeywordQuery`.
+        """
+        if isinstance(query, str):
+            query = KeywordQuery.parse(query)
+        return [
+            topic_id
+            for topic_id, tokens in enumerate(self._label_tokens)
+            if query.matches(tokens)
+        ]
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the inverted lists, in bytes."""
+        total = sum(m.nbytes for m in self._members)
+        total += sum(len(label) for label in self._labels)
+        return int(total)

@@ -1,0 +1,68 @@
+"""Keyword queries over the topic space (part of S12).
+
+A PIT-Search query is a bag of keywords issued by a user (paper Definition
+2, e.g. ``q = {Phone}``). A topic is *q-related* when its label contains the
+query keywords; with ``mode="all"`` (default) every keyword must appear,
+with ``mode="any"`` one suffices. Example 1 of the paper - query ``{phone}``
+matching "apple phone", "samsung phone" and "htc phone" - behaves
+identically under both modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..exceptions import QueryError
+from .tokenizer import tokenize
+
+__all__ = ["KeywordQuery"]
+
+_MODES = ("all", "any")
+
+
+@dataclass(frozen=True)
+class KeywordQuery:
+    """An immutable, tokenized keyword query.
+
+    Attributes
+    ----------
+    raw:
+        The original query string.
+    keywords:
+        Normalized tokens extracted from *raw*.
+    mode:
+        ``"all"`` - every keyword must occur in a topic label;
+        ``"any"`` - at least one keyword must occur.
+    """
+
+    raw: str
+    keywords: Tuple[str, ...]
+    mode: str = "all"
+
+    @classmethod
+    def parse(cls, text: str, *, mode: str = "all") -> "KeywordQuery":
+        """Tokenize *text* into a query.
+
+        Raises
+        ------
+        QueryError
+            When no usable keywords remain after tokenization, or *mode* is
+            unknown.
+        """
+        if mode not in _MODES:
+            raise QueryError(f"unknown query mode {mode!r}; choose from {_MODES}")
+        keywords = tuple(tokenize(text))
+        if not keywords:
+            raise QueryError(f"query {text!r} contains no usable keywords")
+        return cls(raw=text, keywords=keywords, mode=mode)
+
+    def matches(self, label_tokens: Sequence[str]) -> bool:
+        """Whether a topic with the given label tokens is q-related."""
+        tokens = set(label_tokens)
+        if self.mode == "all":
+            return all(k in tokens for k in self.keywords)
+        return any(k in tokens for k in self.keywords)
+
+    def __str__(self) -> str:
+        return self.raw

@@ -1,0 +1,114 @@
+"""TF-IDF term relevance over topic labels (extension of S12).
+
+The paper's introduction contrasts PIT-Search with "the most widely-
+accepted method ... select the relevant topics based on the term relevance
+between topics and the query in a manner similar to a typical keyword
+search [26, 27]". This module implements that comparator properly - a
+TF-IDF vector space over topic labels with cosine scoring - so the
+relevance-only baseline (:mod:`repro.baselines.relevance`) and the hybrid
+relevance x influence ranking can be evaluated against the personalized
+methods.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from .index import TopicIndex
+from .query import KeywordQuery
+from .tokenizer import tokenize
+
+__all__ = ["TfIdfScorer"]
+
+
+class TfIdfScorer:
+    """Cosine TF-IDF relevance of keyword queries to topic labels.
+
+    Documents are topic labels; term frequency is the within-label count,
+    inverse document frequency is the smoothed
+    ``ln((1 + N) / (1 + df)) + 1`` variant, and label vectors are
+    L2-normalized once at construction.
+    """
+
+    def __init__(self, topic_index: TopicIndex):
+        self._topic_index = topic_index
+        n_topics = topic_index.n_topics
+        document_frequency: Dict[str, int] = {}
+        term_counts: List[Dict[str, int]] = []
+        for label in topic_index.labels:
+            counts: Dict[str, int] = {}
+            for token in tokenize(label):
+                counts[token] = counts.get(token, 0) + 1
+            term_counts.append(counts)
+            for token in counts:
+                document_frequency[token] = document_frequency.get(token, 0) + 1
+
+        self._idf: Dict[str, float] = {
+            token: math.log((1 + n_topics) / (1 + df)) + 1.0
+            for token, df in document_frequency.items()
+        }
+        self._vectors: List[Dict[str, float]] = []
+        for counts in term_counts:
+            vector = {
+                token: count * self._idf[token]
+                for token, count in counts.items()
+            }
+            norm = math.sqrt(sum(w * w for w in vector.values()))
+            if norm > 0:
+                vector = {t: w / norm for t, w in vector.items()}
+            self._vectors.append(vector)
+
+    @property
+    def topic_index(self) -> TopicIndex:
+        """The scored topic space."""
+        return self._topic_index
+
+    def idf(self, token: str) -> float:
+        """IDF of a token (0 when the token never occurs in any label)."""
+        return self._idf.get(token.lower(), 0.0)
+
+    def query_vector(self, query: Union[str, KeywordQuery]) -> Dict[str, float]:
+        """The L2-normalized TF-IDF vector of *query*."""
+        if isinstance(query, str):
+            query = KeywordQuery.parse(query)
+        counts: Dict[str, int] = {}
+        for token in query.keywords:
+            counts[token] = counts.get(token, 0) + 1
+        vector = {
+            token: count * self._idf.get(token, 0.0)
+            for token, count in counts.items()
+        }
+        norm = math.sqrt(sum(w * w for w in vector.values()))
+        if norm > 0:
+            vector = {t: w / norm for t, w in vector.items()}
+        return vector
+
+    def score(self, query: Union[str, KeywordQuery], topic) -> float:
+        """Cosine similarity between *query* and one topic label."""
+        topic_id = self._topic_index.resolve(topic)
+        query_vector = self.query_vector(query)
+        label_vector = self._vectors[topic_id]
+        return sum(
+            weight * label_vector.get(token, 0.0)
+            for token, weight in query_vector.items()
+        )
+
+    def rank(
+        self, query: Union[str, KeywordQuery], k: int
+    ) -> List[Tuple[int, float]]:
+        """Top-k ``(topic_id, score)`` pairs over the whole topic space.
+
+        Zero-score topics are excluded; ties break on label for the same
+        determinism contract as the influence rankers.
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        scored = [
+            (topic_id, self.score(query, topic_id))
+            for topic_id in range(self._topic_index.n_topics)
+        ]
+        scored = [(t, s) for t, s in scored if s > 0.0]
+        scored.sort(key=lambda item: (-item[1], self._topic_index.label(item[0])))
+        return scored[:k]

@@ -1,0 +1,155 @@
+"""Tag bank - synthetic stand-in for the HetRec 2011 tag set (substrate S11).
+
+The paper refines per-user LDA seed terms against 53,388 tags released at
+HetRec 2011. That dataset is not available offline, so :class:`TagBank`
+generates a structurally similar vocabulary: multi-word tags composed from
+domain stems, with a Zipfian popularity distribution (a few tags bookmarked
+very often, a long tail bookmarked rarely) like real folksonomy data.
+
+The refinement operation (:meth:`TagBank.refine`) is the one the paper
+describes: keep the tags that overlap the user's seed terms, preferring
+popular tags, yielding "a reasonable set of topic seeds for each user".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._utils import SeedLike, coerce_rng, require_in_range
+from ..exceptions import ConfigurationError
+from .tokenizer import tokenize
+
+__all__ = ["TagBank", "DEFAULT_DOMAINS"]
+
+#: Domain stems used to compose synthetic tags. Each domain contributes a
+#: head noun shared by its tags (mirroring e.g. "apple phone" / "samsung
+#: phone" from the paper's Example 1) plus qualifier stems.
+DEFAULT_DOMAINS: Dict[str, Tuple[str, ...]] = {
+    "phone": ("apple", "samsung", "htc", "nokia", "pixel", "budget", "flagship"),
+    "camera": ("canon", "nikon", "sony", "leica", "compact", "mirrorless"),
+    "laptop": ("macbook", "thinkpad", "gaming", "ultrabook", "linux"),
+    "music": ("indie", "jazz", "festival", "vinyl", "streaming", "kpop"),
+    "movie": ("scifi", "horror", "oscars", "indie", "classic", "anime"),
+    "travel": ("europe", "backpacking", "beach", "budget", "luxury", "visa"),
+    "food": ("vegan", "ramen", "barbecue", "coffee", "dessert", "streetfood"),
+    "sport": ("football", "tennis", "cycling", "marathon", "climbing"),
+    "politics": ("election", "debate", "policy", "campaign", "senate"),
+    "science": ("space", "climate", "genetics", "quantum", "robotics"),
+    "fashion": ("sneaker", "vintage", "denim", "couture", "streetwear"),
+    "finance": ("stocks", "crypto", "savings", "housing", "startup"),
+}
+
+
+class TagBank:
+    """A popularity-weighted tag vocabulary.
+
+    Parameters
+    ----------
+    tags:
+        Tag strings.
+    popularity:
+        Bookmark counts (or any positive weights), aligned with *tags*.
+    """
+
+    def __init__(self, tags: Sequence[str], popularity: Sequence[float]):
+        if len(tags) != len(popularity):
+            raise ConfigurationError("tags and popularity must have equal length")
+        if len(tags) == 0:
+            raise ConfigurationError("a TagBank needs at least one tag")
+        if len(set(tags)) != len(tags):
+            raise ConfigurationError("tags must be unique")
+        self._tags = list(tags)
+        self._popularity = np.asarray(popularity, dtype=np.float64)
+        if np.any(self._popularity <= 0):
+            raise ConfigurationError("popularity weights must be positive")
+        # token -> tag indices containing that token
+        self._token_index: Dict[str, List[int]] = {}
+        for i, tag in enumerate(self._tags):
+            for token in tokenize(tag):
+                self._token_index.setdefault(token, []).append(i)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def synthetic(
+        cls,
+        n_tags: int = 500,
+        *,
+        domains: Optional[Dict[str, Tuple[str, ...]]] = None,
+        zipf_exponent: float = 1.1,
+        seed: SeedLike = None,
+    ) -> "TagBank":
+        """Generate a synthetic tag bank.
+
+        Tags are ``"<qualifier> <domain>"`` pairs (e.g. ``"samsung phone"``)
+        plus bare domain tags, sampled until *n_tags* distinct tags exist;
+        popularity follows a Zipf law with the given exponent.
+        """
+        require_in_range("n_tags", n_tags, 1)
+        rng = coerce_rng(seed)
+        domains = domains or DEFAULT_DOMAINS
+
+        candidates: List[str] = []
+        for domain, qualifiers in domains.items():
+            candidates.append(domain)
+            for qualifier in qualifiers:
+                candidates.append(f"{qualifier} {domain}")
+        # Compose additional cross-domain tags if more are requested.
+        domain_names = sorted(domains)
+        while len(candidates) < n_tags:
+            a = domain_names[int(rng.integers(len(domain_names)))]
+            b_pool = domains[domain_names[int(rng.integers(len(domain_names)))]]
+            b = b_pool[int(rng.integers(len(b_pool)))]
+            tag = f"{b} {a}"
+            if tag not in candidates:
+                candidates.append(tag)
+        chosen = candidates[:n_tags]
+        ranks = rng.permutation(n_tags) + 1
+        popularity = 1.0 / np.power(ranks.astype(np.float64), zipf_exponent)
+        popularity *= 10_000.0  # scale to bookmark-count-like magnitudes
+        return cls(chosen, popularity)
+
+    # ------------------------------------------------------------------
+    @property
+    def tags(self) -> Sequence[str]:
+        """All tags, indexable by id."""
+        return tuple(self._tags)
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in set(self._tags)
+
+    def popularity(self, tag_id: int) -> float:
+        """Popularity weight of tag *tag_id*."""
+        require_in_range("tag_id", tag_id, 0, len(self._tags) - 1)
+        return float(self._popularity[tag_id])
+
+    def tags_containing(self, token: str) -> List[str]:
+        """Tags containing *token*, most popular first."""
+        indices = self._token_index.get(token.lower(), [])
+        ranked = sorted(indices, key=lambda i: (-self._popularity[i], self._tags[i]))
+        return [self._tags[i] for i in ranked]
+
+    def refine(self, seed_terms: Iterable[str], limit: Optional[int] = None) -> List[str]:
+        """Refine LDA *seed_terms* into tags (paper §6.1).
+
+        A tag qualifies when it shares at least one token with the seed
+        terms; qualifying tags are ranked by (matched-token count,
+        popularity) and truncated to *limit*.
+        """
+        terms = {t.lower() for t in seed_terms}
+        scores: Dict[int, int] = {}
+        for term in terms:
+            for idx in self._token_index.get(term, []):
+                scores[idx] = scores.get(idx, 0) + 1
+        ranked = sorted(
+            scores,
+            key=lambda i: (-scores[i], -self._popularity[i], self._tags[i]),
+        )
+        if limit is not None:
+            require_in_range("limit", limit, 1)
+            ranked = ranked[:limit]
+        return [self._tags[i] for i in ranked]

@@ -1,0 +1,55 @@
+"""Tokenization for tweets, topic labels and keyword queries (part of S9).
+
+A deliberately simple, deterministic tokenizer: lowercase, split on
+non-alphanumerics, drop short tokens and a small English stopword list.
+All topic matching in the library goes through this one module so that
+queries, topic labels and tweet text agree on token boundaries.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List
+
+__all__ = ["tokenize", "STOPWORDS"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Minimal stopword list - enough to keep LDA topics and tag matching clean
+#: without pulling in an external resource.
+STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a an and are as at be but by for from has have i if in into is it its
+    me my of on or our so that the their them they this to was we were what
+    when which who will with you your rt via amp
+    """.split()
+)
+
+
+def tokenize(text: str, *, min_length: int = 2, drop_stopwords: bool = True) -> List[str]:
+    """Split *text* into normalized tokens.
+
+    Parameters
+    ----------
+    text:
+        Arbitrary text (tweet, topic label, query string).
+    min_length:
+        Tokens shorter than this are dropped (digits-only tokens are kept
+        regardless, so model numbers like "5" in "iphone 5" survive).
+    drop_stopwords:
+        Whether to remove :data:`STOPWORDS`.
+
+    Examples
+    --------
+    >>> tokenize("Loving my new Samsung phone!")
+    ['loving', 'new', 'samsung', 'phone']
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    kept = []
+    for token in tokens:
+        if drop_stopwords and token in STOPWORDS:
+            continue
+        if len(token) < min_length and not token.isdigit():
+            continue
+        kept.append(token)
+    return kept

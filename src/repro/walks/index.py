@@ -1,0 +1,241 @@
+"""Walk index construction - Algorithm 6, ``INVERTTVHIT_INDEX`` (S7).
+
+For every node ``w`` the index stores ``R`` sampled L-length random walks
+(``I[R][n]``), a *time-variant visiting frequency* table ``H[L][n]`` whose
+entry ``H[j][v]`` is the maximum per-walk visiting frequency of node ``v``
+observed at walk step ``j`` (in units of ``1/R``), and a sampled reverse
+reachability index ``I_L[v]`` listing the walk start nodes whose walks
+reached ``v`` (the Monte-Carlo stand-in for "nodes that can reach v within L
+hops" used by Algorithms 1 and 4).
+
+The paper bounds the sample size ``R`` via the Hoeffding inequality;
+:func:`hoeffding_sample_size` reproduces that bound so callers can pick
+``R`` from a target accuracy instead of guessing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from .._utils import SeedLike, coerce_rng, require_in_range
+from ..exceptions import ConfigurationError, IndexNotBuiltError
+from ..graph import SocialGraph
+from .engine import WalkEngine, WalkRecord
+
+__all__ = ["WalkIndex", "hoeffding_sample_size"]
+
+
+def hoeffding_sample_size(epsilon: float, delta: float) -> int:
+    """Sample size ``R`` so a mean of [0,1] variables errs < *epsilon* w.p. >= 1-*delta*.
+
+    Standard Hoeffding bound: ``R >= ln(2/delta) / (2 * epsilon^2)``. The
+    paper invokes this to size its walk samples (§4.1).
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon!r}")
+    if not 0.0 < delta < 1.0:
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta!r}")
+    return int(math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon)))
+
+
+class WalkIndex:
+    """Materialized random-walk samples for every node of a graph.
+
+    Parameters
+    ----------
+    graph:
+        The social graph to index.
+    walk_length:
+        ``L`` - the maximum number of transitions per walk.
+    samples_per_node:
+        ``R`` - walks sampled from every node.
+    weighted:
+        Passed to :class:`~repro.walks.engine.WalkEngine`.
+    seed:
+        Seed or generator; a fixed seed makes the whole index deterministic.
+
+    Call :meth:`build` (or construct via :meth:`built`) before querying.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        walk_length: int,
+        samples_per_node: int,
+        *,
+        weighted: bool = True,
+        seed: SeedLike = None,
+    ):
+        require_in_range("walk_length", walk_length, 1)
+        require_in_range("samples_per_node", samples_per_node, 1)
+        self._graph = graph
+        self._length = int(walk_length)
+        self._samples = int(samples_per_node)
+        self._engine = WalkEngine(graph, weighted=weighted, seed=seed)
+        self._walks: Optional[List[List[WalkRecord]]] = None
+        self._hit_frequency: Optional[np.ndarray] = None
+        self._reverse: Optional[List[Set[int]]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def built(
+        cls,
+        graph: SocialGraph,
+        walk_length: int,
+        samples_per_node: int,
+        *,
+        weighted: bool = True,
+        seed: SeedLike = None,
+    ) -> "WalkIndex":
+        """Construct and immediately :meth:`build` an index."""
+        index = cls(
+            graph,
+            walk_length,
+            samples_per_node,
+            weighted=weighted,
+            seed=seed,
+        )
+        index.build()
+        return index
+
+    @property
+    def graph(self) -> SocialGraph:
+        """The indexed graph."""
+        return self._graph
+
+    @property
+    def walk_length(self) -> int:
+        """``L`` - maximum transitions per walk."""
+        return self._length
+
+    @property
+    def samples_per_node(self) -> int:
+        """``R`` - walks sampled per node."""
+        return self._samples
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        return self._walks is not None
+
+    def _require_built(self) -> None:
+        if self._walks is None:
+            raise IndexNotBuiltError("WalkIndex.build() has not been called")
+
+    # ------------------------------------------------------------------
+    def build(self) -> "WalkIndex":
+        """Run Algorithm 6: sample walks and fill I, H and I_L.
+
+        Idempotent: calling build twice leaves the first result in place.
+        """
+        if self._walks is not None:
+            return self
+        n = self._graph.n_nodes
+        length = self._length
+        samples = self._samples
+        inv_r = 1.0 / samples
+
+        walks: List[List[WalkRecord]] = [[] for _ in range(n)]
+        # Row j (1-based step) holds H[j][v]; row 0 stays zero.
+        hit = np.zeros((length + 1, n), dtype=np.float64)
+        reverse: List[Set[int]] = [set() for _ in range(n)]
+
+        for start in range(n):
+            for _ in range(samples):
+                record = self._sample_and_account(start, length, inv_r, hit, reverse)
+                walks[start].append(record)
+
+        self._walks = walks
+        self._hit_frequency = hit
+        self._reverse = reverse
+        return self
+
+    def _sample_and_account(
+        self,
+        start: int,
+        length: int,
+        inv_r: float,
+        hit: np.ndarray,
+        reverse: List[Set[int]],
+    ) -> WalkRecord:
+        """One walk plus its Algorithm 6 bookkeeping (lines 6-19)."""
+        path: List[int] = [start]
+        position: Dict[int, int] = {start: 0}
+        counts: List[int] = [1]
+        visited: Dict[int, float] = {start: inv_r}
+        current = start
+        steps = 0
+        for j in range(1, length + 1):
+            nxt = self._engine.step(current)
+            if nxt is None:
+                break
+            steps += 1
+            if nxt not in visited:
+                visited[nxt] = inv_r
+                position[nxt] = len(path)
+                path.append(nxt)
+                counts.append(1)
+                reverse[nxt].add(start)
+            else:
+                visited[nxt] += inv_r
+                counts[position[nxt]] += 1
+            if hit[j][nxt] < visited[nxt]:
+                hit[j][nxt] = visited[nxt]
+            current = nxt
+        return WalkRecord(
+            np.asarray(path, dtype=np.int64),
+            np.asarray(counts, dtype=np.int64),
+            steps,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def walks_from(self, node: int) -> List[WalkRecord]:
+        """The ``R`` walk records sampled from *node* (``I[.][node]``)."""
+        self._require_built()
+        return self._walks[self._graph._check_node(node)]
+
+    def hitting_frequency(self, step: int, node: int) -> float:
+        """``H[step][node]`` - max per-walk visit frequency at walk step *step*.
+
+        *step* is 1-based, matching the paper's Iteration-1 .. Iteration-L.
+        """
+        self._require_built()
+        require_in_range("step", step, 1, self._length)
+        return float(self._hit_frequency[step][self._graph._check_node(node)])
+
+    def hitting_frequencies(self) -> np.ndarray:
+        """The full ``H`` table, shape ``(L+1, n)``; row 0 is all zeros."""
+        self._require_built()
+        return self._hit_frequency
+
+    def reverse_reachable(self, node: int) -> np.ndarray:
+        """``I_L[node]`` - sampled set of start nodes whose walks hit *node*.
+
+        Sorted ``int64`` array; does not include *node* itself unless one of
+        its own walks looped back to it (it cannot: the start is recorded as
+        already visited).
+        """
+        self._require_built()
+        members = self._reverse[self._graph._check_node(node)]
+        return np.asarray(sorted(members), dtype=np.int64)
+
+    def reverse_reachable_set(self, node: int) -> Set[int]:
+        """``I_L[node]`` as a set (no copy of the internal set is exposed)."""
+        self._require_built()
+        return set(self._reverse[self._graph._check_node(node)])
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the index payload, in bytes."""
+        self._require_built()
+        total = self._hit_frequency.nbytes
+        for records in self._walks:
+            for record in records:
+                total += record.path.nbytes + record.visit_counts.nbytes
+        for members in self._reverse:
+            total += 8 * len(members)
+        return int(total)

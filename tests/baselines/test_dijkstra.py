@@ -1,0 +1,114 @@
+"""Unit tests for the BaseDijkstra baseline."""
+
+import pytest
+
+from repro.baselines import (
+    BaseDijkstraRanker,
+    max_probability_path,
+    path_probability,
+)
+from repro.graph import GraphBuilder
+from repro.topics import TopicIndex
+
+
+class TestPathProbability:
+    def test_product(self, chain_graph):
+        assert path_probability(chain_graph, [0, 1, 2]) == pytest.approx(0.25)
+
+    def test_single_node_path(self, chain_graph):
+        assert path_probability(chain_graph, [2]) == 1.0
+
+
+class TestMaxProbabilityPath:
+    def test_prefers_probable_path(self, diamond_graph):
+        # 0 -> 1 -> 3 has probability 0.25; direct 0 -> 3 only 0.1.
+        path = max_probability_path(diamond_graph, 0, 3)
+        assert path == [0, 1, 3]
+
+    def test_unreachable_returns_none(self, chain_graph):
+        assert max_probability_path(chain_graph, 4, 0) is None
+
+    def test_same_node(self, chain_graph):
+        assert max_probability_path(chain_graph, 2, 2) == [2]
+
+    def test_banned_edge_forces_detour(self, diamond_graph):
+        # Without 0->1 the two remaining routes tie at probability 0.1;
+        # either is a valid max-probability path.
+        path = max_probability_path(
+            diamond_graph, 0, 3, banned_edges={(0, 1)}
+        )
+        assert path in ([0, 2, 3], [0, 3])
+        assert path_probability(diamond_graph, path) == pytest.approx(0.1)
+
+    def test_banned_node_excluded(self, diamond_graph):
+        path = max_probability_path(diamond_graph, 0, 3, banned_nodes={1, 2})
+        assert path == [0, 3]
+
+    def test_banned_target_returns_none(self, diamond_graph):
+        assert max_probability_path(diamond_graph, 0, 3, banned_nodes={3}) is None
+
+
+class TestDistinctPaths:
+    @pytest.fixture
+    def ranker(self, diamond_graph):
+        topic_index = TopicIndex(4, {0: ["topic zero"]})
+        return BaseDijkstraRanker(diamond_graph, topic_index, max_alternatives=3)
+
+    def test_best_path_first(self, ranker):
+        paths = ranker.distinct_paths(0, 3)
+        assert paths[0] == [0, 1, 3]
+
+    def test_alternatives_are_distinct(self, ranker):
+        paths = ranker.distinct_paths(0, 3)
+        assert len({tuple(p) for p in paths}) == len(paths)
+
+    def test_unreachable_gives_no_paths(self, chain_graph):
+        topic_index = TopicIndex(5, {4: ["end topic"]})
+        ranker = BaseDijkstraRanker(chain_graph, topic_index)
+        assert ranker.distinct_paths(4, 0) == []
+
+    def test_max_alternatives_bound(self, diamond_graph):
+        topic_index = TopicIndex(4, {0: ["topic zero"]})
+        ranker = BaseDijkstraRanker(
+            diamond_graph, topic_index, max_alternatives=0
+        )
+        assert len(ranker.distinct_paths(0, 3)) == 1
+
+
+class TestNodeInfluence:
+    def test_aggregates_distinct_paths(self, diamond_graph):
+        topic_index = TopicIndex(4, {0: ["topic zero"]})
+        ranker = BaseDijkstraRanker(diamond_graph, topic_index, max_alternatives=3)
+        influence = ranker.node_influence(0, 3)
+        # Best path (0.25) plus one deviation (0.1): the edge-ban search
+        # yields one alternative per banned edge, and banning (1, 3) leaves
+        # node 1 with no outlet. The third route is deliberately missed -
+        # that under-counting is the approximation the paper penalizes
+        # BaseDijkstra for.
+        assert influence == pytest.approx(0.35)
+
+    def test_self_influence_zero(self, diamond_graph):
+        topic_index = TopicIndex(4, {0: ["topic zero"]})
+        ranker = BaseDijkstraRanker(diamond_graph, topic_index)
+        assert ranker.node_influence(3, 3) == 0.0
+
+
+class TestSearch:
+    def test_topic_ranking(self):
+        builder = GraphBuilder(4)
+        builder.add_edges([(1, 0, 0.8), (2, 0, 0.2), (3, 0, 0.1)])
+        graph = builder.build()
+        topic_index = TopicIndex(
+            4, {1: ["strong topic"], 2: ["weak topic"], 3: ["faint topic"]}
+        )
+        ranker = BaseDijkstraRanker(graph, topic_index)
+        results = ranker.search(0, "topic", k=3)
+        assert [r.label for r in results] == [
+            "strong topic", "weak topic", "faint topic"
+        ]
+
+    def test_reverse_tree_cached_per_user(self, diamond_graph):
+        topic_index = TopicIndex(4, {0: ["topic zero"]})
+        ranker = BaseDijkstraRanker(diamond_graph, topic_index)
+        ranker.search(3, "topic", k=1)
+        assert 3 in ranker._tree_cache

@@ -1,0 +1,86 @@
+"""Unit tests for the BaseMatrix baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaseMatrixRanker
+from repro.core import topic_influence_vector
+from repro.exceptions import ConfigurationError
+from repro.topics import TopicIndex
+
+
+@pytest.fixture
+def stack(diamond_graph):
+    topic_index = TopicIndex(
+        4, {0: ["upstream topic"], 1: ["middle topic"], 2: ["middle topic"]}
+    )
+    return diamond_graph, topic_index
+
+
+class TestInfluence:
+    def test_matches_walk_propagation(self, stack):
+        graph, topic_index = stack
+        ranker = BaseMatrixRanker(graph, topic_index, length=3)
+        topic = topic_index.resolve("middle topic")
+        expected = topic_influence_vector(
+            graph, topic_index.topic_nodes(topic), 3
+        )
+        assert np.allclose(ranker.influence_vector(topic), expected)
+
+    def test_materialized_equals_iterative(self, stack):
+        graph, topic_index = stack
+        iterative = BaseMatrixRanker(graph, topic_index, length=4)
+        materialized = BaseMatrixRanker(
+            graph, topic_index, length=4, materialize=True
+        )
+        for topic in range(topic_index.n_topics):
+            assert np.allclose(
+                iterative.influence_vector(topic),
+                materialized.influence_vector(topic),
+            )
+
+    def test_topic_influence_scalar(self, stack):
+        graph, topic_index = stack
+        ranker = BaseMatrixRanker(graph, topic_index, length=2)
+        topic = topic_index.resolve("upstream topic")
+        # Node 0 -> 3: 0.1 direct + 0.25 via 1 + 0.1 via 2.
+        assert ranker.topic_influence(topic, 3) == pytest.approx(0.45)
+
+    def test_search_ranks_topics(self, stack):
+        graph, topic_index = stack
+        ranker = BaseMatrixRanker(graph, topic_index, length=2)
+        results = ranker.search(3, "topic", k=2)
+        assert results[0].label == "upstream topic"
+
+    def test_length_validated(self, stack):
+        graph, topic_index = stack
+        with pytest.raises(ConfigurationError):
+            BaseMatrixRanker(graph, topic_index, length=0)
+
+
+class TestCaching:
+    def test_vector_cache(self, stack):
+        graph, topic_index = stack
+        ranker = BaseMatrixRanker(graph, topic_index, cache_vectors=True)
+        a = ranker.influence_vector(0)
+        b = ranker.influence_vector(0)
+        assert a is b
+
+    def test_no_cache_by_default(self, stack):
+        graph, topic_index = stack
+        ranker = BaseMatrixRanker(graph, topic_index)
+        a = ranker.influence_vector(0)
+        b = ranker.influence_vector(0)
+        assert a is not b
+
+    def test_memory_reporting(self, stack):
+        graph, topic_index = stack
+        ranker = BaseMatrixRanker(graph, topic_index, materialize=True)
+        assert ranker.memory_bytes() == 0  # nothing built yet
+        ranker.influence_vector(0)
+        assert ranker.memory_bytes() > 0
+
+    def test_cumulative_matrix_cached(self, stack):
+        graph, topic_index = stack
+        ranker = BaseMatrixRanker(graph, topic_index, materialize=True)
+        assert ranker.cumulative_power_matrix() is ranker.cumulative_power_matrix()

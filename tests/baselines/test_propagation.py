@@ -1,0 +1,81 @@
+"""Unit tests for the BasePropagation baseline."""
+
+import pytest
+
+from repro.baselines import BasePropagationRanker
+from repro.core import PropagationIndex
+from repro.exceptions import ConfigurationError
+from repro.graph import GraphBuilder
+from repro.topics import TopicIndex
+
+
+@pytest.fixture
+def stack():
+    builder = GraphBuilder(5)
+    builder.add_edges([
+        (1, 0, 0.5),
+        (2, 0, 0.3),
+        (3, 1, 0.4),    # 3 -> 1 -> 0 = 0.2
+        (4, 3, 0.02),   # below theta anywhere
+    ])
+    graph = builder.build()
+    topic_index = TopicIndex(
+        5, {1: ["near topic"], 3: ["mid topic"], 4: ["lost topic"]}
+    )
+    return graph, topic_index
+
+
+class TestTopicInfluence:
+    def test_direct_lookup(self, stack):
+        graph, topic_index = stack
+        ranker = BasePropagationRanker(graph, topic_index, theta=0.05)
+        near = topic_index.resolve("near topic")
+        assert ranker.topic_influence(near, 0) == pytest.approx(0.5)
+
+    def test_multi_hop_within_theta(self, stack):
+        graph, topic_index = stack
+        ranker = BasePropagationRanker(graph, topic_index, theta=0.05)
+        mid = topic_index.resolve("mid topic")
+        assert ranker.topic_influence(mid, 0) == pytest.approx(0.2)
+
+    def test_below_theta_invisible(self, stack):
+        graph, topic_index = stack
+        ranker = BasePropagationRanker(graph, topic_index, theta=0.05)
+        lost = topic_index.resolve("lost topic")
+        assert ranker.topic_influence(lost, 0) == 0.0
+
+    def test_averages_over_topic_nodes(self):
+        builder = GraphBuilder(3)
+        builder.add_edges([(1, 0, 0.4), (2, 0, 0.2)])
+        graph = builder.build()
+        topic_index = TopicIndex(3, {1: ["pair topic"], 2: ["pair topic"]})
+        ranker = BasePropagationRanker(graph, topic_index, theta=0.05)
+        assert ranker.topic_influence(0, 0) == pytest.approx((0.4 + 0.2) / 2)
+
+
+class TestSearch:
+    def test_ranks_by_influence(self, stack):
+        graph, topic_index = stack
+        ranker = BasePropagationRanker(graph, topic_index, theta=0.05)
+        results = ranker.search(0, "topic", k=3)
+        assert [r.label for r in results] == [
+            "near topic", "mid topic", "lost topic"
+        ]
+
+
+class TestSharedIndex:
+    def test_accepts_shared_index(self, stack):
+        graph, topic_index = stack
+        shared = PropagationIndex(graph, 0.05)
+        ranker = BasePropagationRanker(
+            graph, topic_index, propagation_index=shared
+        )
+        assert ranker.propagation_index is shared
+
+    def test_rejects_foreign_index(self, stack, chain_graph):
+        graph, topic_index = stack
+        foreign = PropagationIndex(chain_graph, 0.05)
+        with pytest.raises(ConfigurationError):
+            BasePropagationRanker(
+                graph, topic_index, propagation_index=foreign
+            )

@@ -1,0 +1,100 @@
+"""Unit tests for the relevance-only and hybrid rankers."""
+
+import pytest
+
+from repro.baselines import HybridRanker, RelevanceOnlyRanker
+from repro.core import PropagationIndex, PersonalizedSearcher, TopicSummary
+from repro.exceptions import ConfigurationError
+from repro.graph import GraphBuilder
+from repro.topics import TopicIndex
+
+
+@pytest.fixture
+def stack():
+    builder = GraphBuilder(4)
+    builder.add_edges([(1, 0, 0.9), (2, 0, 0.1)])
+    graph = builder.build()
+    topic_index = TopicIndex(
+        4,
+        {
+            1: ["phone phone deals"],   # term-heavy label
+            2: ["samsung phone"],
+        },
+    )
+    return graph, topic_index
+
+
+@pytest.fixture
+def influence_search(stack):
+    graph, topic_index = stack
+    heavy = topic_index.resolve("phone phone deals")
+    samsung = topic_index.resolve("samsung phone")
+    summaries = {
+        heavy: TopicSummary(heavy, {1: 1.0}),
+        samsung: TopicSummary(samsung, {2: 1.0}),
+    }
+    searcher = PersonalizedSearcher(
+        topic_index, summaries, PropagationIndex(graph, 0.05)
+    )
+    return lambda user, query, k: searcher.search(user, query, k)[0]
+
+
+class TestRelevanceOnly:
+    def test_same_ranking_for_all_users(self, stack):
+        graph, topic_index = stack
+        ranker = RelevanceOnlyRanker(graph, topic_index)
+        a = [r.topic_id for r in ranker.search(0, "phone", k=2)]
+        b = [r.topic_id for r in ranker.search(3, "phone", k=2)]
+        assert a == b
+
+    def test_term_frequency_drives_ranking(self, stack):
+        graph, topic_index = stack
+        ranker = RelevanceOnlyRanker(graph, topic_index)
+        results = ranker.search(0, "phone", k=2)
+        # "phone phone deals" repeats the query term.
+        assert results[0].label == "phone phone deals"
+
+    def test_only_related_topics_returned(self, stack):
+        graph, topic_index = stack
+        ranker = RelevanceOnlyRanker(graph, topic_index)
+        assert ranker.search(0, "samsung", k=5)[0].label == "samsung phone"
+        assert len(ranker.search(0, "samsung", k=5)) == 1
+
+
+class TestHybrid:
+    def test_weight_zero_is_pure_relevance(self, stack, influence_search):
+        graph, topic_index = stack
+        hybrid = HybridRanker(
+            topic_index, influence_search, influence_weight=0.0
+        )
+        relevance = RelevanceOnlyRanker(graph, topic_index)
+        assert [r.topic_id for r in hybrid.search(0, "phone", 2)] == [
+            r.topic_id for r in relevance.search(0, "phone", 2)
+        ]
+
+    def test_weight_one_is_pure_influence(self, stack, influence_search):
+        _, topic_index = stack
+        hybrid = HybridRanker(
+            topic_index, influence_search, influence_weight=1.0
+        )
+        results = hybrid.search(0, "phone", 2)
+        # Influence: node 1 (0.9) carries "phone phone deals".
+        assert results[0].label == "phone phone deals"
+
+    def test_blend_changes_with_weight(self, stack, influence_search):
+        _, topic_index = stack
+        low = HybridRanker(topic_index, influence_search, influence_weight=0.1)
+        high = HybridRanker(topic_index, influence_search, influence_weight=0.9)
+        low_scores = {r.topic_id: r.influence for r in low.search(0, "phone", 2)}
+        high_scores = {r.topic_id: r.influence for r in high.search(0, "phone", 2)}
+        assert low_scores != high_scores
+
+    def test_no_related_topics(self, stack, influence_search):
+        _, topic_index = stack
+        hybrid = HybridRanker(topic_index, influence_search)
+        assert hybrid.search(0, "zzz qqq", 2) == []
+
+    def test_weight_validated(self, stack, influence_search):
+        _, topic_index = stack
+        with pytest.raises(ConfigurationError):
+            HybridRanker(topic_index, influence_search, influence_weight=1.5)

@@ -1,0 +1,113 @@
+"""Unit tests for Algorithm 4 centroid selection."""
+
+import pytest
+
+from repro.core.rcl import closeness_centrality, select_central, vote_candidates
+from repro.exceptions import ConfigurationError
+from repro.graph import GraphBuilder, SocialGraph
+
+
+@pytest.fixture
+def star_graph():
+    """Node 0 reaches 1..4 directly; node 5 reaches them through 0."""
+    builder = GraphBuilder(6)
+    for leaf in (1, 2, 3, 4):
+        builder.add_edge(0, leaf, 0.5)
+    builder.add_edge(5, 0, 0.5)
+    return builder.build()
+
+
+class TestClosenessCentrality:
+    def test_center_of_star(self, star_graph):
+        group = [1, 2, 3, 4]
+        # Node 0 reaches all four leaves in one hop.
+        assert closeness_centrality(star_graph, 0, group, max_hops=4) == pytest.approx(1.0)
+
+    def test_distance_two_node(self, star_graph):
+        group = [1, 2, 3, 4]
+        assert closeness_centrality(star_graph, 5, group, max_hops=4) == pytest.approx(0.5)
+
+    def test_unreachable_penalized(self, star_graph):
+        # Leaf 1 reaches nothing; centrality uses the unreachable penalty.
+        group = [2, 3]
+        score = closeness_centrality(star_graph, 1, group, max_hops=3)
+        assert score == pytest.approx(2 / (4 + 4))
+
+    def test_singleton_self_group_infinite(self, star_graph):
+        assert closeness_centrality(star_graph, 1, [1], max_hops=2) == float("inf")
+
+    def test_empty_group_rejected(self, star_graph):
+        with pytest.raises(ConfigurationError):
+            closeness_centrality(star_graph, 0, [], max_hops=2)
+
+    def test_custom_unreachable_distance(self, star_graph):
+        score = closeness_centrality(
+            star_graph, 1, [2], max_hops=2, unreachable_distance=10
+        )
+        assert score == pytest.approx(1 / 10)
+
+
+class TestVoteCandidates:
+    def test_votes_count_reachability(self, star_graph):
+        candidates, votes = vote_candidates(star_graph, [1, 2], max_hops=2)
+        # Node 0 reaches both leaves (2 votes); node 5 reaches both via 0.
+        assert votes[0] == 2
+        assert votes[5] == 2
+        # Members vote for themselves once each.
+        assert votes[1] == 1 and votes[2] == 1
+        assert set(candidates) == {0, 5}
+
+    def test_members_can_be_candidates(self, star_graph):
+        candidates, votes = vote_candidates(star_graph, [1], max_hops=2)
+        assert votes[1] == 1
+
+    def test_exclude_members(self, star_graph):
+        _, votes = vote_candidates(
+            star_graph, [1, 2], max_hops=2, include_members=False
+        )
+        assert 1 not in votes or votes[1] == 0
+
+    def test_empty_group_rejected(self, star_graph):
+        with pytest.raises(ConfigurationError):
+            vote_candidates(star_graph, [], max_hops=2)
+
+    def test_sampled_index_variant(self, star_graph):
+        from repro.walks import WalkIndex
+
+        walk_index = WalkIndex.built(star_graph, 2, 30, seed=1)
+        candidates, votes = vote_candidates(
+            star_graph, [1, 2], max_hops=2, walk_index=walk_index
+        )
+        assert votes.get(0) == 2  # 0's walks hit each leaf w.h.p. with R=30
+
+
+class TestSelectCentral:
+    def test_star_center_selected(self, star_graph):
+        best = select_central(star_graph, [1, 2, 3, 4], max_hops=2)
+        assert best == 0
+
+    def test_candidate_cap_applies(self, star_graph):
+        best = select_central(star_graph, [1, 2, 3, 4], max_hops=2, max_candidates=1)
+        # With a single candidate allowed, degree tie-break picks node 0.
+        assert best == 0
+
+    def test_fallback_without_votes(self):
+        # Isolated pair: nothing reaches the group, fallback = max out-degree.
+        graph = SocialGraph(3, [(0, 1, 0.5), (0, 2, 0.5)])
+        best = select_central(graph, [1, 2], max_hops=1)
+        # Voting: node 0 reaches both -> candidate; this exercises the
+        # normal path instead. Build a graph with truly unreachable group:
+        lonely = SocialGraph(2, [])
+        from repro.walks import WalkIndex
+
+        walk_index = WalkIndex.built(lonely, 2, 2, seed=1)
+        assert select_central(lonely, [0, 1], max_hops=2, walk_index=walk_index) in (0, 1)
+
+    def test_chain_centroid(self, chain_graph):
+        # Group {2, 3}: node 2 reaches 3 in 1 hop and itself in 0.
+        best = select_central(chain_graph, [2, 3], max_hops=3)
+        assert best in (1, 2)  # both reach the group quickly
+
+    def test_invalid_max_candidates(self, star_graph):
+        with pytest.raises(ConfigurationError):
+            select_central(star_graph, [1], max_hops=2, max_candidates=0)

@@ -1,0 +1,88 @@
+"""Unit tests for summary diagnostics."""
+
+import math
+
+import pytest
+
+from repro.core import TopicSummary, diagnose_summary, diagnostics_table
+from repro.graph import SocialGraph
+from repro.topics import TopicIndex
+
+
+@pytest.fixture
+def stack(chain_graph):
+    topic_index = TopicIndex(5, {1: ["mid topic"], 2: ["mid topic"],
+                                 4: ["end topic"]})
+    return chain_graph, topic_index
+
+
+class TestDiagnoseSummary:
+    def test_topic_node_representative(self, stack):
+        graph, topic_index = stack
+        topic = topic_index.resolve("mid topic")
+        summary = TopicSummary(topic, {1: 0.5, 2: 0.5})
+        diag = diagnose_summary(graph, topic_index, summary)
+        assert diag.topic_size == 2
+        assert diag.n_representatives == 2
+        assert diag.total_weight == pytest.approx(1.0)
+        assert diag.representative_overlap == 1.0
+        assert diag.mean_distance_to_topic == 0.0
+        assert diag.l1_error is None
+
+    def test_upstream_representative_distance(self, stack):
+        graph, topic_index = stack
+        topic = topic_index.resolve("mid topic")
+        # Node 0 reaches topic node 1 in one hop.
+        summary = TopicSummary(topic, {0: 1.0})
+        diag = diagnose_summary(graph, topic_index, summary)
+        assert diag.representative_overlap == 0.0
+        assert diag.mean_distance_to_topic == 1.0
+
+    def test_unreachable_representative_capped(self, stack):
+        graph, topic_index = stack
+        topic = topic_index.resolve("mid topic")
+        # Node 4 is downstream of everything: cannot reach topic nodes.
+        summary = TopicSummary(topic, {4: 1.0})
+        diag = diagnose_summary(graph, topic_index, summary, distance_cap=3)
+        assert diag.mean_distance_to_topic == 4.0  # cap + 1
+
+    def test_entropy_extremes(self, stack):
+        graph, topic_index = stack
+        topic = topic_index.resolve("mid topic")
+        concentrated = diagnose_summary(
+            graph, topic_index, TopicSummary(topic, {1: 1.0})
+        )
+        balanced = diagnose_summary(
+            graph, topic_index, TopicSummary(topic, {1: 0.5, 2: 0.5})
+        )
+        assert concentrated.weight_entropy == 0.0
+        assert balanced.weight_entropy == pytest.approx(1.0)
+
+    def test_error_computed_on_request(self, stack):
+        graph, topic_index = stack
+        topic = topic_index.resolve("mid topic")
+        summary = TopicSummary(topic, {1: 0.5, 2: 0.5})
+        diag = diagnose_summary(
+            graph, topic_index, summary, compute_error=True
+        )
+        assert diag.l1_error == pytest.approx(0.0)
+
+    def test_empty_summary(self, stack):
+        graph, topic_index = stack
+        topic = topic_index.resolve("end topic")
+        diag = diagnose_summary(graph, topic_index, TopicSummary(topic, {}))
+        assert diag.n_representatives == 0
+        assert math.isnan(diag.mean_distance_to_topic)
+
+
+class TestDiagnosticsTable:
+    def test_table_rows(self, stack):
+        graph, topic_index = stack
+        summaries = [
+            TopicSummary(topic_index.resolve("mid topic"), {1: 1.0}),
+            TopicSummary(topic_index.resolve("end topic"), {4: 1.0}),
+        ]
+        table = diagnostics_table(graph, topic_index, summaries)
+        assert len(table.rows) == 2
+        assert table.rows[0][0] == "mid topic"
+        assert table.rows[0][-1] == "-"  # error not computed

@@ -1,0 +1,168 @@
+"""Unit tests for dynamic maintenance (paper §4.4)."""
+
+import pytest
+
+from repro.core import (
+    PITEngine,
+    TopicUpdate,
+    apply_topic_update,
+    invalidate_propagation,
+    refresh_walk_index,
+    updated_topic_index,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph import preferential_attachment_graph
+from repro.topics import TopicIndex
+
+
+@pytest.fixture
+def graph():
+    return preferential_attachment_graph(60, 3, seed=4)
+
+
+@pytest.fixture
+def topic_index():
+    return TopicIndex(
+        60,
+        {
+            0: ["alpha topic"],
+            1: ["alpha topic", "beta topic"],
+            2: ["beta topic"],
+            3: ["gamma topic"],
+        },
+    )
+
+
+@pytest.fixture
+def engine(graph, topic_index):
+    return PITEngine(
+        graph, topic_index, summarizer="lrw", samples_per_node=5, seed=4
+    )
+
+
+class TestTopicUpdate:
+    def test_builders(self):
+        update = TopicUpdate.adding(5, "x topic").merged_with(
+            TopicUpdate.removing(6, "y topic")
+        )
+        assert update.add == {5: ("x topic",)}
+        assert update.remove == {6: ("y topic",)}
+
+    def test_merge_concatenates(self):
+        a = TopicUpdate.adding(5, "x topic")
+        b = TopicUpdate.adding(5, "y topic")
+        assert a.merged_with(b).add[5] == ("x topic", "y topic")
+
+
+class TestUpdatedTopicIndex:
+    def test_addition_grows_membership(self, topic_index):
+        update = TopicUpdate.adding(5, "alpha topic")
+        new = updated_topic_index(topic_index, update)
+        assert 5 in new.topic_nodes("alpha topic").tolist()
+
+    def test_removal_shrinks_membership(self, topic_index):
+        update = TopicUpdate.removing(1, "beta topic")
+        new = updated_topic_index(topic_index, update)
+        assert 1 not in new.topic_nodes("beta topic").tolist()
+
+    def test_new_topic_created(self, topic_index):
+        update = TopicUpdate.adding(5, "delta topic")
+        new = updated_topic_index(topic_index, update)
+        assert "delta topic" in new
+
+    def test_topic_vanishes_with_last_member(self, topic_index):
+        update = TopicUpdate.removing(3, "gamma topic")
+        new = updated_topic_index(topic_index, update)
+        assert "gamma topic" not in new
+
+    def test_removing_absent_label_rejected(self, topic_index):
+        update = TopicUpdate.removing(0, "beta topic")
+        with pytest.raises(ConfigurationError, match="does not carry"):
+            updated_topic_index(topic_index, update)
+
+    def test_out_of_range_node_rejected(self, topic_index):
+        with pytest.raises(ConfigurationError):
+            updated_topic_index(topic_index, TopicUpdate.adding(99, "x"))
+
+    def test_duplicate_addition_idempotent(self, topic_index):
+        update = TopicUpdate.adding(0, "alpha topic")
+        new = updated_topic_index(topic_index, update)
+        assert new.topic_nodes("alpha topic").tolist() == \
+            topic_index.topic_nodes("alpha topic").tolist()
+
+
+class TestApplyToEngine:
+    def test_unchanged_summaries_kept(self, engine):
+        engine.summary(engine.topic_index.resolve("alpha topic"))
+        engine.summary(engine.topic_index.resolve("gamma topic"))
+        stats = apply_topic_update(
+            engine, TopicUpdate.adding(5, "beta topic")
+        )
+        # alpha and gamma memberships unchanged -> summaries survive.
+        assert stats["kept"] == 2
+        assert stats["invalidated"] == 0
+
+    def test_changed_summary_invalidated(self, engine):
+        engine.summary(engine.topic_index.resolve("beta topic"))
+        stats = apply_topic_update(
+            engine, TopicUpdate.adding(5, "beta topic")
+        )
+        assert stats["invalidated"] == 1
+
+    def test_search_works_after_update(self, engine):
+        before = engine.search(0, "topic", k=2)
+        apply_topic_update(engine, TopicUpdate.adding(5, "delta topic"))
+        after = engine.search(0, "topic", k=2)
+        assert isinstance(after, list)
+        assert engine.topic_index.n_topics == 4
+
+    def test_rekeyed_summary_matches_new_ids(self, engine):
+        alpha_old = engine.topic_index.resolve("alpha topic")
+        engine.summary(alpha_old)
+        apply_topic_update(engine, TopicUpdate.adding(7, "aaaa topic"))
+        alpha_new = engine.topic_index.resolve("alpha topic")
+        assert alpha_new != alpha_old  # "aaaa" sorts first, ids shift
+        cached = engine._summaries[alpha_new]
+        assert cached.topic_id == alpha_new
+
+
+class TestInvalidatePropagation:
+    def test_affected_entries_dropped(self, engine):
+        index = engine.propagation_index
+        entry = index.entry(0)
+        some_member = next(iter(entry.gamma)) if entry.gamma else 0
+        dropped = invalidate_propagation(index, [some_member])
+        assert dropped >= 1
+        assert 0 not in index._entries
+
+    def test_unrelated_entries_survive(self):
+        from repro.core import PropagationIndex
+        from repro.graph import SocialGraph
+
+        # Two disjoint chains: changes in one cannot affect the other.
+        graph = SocialGraph(
+            6, [(0, 1, 0.5), (1, 2, 0.5), (3, 4, 0.5), (4, 5, 0.5)]
+        )
+        index = PropagationIndex(graph, 0.1)
+        index.entry(2)  # Gamma = {0, 1}
+        index.entry(5)  # Gamma = {3, 4}
+        dropped = invalidate_propagation(index, [3])
+        assert dropped == 1
+        assert 2 in index._entries
+        assert 5 not in index._entries
+
+    def test_empty_update_noop(self, engine):
+        index = engine.propagation_index
+        index.entry(0)
+        assert invalidate_propagation(index, []) == 0
+
+
+class TestRefreshWalkIndex:
+    def test_everything_derived_resets(self, engine):
+        _ = engine.walk_index
+        engine.summary(0)
+        refresh_walk_index(engine)
+        assert engine._walk_index is None
+        assert engine.n_summaries == 0
+        # And it rebuilds on demand.
+        assert engine.walk_index.is_built

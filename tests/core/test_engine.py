@@ -1,0 +1,108 @@
+"""Unit tests for the PITEngine facade."""
+
+import pytest
+
+from repro.core import PITEngine, Summarizer, TopicSummary
+from repro.datasets import data_2k
+from repro.exceptions import ConfigurationError
+from repro.graph import GraphBuilder
+from repro.topics import TopicIndex
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return data_2k(seed=17, n_nodes=300, with_corpus=False)
+
+
+@pytest.fixture()
+def engine(bundle):
+    return PITEngine.from_dataset(
+        bundle, summarizer="lrw", samples_per_node=5, seed=17
+    )
+
+
+class TestConstruction:
+    def test_node_count_mismatch_rejected(self):
+        builder = GraphBuilder(4)
+        builder.add_edge(0, 1, 0.5)
+        graph = builder.build()
+        index = TopicIndex(9, {0: ["t"]})
+        with pytest.raises(ConfigurationError):
+            PITEngine(graph, index)
+
+    def test_unknown_summarizer_rejected(self, bundle):
+        engine = PITEngine.from_dataset(bundle, summarizer="nope")
+        with pytest.raises(ConfigurationError):
+            _ = engine.summarizer
+
+    def test_custom_summarizer_instance(self, bundle):
+        class Fixed(Summarizer):
+            name = "fixed"
+
+            def summarize(self, topic_id):
+                return TopicSummary(topic_id, {0: 1.0})
+
+        engine = PITEngine.from_dataset(bundle, summarizer=Fixed())
+        assert engine.summary(0).weights == {0: 1.0}
+
+
+class TestLazyBuild:
+    def test_walk_index_lazy(self, engine):
+        assert engine._walk_index is None
+        _ = engine.walk_index
+        assert engine._walk_index is not None
+        assert engine.walk_index is engine._walk_index
+
+    def test_summary_cached(self, engine):
+        first = engine.summary(0)
+        assert engine.summary(0) is first
+        assert engine.n_summaries == 1
+
+    def test_build_warms_selected_topics(self, engine):
+        engine.build(topics=[0, 1, 2])
+        assert engine.n_summaries == 3
+
+    def test_summary_accepts_labels(self, engine, bundle):
+        label = bundle.topic_index.labels[0]
+        summary = engine.summary(bundle.topic_index.resolve(label))
+        assert summary.topic_id == 0
+
+
+class TestSearch:
+    def test_search_returns_ranked_results(self, engine):
+        results = engine.search(3, "phone", k=4)
+        assert len(results) <= 4
+        influences = [r.influence for r in results]
+        assert influences == sorted(influences, reverse=True)
+
+    def test_with_stats(self, engine):
+        results, stats = engine.search(3, "phone", k=2, with_stats=True)
+        assert stats.topics_considered >= len(results)
+
+    def test_unknown_query_empty(self, engine):
+        assert engine.search(3, "zzzqqq xyzzy", k=3) == []
+
+    def test_deterministic_across_instances(self, bundle):
+        a = PITEngine.from_dataset(
+            bundle, summarizer="lrw", samples_per_node=5, seed=99
+        ).search(5, "music", k=3)
+        b = PITEngine.from_dataset(
+            bundle, summarizer="lrw", samples_per_node=5, seed=99
+        ).search(5, "music", k=3)
+        assert [(r.topic_id, r.influence) for r in a] == [
+            (r.topic_id, r.influence) for r in b
+        ]
+
+    def test_rcl_engine_runs(self, bundle):
+        engine = PITEngine.from_dataset(
+            bundle, summarizer="rcl", samples_per_node=5, seed=17
+        )
+        results = engine.search(3, "music", k=2)
+        assert len(results) <= 2
+
+
+class TestMemory:
+    def test_memory_grows_with_use(self, engine):
+        before = engine.memory_bytes()
+        engine.search(3, "phone", k=2)
+        assert engine.memory_bytes() > before

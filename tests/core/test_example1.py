@@ -1,0 +1,105 @@
+"""End-to-end test of the paper's Example 1 (Figures 1-2).
+
+User 3 issues ``q = {phone}``; exact influence computation must rank
+``samsung phone`` (t2) above ``apple phone`` (t1) above ``htc phone`` (t3),
+and the dominant t1 path ``5 -> 3`` must carry probability 0.6.
+"""
+
+import pytest
+
+from repro.baselines import BaseDijkstraRanker, BaseMatrixRanker
+from repro.core import PropagationIndex, topic_influence_vector
+from repro.topics import TopicIndex
+
+from ..conftest import EXAMPLE1_TOPICS
+
+
+@pytest.fixture
+def example1_index(example1_topic_assignment):
+    return TopicIndex(16, example1_topic_assignment)
+
+
+class TestFigure2PathTable:
+    """The exact simple-path decomposition of t1's influence on User 3."""
+
+    def test_t1_path_table_reproduced(self, example1_graph, example1_index):
+        from repro.core import enumerate_simple_paths
+
+        nodes = example1_index.topic_nodes("apple phone")
+        by_path = {}
+        for source in nodes:
+            for path, probability in enumerate_simple_paths(
+                example1_graph, int(source), 3, 7
+            ):
+                by_path[path] = probability
+        # The paper's Figure 2 rows.
+        assert by_path[(5, 3)] == pytest.approx(0.600)
+        assert by_path[(2, 1, 3)] == pytest.approx(0.060)
+        assert by_path[(13, 12, 10, 6, 3)] == pytest.approx(0.024)
+        assert by_path[(9, 8, 13, 12, 10, 6, 3)] == pytest.approx(
+            0.001, abs=5e-4
+        )
+
+    def test_t1_final_score(self, example1_graph, example1_index):
+        from repro.core import simple_path_influence
+
+        nodes = example1_index.topic_nodes("apple phone")
+        score = simple_path_influence(example1_graph, nodes, 3, 7)
+        # The paper aggregates to 0.137.
+        assert score == pytest.approx(0.137, abs=0.005)
+
+
+class TestInfluenceStructure:
+    def test_direct_path_probability(self, example1_graph):
+        assert example1_graph.edge_probability(5, 3) == 0.6
+
+    def test_two_hop_path_probability(self, example1_graph):
+        # 2 -> 1 -> 3 = 0.2 * 0.3 = 0.06 (the paper's table row).
+        assert (
+            example1_graph.edge_probability(2, 1)
+            * example1_graph.edge_probability(1, 3)
+            == pytest.approx(0.06)
+        )
+
+    def test_topic_influences_rank_as_in_paper(self, example1_graph, example1_index):
+        influences = {}
+        for label in EXAMPLE1_TOPICS:
+            nodes = example1_index.topic_nodes(label)
+            vector = topic_influence_vector(example1_graph, nodes, 6)
+            influences[label] = float(vector[3])
+        # The paper finds t2 (samsung) most influential for user 3,
+        # then t1 (apple), then t3 (htc).
+        assert influences["samsung phone"] > influences["apple phone"]
+        assert influences["apple phone"] > influences["htc phone"]
+
+    def test_different_user_different_ranking(self, example1_graph, example1_index):
+        # For user 7 the paper returns t3 (htc) as top-1.
+        influences = {}
+        for label in EXAMPLE1_TOPICS:
+            nodes = example1_index.topic_nodes(label)
+            vector = topic_influence_vector(example1_graph, nodes, 6)
+            influences[label] = float(vector[7])
+        top = max(influences, key=influences.get)
+        assert top == "htc phone"
+
+
+class TestBaselineAgreement:
+    def test_matrix_ranker_returns_samsung_for_user3(
+        self, example1_graph, example1_index
+    ):
+        ranker = BaseMatrixRanker(example1_graph, example1_index)
+        results = ranker.search(3, "phone", k=3)
+        assert results[0].label == "samsung phone"
+
+    def test_dijkstra_agrees_on_top1(self, example1_graph, example1_index):
+        ranker = BaseDijkstraRanker(example1_graph, example1_index)
+        results = ranker.search(3, "phone", k=3)
+        assert results[0].label == "samsung phone"
+
+
+class TestPropagationView:
+    def test_gamma_of_user3_contains_direct_influencers(self, example1_graph):
+        index = PropagationIndex(example1_graph, 0.05)
+        gamma = index.entry(3).gamma
+        assert gamma[5] == pytest.approx(0.6)
+        assert 1 in gamma

@@ -1,0 +1,142 @@
+"""Unit tests for walk-based influence propagation."""
+
+import numpy as np
+import pytest
+
+from repro.core import propagate_influence, source_vector, topic_influence_vector
+from repro.exceptions import ConfigurationError
+from repro.graph import SocialGraph
+
+
+class TestSourceVector:
+    def test_from_mapping(self, chain_graph):
+        vector = source_vector(chain_graph, {0: 0.5, 2: 0.25})
+        assert vector.tolist() == [0.5, 0.0, 0.25, 0.0, 0.0]
+
+    def test_from_array_copied(self, chain_graph):
+        original = np.zeros(5)
+        vector = source_vector(chain_graph, original)
+        vector[0] = 1.0
+        assert original[0] == 0.0
+
+    def test_bad_shape_rejected(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            source_vector(chain_graph, np.zeros(3))
+
+    def test_negative_weight_rejected(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            source_vector(chain_graph, {0: -1.0})
+
+    def test_duplicate_nodes_accumulate(self, chain_graph):
+        vector = source_vector(chain_graph, {0: 0.5})
+        assert vector[0] == 0.5
+
+
+class TestPropagation:
+    def test_chain_single_step(self, chain_graph):
+        # weight 1 at node 0, length 1: only node 1 receives 0.5.
+        result = propagate_influence(chain_graph, {0: 1.0}, 1)
+        assert result.tolist() == [0.0, 0.5, 0.0, 0.0, 0.0]
+
+    def test_chain_multi_step_products(self, chain_graph):
+        result = propagate_influence(chain_graph, {0: 1.0}, 3)
+        assert result[1] == pytest.approx(0.5)
+        assert result[2] == pytest.approx(0.25)
+        assert result[3] == pytest.approx(0.125)
+        assert result[4] == 0.0  # needs 4 hops
+
+    def test_diamond_aggregates_paths(self, diamond_graph):
+        result = propagate_influence(diamond_graph, {0: 1.0}, 2)
+        # 0->3 direct (0.1) + 0->1->3 (0.25) + 0->2->3 (0.1)
+        assert result[3] == pytest.approx(0.1 + 0.5 * 0.5 + 0.4 * 0.25)
+
+    def test_include_source_mass(self, chain_graph):
+        result = propagate_influence(
+            chain_graph, {0: 1.0}, 1, include_source_mass=True
+        )
+        assert result[0] == 1.0
+
+    def test_length_validated(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            propagate_influence(chain_graph, {0: 1.0}, 0)
+
+    def test_linearity_in_sources(self, diamond_graph):
+        a = propagate_influence(diamond_graph, {0: 1.0}, 3)
+        b = propagate_influence(diamond_graph, {1: 1.0}, 3)
+        combined = propagate_influence(diamond_graph, {0: 1.0, 1: 1.0}, 3)
+        assert np.allclose(combined, a + b)
+
+    def test_walk_counting_includes_cycles(self, triangle_graph):
+        # Walks (not simple paths): after 3 steps mass returns to node 0.
+        result = propagate_influence(triangle_graph, {0: 1.0}, 3)
+        assert result[0] == pytest.approx(0.5 * 0.25 * 0.75)
+
+
+class TestSimplePaths:
+    def test_enumerates_all_diamond_paths(self, diamond_graph):
+        from repro.core import enumerate_simple_paths
+
+        paths = dict(enumerate_simple_paths(diamond_graph, 0, 3, 4))
+        assert paths == pytest.approx({
+            (0, 3): 0.1,
+            (0, 1, 3): 0.25,
+            (0, 2, 3): 0.1,
+        })
+
+    def test_respects_length_bound(self, diamond_graph):
+        from repro.core import enumerate_simple_paths
+
+        paths = dict(enumerate_simple_paths(diamond_graph, 0, 3, 1))
+        assert set(paths) == {(0, 3)}
+
+    def test_no_cycles(self, triangle_graph):
+        from repro.core import enumerate_simple_paths
+
+        paths = dict(enumerate_simple_paths(triangle_graph, 0, 0, 5))
+        assert paths == {}  # a path back to the source would be a cycle
+
+    def test_budget_enforced(self):
+        from repro.core import enumerate_simple_paths
+        from repro.exceptions import BudgetExceededError
+        from repro.graph import SocialGraph
+
+        # Dense 8-clique: far more than 5 simple paths 0 -> 7.
+        edges = [
+            (u, v, 0.5) for u in range(8) for v in range(8) if u != v
+        ]
+        graph = SocialGraph(8, edges)
+        with pytest.raises(BudgetExceededError):
+            list(enumerate_simple_paths(graph, 0, 7, 7, max_paths=5))
+
+    def test_simple_path_influence_averages(self, diamond_graph):
+        from repro.core import simple_path_influence
+
+        # Sources {0, 1}: node 0 contributes 0.45, node 1 contributes 0.5.
+        value = simple_path_influence(diamond_graph, [0, 1], 3, 3)
+        assert value == pytest.approx((0.45 + 0.5) / 2)
+
+    def test_source_equal_target_skipped(self, diamond_graph):
+        from repro.core import simple_path_influence
+
+        assert simple_path_influence(diamond_graph, [3], 3, 3) == 0.0
+
+    def test_walks_upper_bound_simple_paths(self, triangle_graph):
+        # Walk counting includes cyclic walks, so it dominates the
+        # simple-path sum on any graph with cycles.
+        from repro.core import simple_path_influence
+
+        walks = propagate_influence(triangle_graph, {0: 1.0}, 6)[0]
+        paths = simple_path_influence(triangle_graph, [0], 0, 6)
+        assert walks >= paths
+
+
+class TestTopicInfluence:
+    def test_uniform_local_weights(self, chain_graph):
+        result = topic_influence_vector(chain_graph, [0, 1], 1)
+        # Each topic node has weight 1/2: node 1 gets 0.5*0.5, node 2 gets 0.5*0.5
+        assert result[1] == pytest.approx(0.25)
+        assert result[2] == pytest.approx(0.25)
+
+    def test_empty_topic_rejected(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            topic_influence_vector(chain_graph, [], 2)

@@ -1,0 +1,108 @@
+"""Unit tests for the LRW-A summarizer pipeline (Algorithm 9)."""
+
+import pytest
+
+from repro.core.lrw import LRWSummarizer
+from repro.exceptions import ConfigurationError
+from repro.graph import preferential_attachment_graph
+from repro.topics import TopicIndex
+from repro.walks import WalkIndex
+
+
+@pytest.fixture(scope="module")
+def stack():
+    graph = preferential_attachment_graph(120, 4, seed=6)
+    topic_index = TopicIndex(
+        120,
+        {v: ["wide topic"] for v in range(0, 40)}
+        | {v: ["narrow topic"] for v in (50, 51)},
+    )
+    walk_index = WalkIndex.built(graph, 4, 15, seed=6)
+    return graph, topic_index, walk_index
+
+
+class TestConstruction:
+    def test_foreign_walk_index_rejected(self, stack):
+        graph, topic_index, _ = stack
+        other = preferential_attachment_graph(30, 2, seed=1)
+        foreign = WalkIndex.built(other, 3, 2, seed=1)
+        with pytest.raises(ConfigurationError):
+            LRWSummarizer(graph, topic_index, foreign)
+
+    def test_unbuilt_index_is_built(self, stack):
+        graph, topic_index, _ = stack
+        lazy = WalkIndex(graph, 3, 2, seed=9)
+        summarizer = LRWSummarizer(graph, topic_index, lazy)
+        assert summarizer.walk_index.is_built
+
+    def test_parameter_validation(self, stack):
+        graph, topic_index, walk_index = stack
+        with pytest.raises(ConfigurationError):
+            LRWSummarizer(graph, topic_index, walk_index, damping=1.5)
+        with pytest.raises(ConfigurationError):
+            LRWSummarizer(graph, topic_index, walk_index, rep_fraction=0.0)
+
+
+class TestRepresentatives:
+    def test_count_tracks_fraction(self, stack):
+        graph, topic_index, walk_index = stack
+        summarizer = LRWSummarizer(
+            graph, topic_index, walk_index, rep_fraction=0.25
+        )
+        reps = summarizer.representatives("wide topic")
+        assert reps.size == 10
+
+    def test_topic_pool_default(self, stack):
+        graph, topic_index, walk_index = stack
+        summarizer = LRWSummarizer(
+            graph, topic_index, walk_index, rep_fraction=0.25
+        )
+        topic_nodes = set(
+            int(v) for v in topic_index.topic_nodes("wide topic")
+        )
+        assert all(int(r) in topic_nodes
+                   for r in summarizer.representatives("wide topic"))
+
+    def test_minimum_one_representative(self, stack):
+        graph, topic_index, walk_index = stack
+        summarizer = LRWSummarizer(
+            graph, topic_index, walk_index, rep_fraction=0.01
+        )
+        assert summarizer.representatives("narrow topic").size == 1
+
+
+class TestSummaries:
+    def test_weights_bounded(self, stack):
+        graph, topic_index, walk_index = stack
+        summarizer = LRWSummarizer(
+            graph, topic_index, walk_index, rep_fraction=0.2
+        )
+        summary = summarizer.summarize("wide topic")
+        assert 0.0 < summary.total_weight <= 1.0 + 1e-9
+        assert summary.size >= 1
+
+    def test_representatives_carry_weight(self, stack):
+        graph, topic_index, walk_index = stack
+        summarizer = LRWSummarizer(
+            graph, topic_index, walk_index, rep_fraction=0.2
+        )
+        summary = summarizer.summarize("wide topic")
+        reps = set(int(r) for r in summarizer.representatives("wide topic"))
+        assert set(summary.weights) <= reps
+
+    def test_deterministic_for_fixed_index(self, stack):
+        graph, topic_index, walk_index = stack
+        build = lambda: LRWSummarizer(
+            graph, topic_index, walk_index, rep_fraction=0.2
+        ).summarize("wide topic")
+        assert dict(build().weights) == dict(build().weights)
+
+    def test_literal_variants_run(self, stack):
+        graph, topic_index, walk_index = stack
+        literal = LRWSummarizer(
+            graph, topic_index, walk_index,
+            rep_fraction=0.2, initial="uniform", reinforcement="walk",
+            candidates="all",
+        )
+        summary = literal.summarize("wide topic")
+        assert summary.total_weight <= 1.0 + 1e-9

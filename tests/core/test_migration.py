@@ -1,0 +1,98 @@
+"""Unit tests for LRW-A influence migration (Algorithm 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lrw import migrate_influence, migration_matrix
+from repro.exceptions import ConfigurationError
+from repro.walks import WalkIndex
+
+
+class TestMigrationMatrix:
+    def test_chain_first_hit_distances(self, chain_graph):
+        # Walks on a chain are deterministic: from 0 the path is 0,1,2,3,4.
+        walk_index = WalkIndex.built(chain_graph, 4, 3, seed=1)
+        matrix = migration_matrix(walk_index, [0], [2])
+        # First hit of 2 from 0 is at distance 2 -> closeness 1/3.
+        assert matrix[0, 0] == pytest.approx(1 / 3)
+
+    def test_absorb_first_blocks_later_reps(self, chain_graph):
+        walk_index = WalkIndex.built(chain_graph, 4, 3, seed=1)
+        # Representatives 1 and 3: with first-hit semantics, the forward
+        # walk from 0 is absorbed at 1 and never credits 3...
+        first = migration_matrix(walk_index, [0], [1, 3], absorb_first=True)
+        assert first[0, 0] == pytest.approx(1 / 2)   # 0 -> 1, distance 1
+        # ...but the backward pass from representative 3 cannot reach 0 on
+        # a forward chain, so M[0, 3-column] stays 0.
+        assert first[0, 1] == 0.0
+
+    def test_literal_pseudocode_credits_all(self, chain_graph):
+        walk_index = WalkIndex.built(chain_graph, 4, 3, seed=1)
+        literal = migration_matrix(walk_index, [0], [1, 3], absorb_first=False)
+        assert literal[0, 0] == pytest.approx(1 / 2)
+        assert literal[0, 1] == pytest.approx(1 / 4)  # 0 -> 3 at distance 3
+
+    def test_backward_pass_credits_topic_nodes(self, chain_graph):
+        walk_index = WalkIndex.built(chain_graph, 4, 3, seed=1)
+        # Topic node 3, representative 1: forward walks from 3 never see 1,
+        # but the backward walk from 1 reaches 3 at distance 2.
+        matrix = migration_matrix(walk_index, [3], [1])
+        assert matrix[0, 0] == pytest.approx(1 / 3)
+
+    def test_self_representation_distance_zero(self, chain_graph):
+        walk_index = WalkIndex.built(chain_graph, 3, 2, seed=1)
+        matrix = migration_matrix(walk_index, [2], [2])
+        assert matrix[0, 0] == pytest.approx(1.0)
+
+    def test_validation(self, chain_graph):
+        walk_index = WalkIndex.built(chain_graph, 3, 2, seed=1)
+        with pytest.raises(ConfigurationError):
+            migration_matrix(walk_index, [], [1])
+        with pytest.raises(ConfigurationError):
+            migration_matrix(walk_index, [0], [])
+        with pytest.raises(ConfigurationError):
+            migration_matrix(walk_index, [0, 0], [1])
+        with pytest.raises(ConfigurationError):
+            migration_matrix(walk_index, [0], [1, 1])
+
+
+class TestMigrateInfluence:
+    def test_weights_sum_at_most_one(self, chain_graph):
+        walk_index = WalkIndex.built(chain_graph, 4, 3, seed=1)
+        summary = migrate_influence(0, walk_index, [0, 1], [2, 3])
+        assert summary.total_weight <= 1.0 + 1e-9
+
+    def test_full_migration_when_all_absorbed(self, chain_graph):
+        walk_index = WalkIndex.built(chain_graph, 4, 3, seed=1)
+        # Both topic nodes deterministically reach representative 2.
+        summary = migrate_influence(0, walk_index, [0, 1], [2])
+        assert summary.total_weight == pytest.approx(1.0)
+
+    def test_backward_pass_rescues_dead_end_topic(self, chain_graph):
+        # Topic node 4 is a dead end, but the backward walk from the
+        # representative reaches it - the reason Algorithm 8 runs both
+        # directions.
+        walk_index = WalkIndex.built(chain_graph, 4, 3, seed=1)
+        summary = migrate_influence(0, walk_index, [0, 4], [1])
+        assert summary.total_weight == pytest.approx(1.0)
+
+    def test_unabsorbed_mass_is_lost(self, chain_graph):
+        # With L=2 the rep's walks stop at node 3, so dead-end topic node 4
+        # is unreachable in both directions and its half of the mass drops.
+        walk_index = WalkIndex.built(chain_graph, 2, 3, seed=1)
+        summary = migrate_influence(0, walk_index, [0, 4], [1])
+        assert summary.total_weight == pytest.approx(0.5)
+
+    def test_closer_representative_gets_more_weight(self, chain_graph):
+        walk_index = WalkIndex.built(chain_graph, 4, 3, seed=1)
+        summary = migrate_influence(
+            0, walk_index, [0], [1, 3], absorb_first=False
+        )
+        # 1/(1+1) vs 1/(3+1), row-normalized: 2/3 vs 1/3.
+        assert summary.weight(1) == pytest.approx(2 / 3)
+        assert summary.weight(3) == pytest.approx(1 / 3)
+
+    def test_topic_id_recorded(self, chain_graph):
+        walk_index = WalkIndex.built(chain_graph, 3, 2, seed=1)
+        summary = migrate_influence(7, walk_index, [0], [1])
+        assert summary.topic_id == 7

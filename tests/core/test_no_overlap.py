@@ -1,0 +1,86 @@
+"""Unit tests for non-overlapping group extraction (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rcl import greedy_no_overlap, group_size_cap, no_overlap_from_tree
+from repro.exceptions import ConfigurationError
+
+from .test_set_enumeration import labels_from_groups
+
+
+class TestGroupSizeCap:
+    def test_formula(self):
+        assert group_size_cap(10, 3) == 4
+        assert group_size_cap(9, 3) == 3
+        assert group_size_cap(1, 5) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            group_size_cap(0, 3)
+        with pytest.raises(ConfigurationError):
+            group_size_cap(3, 0)
+
+
+class TestGreedy:
+    def test_partition_property(self):
+        rng = np.random.default_rng(1)
+        n = 20
+        raw = rng.integers(0, 2, size=(n, n)).astype(np.int8)
+        labels = np.maximum(raw, raw.T)
+        np.fill_diagonal(labels, 1)
+        groups = greedy_no_overlap(labels, 5)
+        members = [p for g in groups for p in g]
+        assert sorted(members) == list(range(n))  # exact partition
+
+    def test_respects_size_cap(self):
+        labels = labels_from_groups(10, [tuple(range(10))])
+        groups = greedy_no_overlap(labels, 5)  # cap = 2
+        assert all(len(g) <= 2 for g in groups)
+
+    def test_clique_grouped_together(self):
+        labels = labels_from_groups(6, [(0, 2, 4)])
+        groups = greedy_no_overlap(labels, 2)
+        assert (0, 2, 4) in groups
+
+    def test_isolated_nodes_become_singletons(self):
+        labels = labels_from_groups(3, [])
+        groups = greedy_no_overlap(labels, 3)
+        assert groups == [(0,), (1,), (2,)]
+
+    def test_policy_any_chains(self):
+        labels = labels_from_groups(3, [(0, 1), (1, 2)])
+        all_groups = greedy_no_overlap(labels, 1, policy="all")
+        any_groups = greedy_no_overlap(labels, 1, policy="any")
+        assert (0, 1) in all_groups and (2,) in all_groups
+        assert (0, 1, 2) in any_groups
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            greedy_no_overlap(np.zeros((2, 3), dtype=np.int8), 2)
+        with pytest.raises(ConfigurationError):
+            greedy_no_overlap(np.eye(2, dtype=np.int8), 2, policy="bogus")
+
+
+class TestTreeEquivalence:
+    """The greedy closed form must match the literal tree walk."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("policy", ["all", "any"])
+    def test_matches_tree_on_random_instances(self, seed, policy):
+        rng = np.random.default_rng(seed)
+        n = 10
+        raw = (rng.random((n, n)) < 0.4).astype(np.int8)
+        labels = np.maximum(raw, raw.T)
+        np.fill_diagonal(labels, 1)
+        n_clusters = int(rng.integers(1, 5))
+        greedy = greedy_no_overlap(labels, n_clusters, policy=policy)
+        tree = no_overlap_from_tree(labels, n_clusters, policy=policy)
+        assert greedy == tree
+
+    def test_matches_tree_with_cap_binding(self):
+        labels = labels_from_groups(8, [tuple(range(8))])
+        greedy = greedy_no_overlap(labels, 4)  # cap = 2
+        tree = no_overlap_from_tree(labels, 4)
+        assert greedy == tree
+        assert all(len(g) == 2 for g in greedy)

@@ -1,0 +1,119 @@
+"""Unit tests for offline-artifact persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PropagationIndex,
+    TopicSummary,
+    load_propagation_index,
+    load_summaries,
+    load_walk_index,
+    save_propagation_index,
+    save_summaries,
+    save_walk_index,
+)
+from repro.exceptions import ConfigurationError, IndexNotBuiltError
+from repro.graph import SocialGraph, preferential_attachment_graph
+from repro.walks import WalkIndex
+
+
+@pytest.fixture
+def graph():
+    return preferential_attachment_graph(40, 3, seed=1)
+
+
+class TestSummaries:
+    def test_roundtrip(self, graph, tmp_path):
+        summaries = {
+            0: TopicSummary(0, {1: 0.5, 2: 0.25}),
+            3: TopicSummary(3, {7: 1.0}),
+        }
+        path = tmp_path / "summaries.json"
+        save_summaries(summaries, graph, path)
+        loaded = load_summaries(path, graph)
+        assert set(loaded) == {0, 3}
+        assert loaded[0].weights == {1: 0.5, 2: 0.25}
+        assert loaded[3].topic_id == 3
+
+    def test_wrong_graph_rejected(self, graph, tmp_path):
+        path = tmp_path / "summaries.json"
+        save_summaries({0: TopicSummary(0, {1: 0.5})}, graph, path)
+        other = SocialGraph(3, [(0, 1, 0.5)])
+        with pytest.raises(ConfigurationError, match="built for a graph"):
+            load_summaries(path, other)
+
+
+class TestPropagationIndexPersistence:
+    def test_roundtrip_entries(self, graph, tmp_path):
+        index = PropagationIndex(graph, 0.02)
+        for node in (0, 5, 11):
+            index.entry(node)
+        path = tmp_path / "prop.npz"
+        save_propagation_index(index, path)
+        loaded = load_propagation_index(path, graph)
+        assert loaded.theta == index.theta
+        assert loaded.n_cached == 3
+        for node in (0, 5, 11):
+            original = index.entry(node)
+            restored = loaded.entry(node)
+            assert restored.gamma == pytest.approx(original.gamma)
+            assert restored.marked == original.marked
+            assert restored.branches == original.branches
+
+    def test_uncached_entries_rebuild_lazily(self, graph, tmp_path):
+        index = PropagationIndex(graph, 0.02)
+        index.entry(0)
+        path = tmp_path / "prop.npz"
+        save_propagation_index(index, path)
+        loaded = load_propagation_index(path, graph)
+        fresh = loaded.entry(7)  # not persisted; rebuilt on demand
+        assert fresh.gamma == pytest.approx(
+            PropagationIndex(graph, 0.02).entry(7).gamma
+        )
+
+    def test_wrong_graph_rejected(self, graph, tmp_path):
+        index = PropagationIndex(graph, 0.02)
+        index.entry(0)
+        path = tmp_path / "prop.npz"
+        save_propagation_index(index, path)
+        other = SocialGraph(3, [(0, 1, 0.5)])
+        with pytest.raises(ConfigurationError):
+            load_propagation_index(path, other)
+
+
+class TestWalkIndexPersistence:
+    def test_roundtrip_walks_and_queries(self, graph, tmp_path):
+        index = WalkIndex.built(graph, 4, 3, seed=2)
+        path = tmp_path / "walks.npz"
+        save_walk_index(index, path)
+        loaded = load_walk_index(path, graph)
+        assert loaded.walk_length == 4
+        assert loaded.samples_per_node == 3
+        for node in graph.nodes:
+            original = index.walks_from(node)
+            restored = loaded.walks_from(node)
+            assert len(restored) == len(original)
+            for a, b in zip(original, restored):
+                assert a.path.tolist() == b.path.tolist()
+                assert a.visit_counts.tolist() == b.visit_counts.tolist()
+            assert (
+                loaded.reverse_reachable(node).tolist()
+                == index.reverse_reachable(node).tolist()
+            )
+        assert np.allclose(
+            loaded.hitting_frequencies(), index.hitting_frequencies()
+        )
+
+    def test_unbuilt_index_rejected(self, graph, tmp_path):
+        index = WalkIndex(graph, 3, 2)
+        with pytest.raises(IndexNotBuiltError):
+            save_walk_index(index, tmp_path / "walks.npz")
+
+    def test_wrong_graph_rejected(self, graph, tmp_path):
+        index = WalkIndex.built(graph, 3, 2, seed=1)
+        path = tmp_path / "walks.npz"
+        save_walk_index(index, path)
+        other = SocialGraph(3, [(0, 1, 0.5)])
+        with pytest.raises(ConfigurationError):
+            load_walk_index(path, other)

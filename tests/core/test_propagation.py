@@ -1,0 +1,163 @@
+"""Unit tests for the §5.1 personalized propagation index."""
+
+import warnings
+
+import pytest
+
+from repro.core import PropagationIndex
+from repro.exceptions import BudgetExceededError, ConfigurationError
+from repro.graph import SocialGraph
+
+
+class TestValidation:
+    def test_theta_bounds(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            PropagationIndex(chain_graph, 0.0)
+        with pytest.raises(ConfigurationError):
+            PropagationIndex(chain_graph, 1.5)
+
+    def test_budget_bounds(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            PropagationIndex(chain_graph, 0.1, max_branches=0)
+
+
+class TestChain:
+    def test_entries_respect_threshold(self, chain_graph):
+        # Path probabilities into node 4: 3->4 = 0.5, 2->4 = 0.25,
+        # 1->4 = 0.125, 0->4 = 0.0625.
+        index = PropagationIndex(chain_graph, 0.1)
+        entry = index.entry(4)
+        assert entry.gamma == pytest.approx({3: 0.5, 2: 0.25, 1: 0.125})
+
+    def test_lower_theta_reaches_further(self, chain_graph):
+        index = PropagationIndex(chain_graph, 0.05)
+        entry = index.entry(4)
+        assert 0 in entry.gamma
+        assert entry.gamma[0] == pytest.approx(0.0625)
+
+    def test_source_node_has_empty_entry(self, chain_graph):
+        index = PropagationIndex(chain_graph, 0.1)
+        assert index.entry(0).size == 0
+
+
+class TestAggregation:
+    def test_parallel_paths_aggregate(self, diamond_graph):
+        index = PropagationIndex(diamond_graph, 0.05)
+        entry = index.entry(3)
+        # 0 reaches 3 via direct (0.1), via 1 (0.25), via 2 (0.1).
+        assert entry.gamma[0] == pytest.approx(0.45)
+        assert entry.gamma[1] == pytest.approx(0.5)
+        assert entry.gamma[2] == pytest.approx(0.25)
+
+    def test_threshold_prunes_per_path(self, diamond_graph):
+        # With theta=0.2 the 0->3 direct (0.1) and 0->2->3 (0.1) paths are
+        # cut; only 0->1->3 (0.25) survives for node 0.
+        index = PropagationIndex(diamond_graph, 0.2)
+        entry = index.entry(3)
+        assert entry.gamma[0] == pytest.approx(0.25)
+
+    def test_cycles_do_not_loop(self, triangle_graph):
+        index = PropagationIndex(triangle_graph, 0.01)
+        entry = index.entry(0)
+        # Branches are cycle-free: each of 1, 2 contributes via one path.
+        assert entry.gamma[2] == pytest.approx(0.75)
+        assert entry.gamma[1] == pytest.approx(0.25 * 0.75)
+        assert entry.size == 2
+
+
+class TestMarking:
+    def test_marked_nodes_have_unseen_in_neighbours(self, chain_graph):
+        index = PropagationIndex(chain_graph, 0.3)
+        entry = index.entry(4)
+        # Gamma = {3}; node 3 has in-neighbour 2 outside Gamma -> marked.
+        assert entry.gamma == pytest.approx({3: 0.5})
+        assert entry.marked == {3}
+
+    def test_fully_covered_entry_has_no_marks(self, triangle_graph):
+        index = PropagationIndex(triangle_graph, 0.01)
+        entry = index.entry(0)
+        # Gamma = {1, 2}; their in-neighbours (0, 1, 2) are all inside.
+        assert entry.marked == set()
+
+    def test_max_expandable_probability(self, chain_graph):
+        index = PropagationIndex(chain_graph, 0.3)
+        entry = index.entry(4)
+        assert entry.max_expandable_probability() == pytest.approx(0.5)
+
+    def test_max_expandable_zero_without_marks(self, triangle_graph):
+        index = PropagationIndex(triangle_graph, 0.01)
+        assert index.entry(0).max_expandable_probability() == 0.0
+
+
+class TestFigure3:
+    """The paper's Figure 3 narrative on the reconstruction fixture."""
+
+    def test_direct_and_two_hop_members(self, fig3_graph):
+        index = PropagationIndex(fig3_graph, 0.05)
+        entry = index.entry(8)
+        assert set(entry.gamma) == {1, 5, 7, 9, 12}
+
+    def test_cut_branch_probability_excluded(self, fig3_graph):
+        index = PropagationIndex(fig3_graph, 0.05)
+        entry = index.entry(8)
+        # 11 -> 9 -> 8 = 0.04 < theta, so 11 is not in Gamma.
+        assert 11 not in entry.gamma
+
+    def test_only_boundary_node_marked(self, fig3_graph):
+        index = PropagationIndex(fig3_graph, 0.05)
+        entry = index.entry(8)
+        # Node 9 is the only Gamma member with an in-neighbour (11)
+        # outside the index - the Figure 3 "potential node" role.
+        assert entry.marked == {9}
+
+    def test_aggregated_probabilities(self, fig3_graph):
+        index = PropagationIndex(fig3_graph, 0.05)
+        entry = index.entry(8)
+        assert entry.gamma[5] == pytest.approx(0.4)
+        # 1 -> 5 -> 8 (0.5*0.4) plus 1 -> 9 -> 8 (0.3*0.2).
+        assert entry.gamma[1] == pytest.approx(0.5 * 0.4 + 0.3 * 0.2)
+        assert entry.gamma[12] == pytest.approx(0.4 * 0.3)  # 12->7->8
+        # 9 -> 8 direct (0.2) plus 9 -> 12 -> 7 -> 8 (0.5*0.4*0.3).
+        assert entry.gamma[9] == pytest.approx(0.2 + 0.5 * 0.4 * 0.3)
+
+
+class TestBudget:
+    def _dense_graph(self):
+        edges = []
+        n = 12
+        for u in range(n):
+            for v in range(n):
+                if u != v:
+                    edges.append((u, v, 0.9))
+        return SocialGraph(n, edges)
+
+    def test_truncates_with_warning(self):
+        graph = self._dense_graph()
+        index = PropagationIndex(graph, 0.0001, max_branches=50)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            entry = index.entry(0)
+        assert any("truncated" in str(w.message) for w in caught)
+        assert entry.branches > 0
+
+    def test_strict_mode_raises(self):
+        graph = self._dense_graph()
+        index = PropagationIndex(graph, 0.0001, max_branches=50, strict=True)
+        with pytest.raises(BudgetExceededError):
+            index.entry(0)
+
+
+class TestCaching:
+    def test_entry_cached(self, chain_graph):
+        index = PropagationIndex(chain_graph, 0.1)
+        assert index.entry(4) is index.entry(4)
+        assert index.n_cached == 1
+
+    def test_build_all(self, chain_graph):
+        index = PropagationIndex(chain_graph, 0.1).build_all()
+        assert index.n_cached == chain_graph.n_nodes
+
+    def test_memory_accounting(self, chain_graph):
+        index = PropagationIndex(chain_graph, 0.1)
+        index.entry(4)
+        assert index.memory_bytes() > 0

@@ -1,0 +1,155 @@
+"""Unit tests for RCL-A grouping probabilities and clustering rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.rcl import (
+    GroupingProbabilities,
+    compute_grouping_probabilities,
+    grouping_probability,
+    label_pairs,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph import SocialGraph
+
+
+@pytest.fixture
+def funnel_graph():
+    """Nodes 0-3 all reach 4 and 5; node 6 reaches only 7."""
+    edges = [
+        (0, 4, 0.5), (1, 4, 0.5), (2, 4, 0.5), (3, 4, 0.5),
+        (0, 5, 0.5), (1, 5, 0.5), (2, 5, 0.5), (3, 5, 0.5),
+        (6, 7, 0.5),
+    ]
+    return SocialGraph(8, edges)
+
+
+class TestGroupingProbabilities:
+    def test_triple_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            GroupingProbabilities(0.5, 0.5, 0.5)
+
+    def test_valid_triple(self):
+        gp = GroupingProbabilities(0.3, 0.3, 0.4)
+        assert gp.unknown == 0.4
+
+    def test_rule3_probability(self):
+        gp = GroupingProbabilities(0.2, 0.1, 0.7)
+        assert grouping_probability(gp) == pytest.approx(0.2 / 0.9)
+
+    def test_rule3_probability_degenerate(self):
+        gp = GroupingProbabilities(0.0, 1.0, 0.0)
+        assert grouping_probability(gp) == 0.0
+
+    def test_property1_grouping_dominates_splitting(self):
+        # Property 1: GP+ >= GP- implies GP+/(GP+ + GP*) >= GP-/(GP- + GP*).
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            raw = rng.dirichlet([1.0, 1.0, 1.0])
+            pos, neg, unknown = sorted(raw, reverse=True)[0], raw[1], raw[2]
+            pos, neg = max(raw[0], raw[1]), min(raw[0], raw[1])
+            unknown = 1.0 - pos - neg
+            group_p = pos / (pos + unknown) if pos + unknown else 0.0
+            split_p = neg / (neg + unknown) if neg + unknown else 0.0
+            assert group_p >= split_p - 1e-12
+
+
+class TestComputeGroupingProbabilities:
+    def test_shared_audience_pair(self, funnel_graph):
+        # Sample = {0,1,2,3}: all reach both 4 and 5 -> GP+ = 1.
+        _, gp_pos, gp_neg = compute_grouping_probabilities(
+            funnel_graph, [4, 5], [0, 1, 2, 3], max_hops=2
+        )
+        assert gp_pos[0, 1] == pytest.approx(1.0)
+        assert gp_neg[0, 1] == pytest.approx(0.0)
+
+    def test_disjoint_audience_pair(self, funnel_graph):
+        # Topic nodes 4 and 7: the sample reaches one or the other, never both.
+        _, gp_pos, gp_neg = compute_grouping_probabilities(
+            funnel_graph, [4, 7], [0, 1, 2, 6], max_hops=2
+        )
+        assert gp_pos[0, 1] == pytest.approx(0.0)
+        assert gp_neg[0, 1] == pytest.approx(1.0)
+
+    def test_unknown_fraction(self, funnel_graph):
+        # Sample {0, 6}: 0 reaches both 4,5; 6 reaches neither.
+        _, gp_pos, gp_neg = compute_grouping_probabilities(
+            funnel_graph, [4, 5], [0, 6], max_hops=2
+        )
+        assert gp_pos[0, 1] == pytest.approx(0.5)
+        assert gp_neg[0, 1] == pytest.approx(0.0)
+        # GP* = 0.5 implicitly.
+
+    def test_probabilities_sum_to_one(self, funnel_graph):
+        _, gp_pos, gp_neg = compute_grouping_probabilities(
+            funnel_graph, [4, 5, 7], [0, 1, 2, 3, 6], max_hops=2
+        )
+        gp_unknown = 1.0 - gp_pos - gp_neg
+        assert np.all(gp_unknown >= -1e-9)
+        assert np.all(gp_unknown <= 1.0 + 1e-9)
+
+    def test_empty_inputs_rejected(self, funnel_graph):
+        with pytest.raises(ConfigurationError):
+            compute_grouping_probabilities(funnel_graph, [], [0], max_hops=2)
+        with pytest.raises(ConfigurationError):
+            compute_grouping_probabilities(funnel_graph, [4], [], max_hops=2)
+
+    def test_sampled_index_variant(self, funnel_graph):
+        from repro.walks import WalkIndex
+
+        walk_index = WalkIndex.built(funnel_graph, 2, 20, seed=1)
+        _, gp_pos, _ = compute_grouping_probabilities(
+            funnel_graph, [4, 5], [0, 1, 2, 3], max_hops=2,
+            walk_index=walk_index,
+        )
+        # With 20 walks per degree-2 node, both targets are hit w.h.p.
+        assert gp_pos[0, 1] > 0.5
+
+
+class TestLabelPairs:
+    def test_rule1_groups(self):
+        gp_pos = np.array([[1.0, 0.6], [0.6, 1.0]])
+        gp_neg = np.array([[0.0, 0.2], [0.2, 0.0]])
+        labels = label_pairs(gp_pos, gp_neg, seed=1)
+        assert labels[0, 1] == 1
+
+    def test_rule2_splits(self):
+        gp_pos = np.array([[1.0, 0.1], [0.1, 1.0]])
+        gp_neg = np.array([[0.0, 0.7], [0.7, 0.0]])
+        labels = label_pairs(gp_pos, gp_neg, seed=1)
+        assert labels[0, 1] == 0
+
+    def test_rule1_rule2_tie_resolves_to_split(self):
+        gp_pos = np.array([[1.0, 0.4], [0.4, 1.0]])
+        gp_neg = np.array([[0.0, 0.4], [0.4, 0.0]])
+        labels = label_pairs(gp_pos, gp_neg, seed=1)
+        assert labels[0, 1] == 0
+
+    def test_rule3_randomized(self):
+        gp_pos = np.array([[1.0, 0.2], [0.2, 1.0]])
+        gp_neg = np.array([[0.0, 0.1], [0.1, 0.0]])
+        # Rule 3 region: GP+ (0.2) < GP* (0.7). Group prob = 0.2/0.9.
+        outcomes = {
+            int(label_pairs(gp_pos, gp_neg, seed=s)[0, 1]) for s in range(50)
+        }
+        assert outcomes == {0, 1}  # both outcomes occur across seeds
+
+    def test_symmetric_output(self):
+        rng = np.random.default_rng(3)
+        n = 8
+        pos = rng.uniform(0, 0.5, size=(n, n))
+        pos = (pos + pos.T) / 2
+        neg = np.minimum(1.0 - pos, rng.uniform(0, 0.5, size=(n, n)))
+        neg = (neg + neg.T) / 2
+        labels = label_pairs(pos, neg, seed=9)
+        assert np.array_equal(labels, labels.T)
+
+    def test_diagonal_is_grouped(self):
+        gp_pos = np.eye(3)
+        gp_neg = np.zeros((3, 3))
+        labels = label_pairs(gp_pos, gp_neg, seed=1)
+        assert np.all(np.diag(labels) == 1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            label_pairs(np.zeros((2, 2)), np.zeros((3, 3)))

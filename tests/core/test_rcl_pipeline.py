@@ -1,0 +1,123 @@
+"""Unit tests for the RCL-A summarizer pipeline (Algorithm 5)."""
+
+import pytest
+
+from repro.core.rcl import RCLSummarizer
+from repro.datasets import data_2k
+from repro.exceptions import ConfigurationError
+from repro.graph import preferential_attachment_graph
+from repro.topics import TopicIndex
+from repro.walks import WalkIndex
+
+
+@pytest.fixture(scope="module")
+def stack():
+    graph = preferential_attachment_graph(150, 4, seed=3)
+    topic_index = TopicIndex(
+        150,
+        {v: ["big topic"] for v in range(0, 60)}
+        | {v: ["small topic"] for v in range(60, 66)}
+        | {149: ["solo topic"]},
+    )
+    walk_index = WalkIndex.built(graph, 4, 10, seed=3)
+    return graph, topic_index, walk_index
+
+
+class TestConstruction:
+    def test_parameter_validation(self, stack):
+        graph, topic_index, walk_index = stack
+        with pytest.raises(ConfigurationError):
+            RCLSummarizer(graph, topic_index, sample_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            RCLSummarizer(graph, topic_index, rep_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            RCLSummarizer(graph, topic_index, max_hops=0)
+
+    def test_foreign_walk_index_rejected(self, stack):
+        graph, topic_index, _ = stack
+        other = preferential_attachment_graph(20, 2, seed=1)
+        foreign = WalkIndex.built(other, 3, 2, seed=1)
+        with pytest.raises(ConfigurationError):
+            RCLSummarizer(graph, topic_index, walk_index=foreign)
+
+
+class TestClustering:
+    def test_groups_partition_topic(self, stack):
+        graph, topic_index, walk_index = stack
+        summarizer = RCLSummarizer(
+            graph, topic_index, walk_index=walk_index, seed=5
+        )
+        groups = summarizer.cluster_topic(topic_index.resolve("big topic"))
+        members = sorted(m for g in groups for m in g)
+        assert members == list(range(60))
+
+    def test_singleton_topic_single_group(self, stack):
+        graph, topic_index, walk_index = stack
+        summarizer = RCLSummarizer(
+            graph, topic_index, walk_index=walk_index, seed=5
+        )
+        groups = summarizer.cluster_topic(topic_index.resolve("solo topic"))
+        assert groups == [(149,)]
+
+    def test_n_clusters_scales_with_mu(self, stack):
+        graph, topic_index, walk_index = stack
+        low = RCLSummarizer(
+            graph, topic_index, rep_fraction=0.05, walk_index=walk_index
+        )
+        high = RCLSummarizer(
+            graph, topic_index, rep_fraction=0.5, walk_index=walk_index
+        )
+        topic = topic_index.resolve("big topic")
+        assert high.n_clusters_for(topic) > low.n_clusters_for(topic)
+
+    def test_exact_reachability_variant(self, stack):
+        graph, topic_index, _ = stack
+        summarizer = RCLSummarizer(graph, topic_index, seed=5)  # no index
+        groups = summarizer.cluster_topic(topic_index.resolve("small topic"))
+        members = sorted(m for g in groups for m in g)
+        assert members == list(range(60, 66))
+
+
+class TestSummaries:
+    def test_weights_sum_to_one(self, stack):
+        graph, topic_index, walk_index = stack
+        summarizer = RCLSummarizer(
+            graph, topic_index, walk_index=walk_index, seed=5
+        )
+        summary = summarizer.summarize(topic_index.resolve("big topic"))
+        assert summary.total_weight == pytest.approx(1.0)
+
+    def test_weight_proportional_to_group_size(self, stack):
+        graph, topic_index, walk_index = stack
+        summarizer = RCLSummarizer(
+            graph, topic_index, walk_index=walk_index, seed=5
+        )
+        summary = summarizer.summarize(topic_index.resolve("solo topic"))
+        assert summary.total_weight == pytest.approx(1.0)
+        assert summary.size == 1
+
+    def test_label_resolution(self, stack):
+        graph, topic_index, walk_index = stack
+        summarizer = RCLSummarizer(
+            graph, topic_index, walk_index=walk_index, seed=5
+        )
+        topic_id = topic_index.resolve("small topic")
+        assert summarizer.summarize(topic_id).topic_id == topic_id
+
+    def test_deterministic_under_seed(self, stack):
+        graph, topic_index, walk_index = stack
+
+        def build():
+            return RCLSummarizer(
+                graph, topic_index, walk_index=walk_index, seed=11
+            ).summarize(topic_index.resolve("big topic"))
+
+        assert dict(build().weights) == dict(build().weights)
+
+    def test_use_tree_variant_small_topic(self, stack):
+        graph, topic_index, walk_index = stack
+        summarizer = RCLSummarizer(
+            graph, topic_index, walk_index=walk_index, use_tree=True, seed=5
+        )
+        summary = summarizer.summarize(topic_index.resolve("small topic"))
+        assert summary.total_weight == pytest.approx(1.0)

@@ -1,0 +1,115 @@
+"""Unit tests for LRW-A representative selection (Algorithm 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lrw import diversified_pagerank, select_representatives
+from repro.exceptions import ConfigurationError
+from repro.graph import GraphBuilder
+from repro.walks import WalkIndex
+
+
+@pytest.fixture
+def community_graph():
+    """Two weakly linked communities; topic lives in the first one."""
+    builder = GraphBuilder(12)
+    # Community A: 0..5 densely connected.
+    for u in range(6):
+        for v in range(6):
+            if u != v and (u + v) % 2 == 1:
+                builder.add_edge(u, v, 0.3)
+    # Community B: 6..11 densely connected.
+    for u in range(6, 12):
+        for v in range(6, 12):
+            if u != v and (u + v) % 2 == 1:
+                builder.add_edge(u, v, 0.3)
+    # Weak bridge.
+    builder.add_edge(5, 6, 0.05)
+    return builder.build()
+
+
+class TestDiversifiedPagerank:
+    def test_restart_mass_on_topic(self, community_graph):
+        walk_index = WalkIndex.built(community_graph, 4, 10, seed=1)
+        scores = diversified_pagerank(
+            community_graph, [0, 1, 2], walk_index
+        )
+        assert scores.shape == (12,)
+        # Topic community outranks the far community.
+        assert scores[:6].sum() > scores[6:].sum()
+
+    def test_empty_topic_rejected(self, community_graph):
+        walk_index = WalkIndex.built(community_graph, 3, 5, seed=1)
+        with pytest.raises(ConfigurationError):
+            diversified_pagerank(community_graph, [], walk_index)
+
+    def test_iterations_bounded_by_walk_length(self, community_graph):
+        walk_index = WalkIndex.built(community_graph, 3, 5, seed=1)
+        with pytest.raises(ConfigurationError):
+            diversified_pagerank(
+                community_graph, [0], walk_index, iterations=7
+            )
+
+    def test_unknown_initialization_rejected(self, community_graph):
+        walk_index = WalkIndex.built(community_graph, 3, 5, seed=1)
+        with pytest.raises(ConfigurationError):
+            diversified_pagerank(
+                community_graph, [0], walk_index, initial="zeros"
+            )
+
+    def test_uniform_init_differs_from_restart(self, community_graph):
+        walk_index = WalkIndex.built(community_graph, 4, 10, seed=1)
+        restart = diversified_pagerank(
+            community_graph, [0], walk_index, initial="restart"
+        )
+        uniform = diversified_pagerank(
+            community_graph, [0], walk_index, initial="uniform"
+        )
+        assert not np.allclose(restart, uniform)
+
+    def test_damping_zero_returns_restart(self, community_graph):
+        walk_index = WalkIndex.built(community_graph, 3, 5, seed=1)
+        scores = diversified_pagerank(
+            community_graph, [0, 1], walk_index, damping=0.0
+        )
+        expected = np.zeros(12)
+        expected[[0, 1]] = 0.5
+        assert np.allclose(scores, expected)
+
+    def test_deterministic_for_fixed_index(self, community_graph):
+        walk_index = WalkIndex.built(community_graph, 4, 10, seed=1)
+        a = diversified_pagerank(community_graph, [0, 1], walk_index)
+        b = diversified_pagerank(community_graph, [0, 1], walk_index)
+        assert np.array_equal(a, b)
+
+
+class TestSelectRepresentatives:
+    def test_count_follows_fraction(self, community_graph):
+        walk_index = WalkIndex.built(community_graph, 4, 10, seed=1)
+        reps = select_representatives(
+            community_graph, [0, 1, 2, 3, 4, 5], walk_index,
+            rep_fraction=0.5,
+        )
+        assert reps.size == 3
+
+    def test_minimum_enforced(self, community_graph):
+        walk_index = WalkIndex.built(community_graph, 4, 10, seed=1)
+        reps = select_representatives(
+            community_graph, [0, 1], walk_index, rep_fraction=0.05
+        )
+        assert reps.size == 1
+
+    def test_representatives_near_topic(self, community_graph):
+        walk_index = WalkIndex.built(community_graph, 4, 20, seed=1)
+        reps = select_representatives(
+            community_graph, [0, 1, 2, 3], walk_index, rep_fraction=0.5
+        )
+        # All selected reps should be in the topic's community.
+        assert all(int(r) < 6 for r in reps)
+
+    def test_fraction_validated(self, community_graph):
+        walk_index = WalkIndex.built(community_graph, 3, 5, seed=1)
+        with pytest.raises(ConfigurationError):
+            select_representatives(
+                community_graph, [0], walk_index, rep_fraction=0.0
+            )

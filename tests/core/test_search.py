@@ -1,0 +1,200 @@
+"""Unit tests for the top-k PIT-Search (Algorithms 10-11)."""
+
+import pytest
+
+from repro.core import (
+    PersonalizedSearcher,
+    PropagationIndex,
+    TopicSummary,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph import GraphBuilder
+from repro.topics import TopicIndex
+
+
+@pytest.fixture
+def search_stack():
+    """A small deterministic stack: chain into node 0 from two branches.
+
+    Graph: 1 -> 0 (0.5), 2 -> 0 (0.3), 3 -> 1 (0.4), 4 -> 2 (0.4).
+    Topics: ta = {1}, tb = {2}, tc = {3}, far = {4}.
+    """
+    builder = GraphBuilder(5)
+    builder.add_edges([
+        (1, 0, 0.5),
+        (2, 0, 0.3),
+        (3, 1, 0.4),
+        (4, 2, 0.4),
+    ])
+    graph = builder.build()
+    topic_index = TopicIndex(
+        5,
+        {
+            1: ["alpha topic"],
+            2: ["beta topic"],
+            3: ["gamma topic"],
+            4: ["delta topic"],
+        },
+    )
+    summaries = {
+        topic_index.resolve("alpha topic"): TopicSummary(
+            topic_index.resolve("alpha topic"), {1: 1.0}
+        ),
+        topic_index.resolve("beta topic"): TopicSummary(
+            topic_index.resolve("beta topic"), {2: 1.0}
+        ),
+        topic_index.resolve("gamma topic"): TopicSummary(
+            topic_index.resolve("gamma topic"), {3: 1.0}
+        ),
+        topic_index.resolve("delta topic"): TopicSummary(
+            topic_index.resolve("delta topic"), {4: 1.0}
+        ),
+    }
+    propagation = PropagationIndex(graph, 0.05)
+    searcher = PersonalizedSearcher(topic_index, summaries, propagation)
+    return graph, topic_index, summaries, searcher
+
+
+class TestBasicSearch:
+    def test_ranks_by_influence(self, search_stack):
+        _, topic_index, _, searcher = search_stack
+        results, _ = searcher.search(0, "topic", k=4)
+        labels = [r.label for r in results]
+        # alpha (0.5) > beta (0.3) > gamma (0.2) > delta (0.12)
+        assert labels == ["alpha topic", "beta topic", "gamma topic", "delta topic"]
+
+    def test_scores_match_path_products(self, search_stack):
+        _, _, _, searcher = search_stack
+        results, _ = searcher.search(0, "topic", k=4)
+        scores = {r.label: r.influence for r in results}
+        assert scores["alpha topic"] == pytest.approx(0.5)
+        assert scores["beta topic"] == pytest.approx(0.3)
+        assert scores["gamma topic"] == pytest.approx(0.4 * 0.5)
+        assert scores["delta topic"] == pytest.approx(0.4 * 0.3)
+
+    def test_k_truncates(self, search_stack):
+        _, _, _, searcher = search_stack
+        results, _ = searcher.search(0, "topic", k=2)
+        assert len(results) == 2
+        assert results[0].label == "alpha topic"
+
+    def test_no_matching_topics(self, search_stack):
+        _, _, _, searcher = search_stack
+        results, stats = searcher.search(0, "unrelated", k=3)
+        assert results == []
+        assert stats.topics_considered == 0
+
+    def test_k_validated(self, search_stack):
+        _, _, _, searcher = search_stack
+        with pytest.raises(ConfigurationError):
+            searcher.search(0, "topic", k=0)
+
+    def test_stats_accounting(self, search_stack):
+        _, _, _, searcher = search_stack
+        _, stats = searcher.search(0, "topic", k=2)
+        assert stats.topics_considered == 4
+        assert stats.entries_probed >= 1
+        assert stats.representatives_touched >= 4
+
+
+class TestPruning:
+    def test_exhausted_topics_leave_active_set(self, search_stack):
+        _, _, _, searcher = search_stack
+        # All summaries resolve within Gamma(0) (theta=0.05 reaches 3 and
+        # 4), so no expansion is needed and nothing should be "pruned"
+        # (pruned counts only bound-based eliminations).
+        _, stats = searcher.search(0, "topic", k=1)
+        assert stats.expansion_rounds == 0
+
+    def test_missing_summary_raises(self, search_stack):
+        graph, topic_index, summaries, _ = search_stack
+        incomplete = dict(summaries)
+        incomplete.pop(topic_index.resolve("delta topic"))
+        searcher = PersonalizedSearcher(
+            topic_index, incomplete, PropagationIndex(graph, 0.05)
+        )
+        with pytest.raises(ConfigurationError):
+            searcher.search(0, "topic", k=2)
+
+    def test_callable_summary_provider(self, search_stack):
+        graph, topic_index, summaries, _ = search_stack
+        calls = []
+
+        def provider(topic_id):
+            calls.append(topic_id)
+            return summaries[topic_id]
+
+        searcher = PersonalizedSearcher(
+            topic_index, provider, PropagationIndex(graph, 0.05)
+        )
+        results, _ = searcher.search(0, "topic", k=2)
+        assert len(results) == 2
+        assert len(calls) == 4
+
+
+class TestExpansion:
+    def test_expansion_reaches_beyond_theta(self):
+        # Chain 3 -> 2 -> 1 -> 0: Gamma_0.05(0) holds {1 (0.3), 2 (0.06)}
+        # and cuts 3 (0.036 < theta), so 2 is marked; the "far" topic's
+        # representative 3 is only reachable by expanding through 2
+        # (0.06 * 0.6 = 0.036), which must overtake the weak in-index
+        # topics and win the top-2 membership race (Algorithm 10 refines
+        # exactly until membership stabilizes).
+        builder = GraphBuilder(4)
+        builder.add_edges([(3, 2, 0.6), (2, 1, 0.2), (1, 0, 0.3)])
+        graph = builder.build()
+        topic_index = TopicIndex(
+            4, {3: ["far topic"], 1: ["near topic"], 2: ["other topic"]}
+        )
+        far = topic_index.resolve("far topic")
+        near = topic_index.resolve("near topic")
+        other = topic_index.resolve("other topic")
+        summaries = {
+            far: TopicSummary(far, {3: 1.0}),
+            near: TopicSummary(near, {1: 0.1}),
+            other: TopicSummary(other, {2: 0.5}),
+        }
+        searcher = PersonalizedSearcher(
+            topic_index, summaries, PropagationIndex(graph, 0.05)
+        )
+        results, stats = searcher.search(0, "topic", k=2)
+        scores = {r.label: r.influence for r in results}
+        assert stats.expansion_rounds >= 1
+        assert scores["far topic"] == pytest.approx(0.06 * 0.6)
+        assert results[0].label == "far topic"
+
+    def test_zero_expand_rounds_disables_expansion(self):
+        builder = GraphBuilder(4)
+        builder.add_edges([(3, 2, 0.3), (2, 1, 0.3), (1, 0, 0.3)])
+        graph = builder.build()
+        topic_index = TopicIndex(4, {3: ["far topic"]})
+        far = topic_index.resolve("far topic")
+        summaries = {far: TopicSummary(far, {3: 1.0})}
+        searcher = PersonalizedSearcher(
+            topic_index, summaries, PropagationIndex(graph, 0.05),
+            max_expand_rounds=0,
+        )
+        results, stats = searcher.search(0, "topic", k=1)
+        assert stats.expansion_rounds == 0
+        assert results[0].influence == 0.0
+
+
+class TestDeterminism:
+    def test_tie_break_on_label(self):
+        builder = GraphBuilder(3)
+        builder.add_edges([(1, 0, 0.5), (2, 0, 0.5)])
+        graph = builder.build()
+        topic_index = TopicIndex(3, {1: ["bbb topic"], 2: ["aaa topic"]})
+        summaries = {
+            topic_index.resolve("aaa topic"): TopicSummary(
+                topic_index.resolve("aaa topic"), {2: 1.0}
+            ),
+            topic_index.resolve("bbb topic"): TopicSummary(
+                topic_index.resolve("bbb topic"), {1: 1.0}
+            ),
+        }
+        searcher = PersonalizedSearcher(
+            topic_index, summaries, PropagationIndex(graph, 0.05)
+        )
+        results, _ = searcher.search(0, "topic", k=2)
+        assert [r.label for r in results] == ["aaa topic", "bbb topic"]

@@ -1,0 +1,146 @@
+"""Focused tests on Algorithm 10's bookkeeping and bounds."""
+
+import pytest
+
+from repro.core import (
+    PersonalizedSearcher,
+    PropagationIndex,
+    TopicSummary,
+)
+from repro.graph import GraphBuilder
+from repro.topics import TopicIndex
+
+
+def build_stack(edges, n, assignments, summaries_spec, theta=0.05, **kwargs):
+    builder = GraphBuilder(n)
+    builder.add_edges(edges)
+    graph = builder.build()
+    topic_index = TopicIndex(n, assignments)
+    summaries = {
+        topic_index.resolve(label): TopicSummary(
+            topic_index.resolve(label), weights
+        )
+        for label, weights in summaries_spec.items()
+    }
+    searcher = PersonalizedSearcher(
+        topic_index, summaries, PropagationIndex(graph, theta), **kwargs
+    )
+    return graph, topic_index, searcher
+
+
+class TestRemainingWeight:
+    def test_partial_summary_mass_not_assumed(self):
+        """A summary with total weight < 1 (LRW's unabsorbed mass) must not
+        inflate the bound: the un-migrated mass can never arrive."""
+        # 1 -> 0 strong; 2 -> 0 cut by theta (marked frontier via 1? no).
+        graph, topic_index, searcher = build_stack(
+            [(1, 0, 0.5), (2, 1, 0.04)],
+            3,
+            {1: ["partial topic"], 2: ["full topic"]},
+            {
+                # partial: only 30% of local weight migrated to node 1.
+                "partial topic": {1: 0.3},
+                # full: everything on the unreachable node 2.
+                "full topic": {2: 1.0},
+            },
+        )
+        results, _ = searcher.search(0, "topic", k=2)
+        scores = {r.label: r.influence for r in results}
+        assert scores["partial topic"] == pytest.approx(0.3 * 0.5)
+        assert scores["full topic"] == 0.0
+
+    def test_cumulative_remaining_weight(self):
+        """W_r must shrink by every consumed representative, not just the
+        last one (DESIGN.md note 11): with the cumulative form, a topic
+        whose reps are all inside Gamma(v) is exhausted and pruning kicks
+        in with zero expansions."""
+        graph, topic_index, searcher = build_stack(
+            [(1, 0, 0.5), (2, 0, 0.4), (3, 0, 0.3)],
+            4,
+            {1: ["abc topic"], 2: ["abc topic"], 3: ["zzz topic"]},
+            {
+                "abc topic": {1: 0.5, 2: 0.5},
+                "zzz topic": {3: 1.0},
+            },
+        )
+        results, stats = searcher.search(0, "topic", k=1)
+        assert results[0].label == "abc topic"
+        assert results[0].influence == pytest.approx(0.5 * 0.5 + 0.5 * 0.4)
+        assert stats.expansion_rounds == 0
+
+
+class TestMaxEpBound:
+    def test_weak_frontier_prunes_losers(self):
+        """A topic whose entire remaining weight times maxEP cannot reach
+        the current k-th score is pruned without expansion."""
+        # Gamma(0) at theta=0.05: 1 (0.5), 2 (0.4), 3 (0.1); node 4 via
+        # 4 -> 3 -> 0 = 0.04 is cut, so 3 is marked with maxEP = 0.1.
+        graph, topic_index, searcher = build_stack(
+            [(1, 0, 0.5), (2, 0, 0.4), (3, 0, 0.1), (4, 3, 0.4)],
+            5,
+            {1: ["top topic"], 4: ["weak topic"]},
+            {
+                "top topic": {1: 1.0},
+                "weak topic": {4: 1.0},
+            },
+        )
+        results, stats = searcher.search(0, "topic", k=1)
+        assert results[0].label == "top topic"
+        # weak topic's bound: 1.0 * maxEP(0.1) = 0.1 < 0.5 -> pruned.
+        assert stats.topics_pruned == 1
+        assert stats.expansion_rounds == 0
+
+    def test_contender_forces_expansion(self):
+        """If the bound cannot rule a topic out, expansion must run."""
+        # 4 -> 3 -> 0 = 0.3 * 0.15 = 0.045 < theta: node 4 stays out of
+        # Gamma(0) and node 3 is marked with weight 0.3.
+        graph, topic_index, searcher = build_stack(
+            [(1, 0, 0.2), (3, 0, 0.3), (4, 3, 0.15)],
+            5,
+            {1: ["near topic"], 4: ["far topic"]},
+            {
+                "near topic": {1: 1.0},
+                "far topic": {4: 1.0},
+            },
+        )
+        results, stats = searcher.search(0, "topic", k=1)
+        # far topic's bound 1.0 * 0.3 > near's 0.2 -> must expand; its
+        # realized score 0.3 * 0.15 = 0.045 < 0.2, so near wins.
+        assert stats.expansion_rounds >= 1
+        assert results[0].label == "near topic"
+
+    def test_expansion_can_flip_the_winner(self):
+        # Same topology, but the near topic's summary only migrated 20%
+        # of its weight: 0.2 * 0.2 = 0.04 < the far topic's expanded
+        # 0.3 * 0.15 = 0.045.
+        graph, topic_index, searcher = build_stack(
+            [(1, 0, 0.2), (3, 0, 0.3), (4, 3, 0.15)],
+            5,
+            {1: ["near topic"], 4: ["far topic"]},
+            {
+                "near topic": {1: 0.2},
+                "far topic": {4: 1.0},
+            },
+        )
+        results, _ = searcher.search(0, "topic", k=1)
+        assert results[0].label == "far topic"
+        assert results[0].influence == pytest.approx(0.045)
+
+
+class TestStatsConsistency:
+    def test_counts_are_coherent(self):
+        graph, topic_index, searcher = build_stack(
+            [(1, 0, 0.5), (2, 0, 0.4), (3, 2, 0.3)],
+            4,
+            {1: ["one topic"], 2: ["two topic"], 3: ["three topic"]},
+            {
+                "one topic": {1: 1.0},
+                "two topic": {2: 1.0},
+                "three topic": {3: 1.0},
+            },
+        )
+        results, stats = searcher.search(0, "topic", k=3)
+        assert stats.topics_considered == 3
+        assert len(results) == 3
+        assert stats.entries_probed >= 1
+        assert stats.representatives_touched >= 3

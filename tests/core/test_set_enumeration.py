@@ -1,0 +1,97 @@
+"""Unit tests for the set-enumeration tree (Algorithm 2)."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.rcl import SetEnumerationTree
+from repro.exceptions import BudgetExceededError, ConfigurationError
+
+
+def labels_from_groups(n, groups):
+    """Build a symmetric label matrix where listed groups are cliques."""
+    labels = np.zeros((n, n), dtype=np.int8)
+    np.fill_diagonal(labels, 1)
+    for group in groups:
+        for i in group:
+            for j in group:
+                labels[i, j] = 1
+    return labels
+
+
+class TestConstruction:
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            SetEnumerationTree(np.zeros((2, 3), dtype=np.int8))
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            SetEnumerationTree(np.eye(2, dtype=np.int8), policy="some")
+
+    def test_singletons_always_present(self):
+        labels = labels_from_groups(3, [])
+        tree = SetEnumerationTree(labels)
+        sets = list(tree.iter_sets())
+        assert (0,) in sets and (1,) in sets and (2,) in sets
+
+    def test_full_clique_enumerates_powerset(self):
+        labels = labels_from_groups(3, [(0, 1, 2)])
+        tree = SetEnumerationTree(labels)
+        sets = set(tree.iter_sets())
+        # All non-empty subsets of {0,1,2}: 7 of them.
+        assert len(sets) == 7
+        assert (0, 1, 2) in sets
+
+    def test_no_grouping_only_singletons(self):
+        labels = labels_from_groups(4, [])
+        tree = SetEnumerationTree(labels)
+        assert set(tree.iter_sets()) == {(0,), (1,), (2,), (3,)}
+        assert tree.n_nodes == 4
+
+
+class TestPolicies:
+    def test_all_policy_requires_clique(self):
+        # 0-1 and 1-2 grouped, but 0-2 split: {0,1,2} is not a clique.
+        labels = labels_from_groups(3, [(0, 1), (1, 2)])
+        tree = SetEnumerationTree(labels, policy="all")
+        assert (0, 1, 2) not in set(tree.iter_sets())
+        assert (0, 1) in set(tree.iter_sets())
+
+    def test_any_policy_chains(self):
+        labels = labels_from_groups(3, [(0, 1), (1, 2)])
+        tree = SetEnumerationTree(labels, policy="any")
+        assert (0, 1, 2) in set(tree.iter_sets())
+
+
+class TestMaximalSets:
+    def test_leaves_are_maximal(self):
+        labels = labels_from_groups(4, [(0, 1), (2, 3)])
+        tree = SetEnumerationTree(labels)
+        leaves = set(tree.maximal_sets())
+        assert (0, 1) in leaves
+        assert (2, 3) in leaves
+
+    def test_leftmost_deepest_is_greedy_clique(self):
+        labels = labels_from_groups(4, [(0, 1, 3)])
+        tree = SetEnumerationTree(labels)
+        assert tree.leftmost_deepest() == (0, 1, 3)
+
+    def test_leftmost_deepest_empty_tree(self):
+        with pytest.raises(ConfigurationError):
+            SetEnumerationTree(np.zeros((0, 0), dtype=np.int8)).leftmost_deepest()
+
+
+class TestBudget:
+    def test_truncation_warns(self):
+        labels = labels_from_groups(12, [tuple(range(12))])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            tree = SetEnumerationTree(labels, max_nodes=50)
+        assert tree.n_nodes <= 50
+        assert any("truncated" in str(w.message) for w in caught)
+
+    def test_strict_raises(self):
+        labels = labels_from_groups(12, [tuple(range(12))])
+        with pytest.raises(BudgetExceededError):
+            SetEnumerationTree(labels, max_nodes=50, strict=True)

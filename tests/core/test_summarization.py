@@ -1,0 +1,73 @@
+"""Unit tests for TopicSummary and the Definition 1 error metric."""
+
+import pytest
+
+from repro.core import TopicSummary, summarization_error
+from repro.exceptions import ConfigurationError
+
+
+class TestTopicSummary:
+    def test_basic_properties(self):
+        summary = TopicSummary(0, {3: 0.5, 1: 0.25})
+        assert summary.representatives == (1, 3)
+        assert summary.size == 2
+        assert summary.total_weight == pytest.approx(0.75)
+
+    def test_weight_lookup(self):
+        summary = TopicSummary(0, {3: 0.5})
+        assert summary.weight(3) == 0.5
+        assert summary.weight(99) == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopicSummary(0, {1: -0.1})
+
+    def test_overweight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopicSummary(0, {1: 0.7, 2: 0.7})
+
+    def test_weight_sum_exactly_one_allowed(self):
+        summary = TopicSummary(0, {1: 0.5, 2: 0.5})
+        assert summary.total_weight == 1.0
+
+    def test_empty_summary_allowed(self):
+        summary = TopicSummary(0, {})
+        assert summary.size == 0
+        assert summary.total_weight == 0.0
+
+    def test_restricted_to(self):
+        summary = TopicSummary(0, {1: 0.4, 2: 0.3, 3: 0.3})
+        restricted = summary.restricted_to([1, 3])
+        assert restricted.representatives == (1, 3)
+        assert restricted.topic_id == 0
+
+
+class TestSummarizationError:
+    def test_perfect_summary_zero_error(self, chain_graph):
+        # The topic node itself, with full weight, reproduces I exactly.
+        summary = TopicSummary(0, {0: 1.0})
+        error = summarization_error(chain_graph, [0], summary, length=3)
+        assert error == pytest.approx(0.0)
+
+    def test_empty_summary_error_is_total_influence(self, chain_graph):
+        from repro.core import topic_influence_vector
+
+        summary = TopicSummary(0, {})
+        error = summarization_error(chain_graph, [0], summary, length=3)
+        assert error == pytest.approx(
+            topic_influence_vector(chain_graph, [0], 3).sum()
+        )
+
+    def test_better_placed_representative_has_lower_error(self, chain_graph):
+        # Topic nodes {0, 1}; representing them by node 0 (upstream of both
+        # paths) is better than by node 3 (downstream, reaches almost nothing).
+        topic = [0, 1]
+        good = TopicSummary(0, {0: 0.5, 1: 0.5})
+        bad = TopicSummary(0, {3: 1.0})
+        good_error = summarization_error(chain_graph, topic, good, length=3)
+        bad_error = summarization_error(chain_graph, topic, bad, length=3)
+        assert good_error < bad_error
+
+    def test_error_nonnegative(self, diamond_graph):
+        summary = TopicSummary(0, {2: 0.5})
+        assert summarization_error(diamond_graph, [0, 1], summary, length=2) >= 0

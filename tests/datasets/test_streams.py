@@ -1,0 +1,114 @@
+"""Unit tests for the temporal activity stream."""
+
+import pytest
+
+from repro.core.dynamics import updated_topic_index
+from repro.datasets import ActivityStream
+from repro.exceptions import ConfigurationError
+from repro.graph import SocialGraph, preferential_attachment_graph
+from repro.topics import TopicIndex
+
+
+@pytest.fixture
+def graph():
+    return preferential_attachment_graph(50, 3, seed=8)
+
+
+@pytest.fixture
+def topic_index():
+    return TopicIndex(
+        50,
+        {v: ["seed topic"] for v in range(10)}
+        | {v: ["other topic"] for v in range(10, 14)},
+    )
+
+
+class TestConstruction:
+    def test_mismatched_sizes_rejected(self, graph):
+        with pytest.raises(ConfigurationError):
+            ActivityStream(graph, TopicIndex(3, {0: ["t"]}))
+
+    def test_rate_validation(self, graph, topic_index):
+        with pytest.raises(ConfigurationError):
+            ActivityStream(graph, topic_index, adoption_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ActivityStream(graph, topic_index, max_changes_per_epoch=0)
+
+    def test_initial_membership_matches_index(self, graph, topic_index):
+        stream = ActivityStream(graph, topic_index, seed=1)
+        assert stream.membership(0) == {"seed topic"}
+        assert stream.membership(30) == set()
+
+
+class TestEpochs:
+    def test_epoch_changes_applied_to_state(self, graph, topic_index):
+        stream = ActivityStream(
+            graph, topic_index, adoption_rate=0.9, churn_rate=0.0, seed=2
+        )
+        update = stream.next_epoch()
+        for node, labels in update.add.items():
+            assert set(labels) <= stream.membership(node)
+
+    def test_churn_removes_topics(self, graph, topic_index):
+        stream = ActivityStream(
+            graph, topic_index, adoption_rate=0.0, churn_rate=1.0, seed=2
+        )
+        update = stream.next_epoch()
+        assert update.remove  # everyone drops everything
+        assert all(stream.membership(v) == set() for v in range(14))
+
+    def test_contagion_spreads_along_edges(self, graph, topic_index):
+        stream = ActivityStream(
+            graph, topic_index, adoption_rate=1.0, churn_rate=0.0, seed=2
+        )
+        update = stream.next_epoch()
+        # Every adopter must have an in-neighbour carrying the topic.
+        for node, labels in update.add.items():
+            neighbours = [int(x) for x in graph.in_neighbors(node)]
+            for label in labels:
+                carriers = [
+                    v for v in neighbours
+                    if label in stream.membership(v)
+                    or v in update.remove and label in update.remove.get(v, ())
+                ]
+                # The carrier may itself have churned this epoch, but with
+                # churn 0 it must still carry the topic.
+                assert any(
+                    label in stream.membership(v) for v in neighbours
+                )
+
+    def test_change_cap_respected(self, graph, topic_index):
+        stream = ActivityStream(
+            graph, topic_index,
+            adoption_rate=1.0, churn_rate=1.0,
+            max_changes_per_epoch=5, seed=2,
+        )
+        update = stream.next_epoch()
+        total = sum(len(v) for v in update.add.values()) + sum(
+            len(v) for v in update.remove.values()
+        )
+        # Cap is approximate at node granularity: one node's batch may
+        # overshoot by its own label count.
+        assert total <= 5 + 4
+
+    def test_deterministic(self, graph, topic_index):
+        a = ActivityStream(graph, topic_index, seed=9).next_epoch()
+        b = ActivityStream(graph, topic_index, seed=9).next_epoch()
+        assert a.add == b.add and a.remove == b.remove
+
+
+class TestIndexRoundTrip:
+    def test_current_index_consistent_with_updates(self, graph, topic_index):
+        stream = ActivityStream(
+            graph, topic_index, adoption_rate=0.5, churn_rate=0.1, seed=3
+        )
+        index = topic_index
+        for update in stream.epochs(3):
+            index = updated_topic_index(index, update)
+        materialized = stream.current_index()
+        assert materialized.labels == index.labels
+        for topic in materialized.labels:
+            assert (
+                materialized.topic_nodes(topic).tolist()
+                == index.topic_nodes(topic).tolist()
+            )

@@ -1,0 +1,98 @@
+"""Unit tests for synthetic topic assignment and tweet generation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import assign_topics, generate_tweets
+from repro.exceptions import ConfigurationError
+from repro.topics import TagBank, tokenize
+
+
+@pytest.fixture
+def bank():
+    return TagBank.synthetic(100, seed=1)
+
+
+class TestAssignTopics:
+    def test_every_user_assigned(self, bank):
+        assignment = assign_topics(50, bank, topics_per_user=3, seed=2)
+        assert set(assignment) == set(range(50))
+        assert all(len(v) == 3 for v in assignment.values())
+
+    def test_topics_distinct_per_user(self, bank):
+        assignment = assign_topics(50, bank, topics_per_user=5, seed=2)
+        assert all(len(set(v)) == 5 for v in assignment.values())
+
+    def test_popular_tags_drawn_more(self, bank):
+        assignment = assign_topics(300, bank, topics_per_user=3, seed=2)
+        counts = {}
+        for topics in assignment.values():
+            for topic in topics:
+                counts[topic] = counts.get(topic, 0) + 1
+        popularity = {bank.tags[i]: bank.popularity(i) for i in range(len(bank))}
+        hot = max(popularity, key=popularity.get)
+        cold = min(popularity, key=popularity.get)
+        assert counts.get(hot, 0) > counts.get(cold, 0)
+
+    def test_zero_exponent_is_uniformish(self, bank):
+        assignment = assign_topics(
+            400, bank, topics_per_user=2, popularity_exponent=0.0, seed=2
+        )
+        counts = {}
+        for topics in assignment.values():
+            for topic in topics:
+                counts[topic] = counts.get(topic, 0) + 1
+        values = np.asarray(list(counts.values()))
+        assert values.max() < 10 * max(1, values.min())
+
+    def test_validation(self, bank):
+        with pytest.raises(ConfigurationError):
+            assign_topics(0, bank)
+        with pytest.raises(ConfigurationError):
+            assign_topics(10, bank, topics_per_user=0)
+        with pytest.raises(ConfigurationError):
+            assign_topics(10, bank, topics_per_user=1000)
+        with pytest.raises(ConfigurationError):
+            assign_topics(10, bank, popularity_exponent=-1)
+
+    def test_deterministic(self, bank):
+        a = assign_topics(20, bank, seed=9)
+        b = assign_topics(20, bank, seed=9)
+        assert a == b
+
+
+class TestGenerateTweets:
+    def test_tweet_counts(self, bank):
+        assignment = assign_topics(10, bank, topics_per_user=2, seed=1)
+        corpus = generate_tweets(assignment, 10, tweets_per_user=4, seed=1)
+        assert corpus.n_tweets == 40
+
+    def test_users_without_topics_stay_silent(self, bank):
+        corpus = generate_tweets({0: ["phone"]}, 3, tweets_per_user=2, seed=1)
+        assert len(corpus.tweets(1)) == 0
+        assert len(corpus.tweets(0)) == 2
+
+    def test_tweets_mention_topic_tokens(self, bank):
+        assignment = {0: ["samsung phone"]}
+        corpus = generate_tweets(
+            assignment, 1, tweets_per_user=10, filler_ratio=0.0, seed=1
+        )
+        for tweet in corpus.tweets(0):
+            tokens = set(tokenize(tweet))
+            assert tokens <= {"samsung", "phone"}
+
+    def test_filler_ratio_adds_noise(self, bank):
+        assignment = {0: ["samsung phone"]}
+        corpus = generate_tweets(
+            assignment, 1, tweets_per_user=20, filler_ratio=0.9, seed=1
+        )
+        all_tokens = set()
+        for tweet in corpus.tweets(0):
+            all_tokens |= set(tokenize(tweet))
+        assert not all_tokens <= {"samsung", "phone"}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_tweets({}, 0)
+        with pytest.raises(ConfigurationError):
+            generate_tweets({0: ["x y"]}, 1, filler_ratio=1.0)

@@ -1,0 +1,66 @@
+"""Unit tests for dataset bundles (scaled, so sizes are reduced here)."""
+
+import pytest
+
+from repro.datasets import DATASETS, data_2k, data_350k
+from repro.graph import is_weakly_connected
+
+
+class TestData2k:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return data_2k(seed=5, n_nodes=400, with_corpus=True)
+
+    def test_connected(self, bundle):
+        assert is_weakly_connected(bundle.graph)
+
+    def test_node_count(self, bundle):
+        assert bundle.graph.n_nodes == 400
+
+    def test_has_corpus(self, bundle):
+        assert bundle.corpus is not None
+        assert bundle.corpus.n_tweets > 0
+
+    def test_topics_cover_users(self, bundle):
+        covered = sum(
+            1 for node in bundle.graph.nodes
+            if bundle.topic_index.topics_of_node(node)
+        )
+        assert covered == bundle.graph.n_nodes
+
+    def test_meta_records_scale(self, bundle):
+        assert bundle.meta["paper_nodes"] == 2000
+        assert bundle.meta["scale"] == pytest.approx(400 / 2000)
+
+    def test_describe_mentions_name(self, bundle):
+        assert "data_2k" in bundle.describe()
+
+    def test_deterministic(self):
+        a = data_2k(seed=5, n_nodes=300, with_corpus=False)
+        b = data_2k(seed=5, n_nodes=300, with_corpus=False)
+        assert sorted(a.graph.iter_edges()) == sorted(b.graph.iter_edges())
+        assert a.topic_index.labels == b.topic_index.labels
+
+
+class TestData350k:
+    def test_degree_band(self):
+        bundle = data_350k(seed=5, n_nodes=500)
+        degrees = bundle.graph.out_degrees()
+        # Band (5, 10) plus possible bridge edges.
+        assert degrees.max() <= 12
+        assert bundle.meta["paper_degree_band"] == (51, 100)
+
+    def test_no_corpus(self):
+        bundle = data_350k(seed=5, n_nodes=300)
+        assert bundle.corpus is None
+
+
+class TestRegistry:
+    def test_all_factories_present(self):
+        assert set(DATASETS) == {"data_2k", "data_350k", "data_1.2m", "data_3m"}
+
+    def test_factories_accept_node_override(self):
+        for name, factory in DATASETS.items():
+            bundle = factory(seed=3, n_nodes=250)
+            assert bundle.graph.n_nodes == 250, name
+            assert is_weakly_connected(bundle.graph), name

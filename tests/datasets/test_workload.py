@@ -1,0 +1,62 @@
+"""Unit tests for query workload generation."""
+
+import pytest
+
+from repro.datasets import data_2k, generate_workload, rank_query_tokens
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return data_2k(seed=6, n_nodes=400, with_corpus=False)
+
+
+class TestRankQueryTokens:
+    def test_tokens_ranked_by_coverage(self, bundle):
+        ranked = rank_query_tokens(bundle.topic_index)
+        counts = [count for _, count in ranked]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_counts_match_related_topics(self, bundle):
+        ranked = rank_query_tokens(bundle.topic_index)
+        token, count = ranked[0]
+        assert len(bundle.topic_index.related_topics(token)) == count
+
+
+class TestGenerateWorkload:
+    def test_sizes(self, bundle):
+        workload = generate_workload(bundle, n_queries=4, n_users=3, seed=1)
+        assert len(workload.queries) == 4
+        assert len(workload.users) == 3
+        assert workload.size == 12
+
+    def test_pairs_cross_product(self, bundle):
+        workload = generate_workload(bundle, n_queries=2, n_users=2, seed=1)
+        pairs = list(workload.pairs())
+        assert len(pairs) == 4
+        users = {user for user, _ in pairs}
+        assert users == set(workload.users)
+
+    def test_queries_hit_min_topics(self, bundle):
+        workload = generate_workload(
+            bundle, n_queries=3, n_users=1, min_topics_per_query=2, seed=1
+        )
+        for query in workload.queries:
+            assert len(bundle.topic_index.related_topics(query)) >= 2
+
+    def test_too_many_queries_rejected(self, bundle):
+        with pytest.raises(ConfigurationError):
+            generate_workload(bundle, n_queries=10_000, n_users=1, seed=1)
+
+    def test_too_many_users_rejected(self, bundle):
+        with pytest.raises(ConfigurationError):
+            generate_workload(bundle, n_queries=1, n_users=10_000, seed=1)
+
+    def test_deterministic(self, bundle):
+        a = generate_workload(bundle, n_queries=3, n_users=2, seed=5)
+        b = generate_workload(bundle, n_queries=3, n_users=2, seed=5)
+        assert a == b
+
+    def test_users_are_valid_nodes(self, bundle):
+        workload = generate_workload(bundle, n_queries=2, n_users=5, seed=2)
+        assert all(0 <= u < bundle.graph.n_nodes for u in workload.users)

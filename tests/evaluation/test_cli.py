@@ -1,0 +1,69 @@
+"""Unit tests for the CLI (S32)."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_requires_user_and_query(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--query", "phone"])
+
+    def test_experiment_validates_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--figure", "99"])
+
+    def test_figures_registry_covers_core_figures(self):
+        assert {"5", "6", "10", "11", "15", "16"} <= set(FIGURES)
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        code = main(["datasets", "--size", "200", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "data_2k" in out and "data_3m" in out
+
+    def test_search_command(self, capsys):
+        code = main([
+            "search", "--dataset", "data_2k", "--size", "200",
+            "--user", "3", "--query", "phone", "--k", "3", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Top-3" in out
+
+    def test_search_no_match_returns_error(self, capsys):
+        code = main([
+            "search", "--dataset", "data_2k", "--size", "200",
+            "--user", "3", "--query", "zzzqqq", "--seed", "3",
+        ])
+        assert code == 1
+
+    def test_diagnose_command(self, capsys):
+        code = main([
+            "diagnose", "--dataset", "data_2k", "--size", "200",
+            "--query", "phone", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Topic summary diagnostics" in out
+
+    def test_diagnose_no_match(self, capsys):
+        code = main([
+            "diagnose", "--dataset", "data_2k", "--size", "200",
+            "--query", "zzzqqq", "--seed", "3",
+        ])
+        assert code == 1
+
+    def test_experiment_fig4(self, capsys):
+        code = main([
+            "experiment", "--figure", "4", "--size", "200", "--seed", "3",
+        ])
+        assert code == 0
+        assert "Fig. 4" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Tests for the per-figure experiment runner (micro-scale config)."""
+
+import pytest
+
+from repro.evaluation import ExperimentConfig, ExperimentSuite
+from repro.exceptions import ConfigurationError
+
+MICRO_SIZES = {
+    "data_2k": 250,
+    "data_350k": 250,
+    "data_1.2m": 250,
+    "data_3m": 250,
+}
+
+
+@pytest.fixture(scope="module")
+def suite():
+    config = ExperimentConfig(
+        seed=5,
+        n_queries=1,
+        n_users=1,
+        samples_per_node=5,
+        deviation_budget=20,
+        dataset_sizes=dict(MICRO_SIZES),
+    )
+    return ExperimentSuite(config)
+
+
+class TestCaching:
+    def test_bundle_cached(self, suite):
+        assert suite.bundle("data_2k") is suite.bundle("data_2k")
+
+    def test_unknown_dataset_rejected(self, suite):
+        with pytest.raises(ConfigurationError):
+            suite.bundle("data_9z")
+
+    def test_workload_cached(self, suite):
+        assert suite.workload("data_2k") is suite.workload("data_2k")
+
+    def test_engine_cached_per_key(self, suite):
+        a = suite.engine("data_2k", "lrw")
+        b = suite.engine("data_2k", "lrw")
+        c = suite.engine("data_2k", "lrw", rep_fraction=0.3)
+        assert a is b
+        assert a is not c
+
+    def test_unknown_method_rejected(self, suite):
+        with pytest.raises(ConfigurationError):
+            suite._search_callables("data_2k", ("Nope",))
+
+
+class TestFigureTables:
+    def test_fig04_rows(self, suite):
+        table = suite.fig04_datasets()
+        assert [row[0] for row in table.rows] == [
+            "data_2k", "data_350k", "data_1.2m", "data_3m"
+        ]
+
+    def test_fig05_shape(self, suite):
+        table = suite.fig05_time_small(ks=(2, 3))
+        assert table.headers == ["method", "k=2", "k=3"]
+        assert len(table.rows) == 5
+
+    def test_fig06_omits_matrix(self, suite):
+        table = suite.fig06_time_large(ks=(2,))
+        methods = {row[0] for row in table.rows}
+        assert "BaseMatrix" not in methods
+        assert "LRW-A" in methods
+
+    def test_fig10_precision_in_unit_interval(self, suite):
+        table = suite.fig10_effectiveness_small(ks=(2,))
+        for row in table.rows:
+            assert 0.0 <= float(row[1]) <= 1.0
+
+    def test_fig12_sweep_columns(self, suite):
+        table = suite.fig12_repnodes_precision(rep_fractions=(0.1, 0.2), k=2)
+        assert table.headers == ["method", "mu=0.1", "mu=0.2"]
+
+    def test_fig13_matrix_marked_infeasible_at_scale(self, suite):
+        table = suite.fig13_space(k=2)
+        matrix_row = next(r for r in table.rows if r[0] == "BaseMatrix")
+        assert "n/a" in matrix_row[2]
+
+    def test_fig15_tables(self, suite):
+        rcl_table, lrw_table = suite.fig15_index_construction(
+            sample_rates=(0.05,), r_values=(3,), topics=1
+        )
+        assert len(rcl_table.rows) == 1
+        assert len(lrw_table.rows) == 1
+
+    def test_fig16_rows_per_length(self, suite):
+        table = suite.fig16_construction_vs_length(lengths=(2, 3), topics=1)
+        assert [row[0] for row in table.rows] == ["2", "3"]

@@ -1,0 +1,89 @@
+"""Unit tests for effectiveness metrics."""
+
+import pytest
+
+from repro.core.search import SearchResult
+from repro.evaluation import (
+    kendall_tau,
+    mean_precision,
+    precision_at_k,
+    top_item_reciprocal_rank,
+)
+from repro.exceptions import ConfigurationError
+
+
+def results(*topic_ids):
+    return [
+        SearchResult(topic_id=t, label=str(t), influence=1.0 / (i + 1))
+        for i, t in enumerate(topic_ids)
+    ]
+
+
+class TestPrecisionAtK:
+    def test_full_overlap(self):
+        assert precision_at_k([1, 2, 3], [3, 2, 1], 3) == 1.0
+
+    def test_partial_overlap(self):
+        assert precision_at_k([1, 2, 3, 4], [1, 2, 9, 8], 4) == 0.5
+
+    def test_no_overlap(self):
+        assert precision_at_k([1, 2], [3, 4], 2) == 0.0
+
+    def test_accepts_search_results(self):
+        assert precision_at_k(results(1, 2), results(2, 1), 2) == 1.0
+
+    def test_truncates_to_k(self):
+        assert precision_at_k([1, 2, 3], [1, 9, 8], 1) == 1.0
+
+    def test_short_reference_shrinks_denominator(self):
+        # Reference only has 2 items; matching both = precision 1.
+        assert precision_at_k([1, 2, 3], [1, 2], 3) == 1.0
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            precision_at_k([1], [], 1)
+
+    def test_k_validated(self):
+        with pytest.raises(ConfigurationError):
+            precision_at_k([1], [1], 0)
+
+
+class TestMeanPrecision:
+    def test_averages(self):
+        pairs = [([1, 2], [1, 2]), ([1, 2], [3, 4])]
+        assert mean_precision(pairs, 2) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_precision([], 2)
+
+
+class TestKendallTau:
+    def test_identical_rankings(self):
+        assert kendall_tau([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_reversed_rankings(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == -1.0
+
+    def test_too_few_common_items(self):
+        assert kendall_tau([1], [1]) == 1.0
+        assert kendall_tau([1, 2], [3, 4]) == 1.0
+
+    def test_partial_common(self):
+        # Common items {1, 2} in the same relative order.
+        assert kendall_tau([1, 5, 2], [1, 2, 9]) == 1.0
+
+
+class TestReciprocalRank:
+    def test_top_hit(self):
+        assert top_item_reciprocal_rank([7, 8], [7, 9]) == 1.0
+
+    def test_second_position(self):
+        assert top_item_reciprocal_rank([8, 7], [7, 9]) == 0.5
+
+    def test_missing(self):
+        assert top_item_reciprocal_rank([8, 9], [7]) == 0.0
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            top_item_reciprocal_rank([1], [])

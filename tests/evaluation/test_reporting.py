@@ -1,0 +1,64 @@
+"""Unit tests for table rendering and formatters."""
+
+import pytest
+
+from repro.evaluation import Table, format_bytes, format_seconds
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0.0000005, "0us"),
+            (0.0005, "500us"),
+            (0.0213, "21.3ms"),
+            (1.5, "1.50s"),
+            (150.0, "2.5min"),
+        ],
+    )
+    def test_values(self, seconds, expected):
+        assert format_seconds(seconds) == expected
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (512, "512B"),
+            (2048, "2.0KB"),
+            (3 * 1024 * 1024, "3.0MB"),
+            (5 * 1024**3, "5.0GB"),
+        ],
+    )
+    def test_values(self, n, expected):
+        assert format_bytes(n) == expected
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row([1, "x"])
+        text = table.render()
+        assert "demo" in text and "1" in text and "x" in text
+
+    def test_row_width_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_markdown_shape(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row([1, 2])
+        md = table.render_markdown()
+        assert "| a | b |" in md
+        assert "| 1 | 2 |" in md
+
+    def test_column_accessor(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row([1, 2])
+        table.add_row([3, 4])
+        assert table.column("b") == ["2", "4"]
+
+    def test_str_is_render(self):
+        table = Table("demo", ["a"])
+        assert str(table) == table.render()

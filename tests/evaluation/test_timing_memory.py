@@ -1,0 +1,60 @@
+"""Unit tests for timing and memory measurement helpers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    Stopwatch,
+    measure_peak_allocation,
+    object_bytes,
+    time_workload,
+)
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.seconds >= 0.009
+
+
+class TestTimeWorkload:
+    def test_summary_fields(self):
+        calls = [(1,), (2,), (3,)]
+        summary = time_workload(lambda x: x * 2, calls)
+        assert summary.calls == 3
+        assert summary.total >= summary.maximum >= summary.mean >= summary.minimum
+        assert summary.mean_ms == pytest.approx(summary.mean * 1000)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            time_workload(lambda: None, [])
+
+
+class TestPeakAllocation:
+    def test_returns_result_and_peak(self):
+        result, peak = measure_peak_allocation(lambda: [0] * 100_000)
+        assert len(result) == 100_000
+        assert peak > 100_000  # at least the list payload
+
+    def test_small_allocations_small_peak(self):
+        _, small = measure_peak_allocation(lambda: [0] * 10)
+        _, big = measure_peak_allocation(lambda: [0] * 1_000_000)
+        assert big > small
+
+
+class TestObjectBytes:
+    def test_numpy_payload_counted(self):
+        arr = np.zeros(1000, dtype=np.float64)
+        assert object_bytes(arr) >= 8000
+
+    def test_dict_recursion(self):
+        shallow = object_bytes({})
+        deep = object_bytes({i: np.zeros(100) for i in range(10)})
+        assert deep > shallow + 10 * 800
+
+    def test_shared_objects_counted_once(self):
+        arr = np.zeros(1000)
+        assert object_bytes([arr, arr]) < 2 * object_bytes(arr)

@@ -1,0 +1,79 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.exceptions import EdgeError
+from repro.graph import GraphBuilder
+
+
+class TestBuilder:
+    def test_empty_build(self):
+        graph = GraphBuilder().build()
+        assert graph.n_nodes == 0
+        assert graph.n_edges == 0
+
+    def test_infers_node_count(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 7, 0.5)
+        assert builder.n_nodes == 8
+        assert builder.build().n_nodes == 8
+
+    def test_fixed_node_count(self):
+        builder = GraphBuilder(10)
+        builder.add_edge(0, 1, 0.5)
+        assert builder.build().n_nodes == 10
+
+    def test_fixed_node_count_enforced(self):
+        builder = GraphBuilder(3)
+        with pytest.raises(EdgeError, match="outside fixed node count"):
+            builder.add_edge(0, 5, 0.5)
+
+    def test_rejects_negative_fixed_count(self):
+        with pytest.raises(EdgeError):
+            GraphBuilder(-2)
+
+    def test_readding_same_edge_is_noop(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1, 0.5)
+        builder.add_edge(0, 1, 0.5)
+        assert builder.n_edges == 1
+
+    def test_readding_with_different_probability_raises(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1, 0.5)
+        with pytest.raises(EdgeError, match="refusing to overwrite"):
+            builder.add_edge(0, 1, 0.6)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(EdgeError, match="self-loop"):
+            GraphBuilder().add_edge(2, 2, 0.5)
+
+    @pytest.mark.parametrize("probability", [0.0, -0.1, 1.01])
+    def test_rejects_bad_probability(self, probability):
+        with pytest.raises(EdgeError):
+            GraphBuilder().add_edge(0, 1, probability)
+
+    def test_rejects_negative_node(self):
+        with pytest.raises(EdgeError):
+            GraphBuilder().add_edge(-1, 1, 0.5)
+
+    def test_add_edges_bulk(self):
+        builder = GraphBuilder()
+        builder.add_edges([(0, 1, 0.5), (1, 2, 0.25)])
+        graph = builder.build()
+        assert graph.n_edges == 2
+        assert graph.edge_probability(1, 2) == 0.25
+
+    def test_has_edge_and_discard(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1, 0.5)
+        assert builder.has_edge(0, 1)
+        assert builder.discard_edge(0, 1)
+        assert not builder.has_edge(0, 1)
+        assert not builder.discard_edge(0, 1)
+
+    def test_build_output_matches_input(self):
+        edges = [(0, 1, 0.5), (2, 0, 0.3), (1, 2, 0.9)]
+        builder = GraphBuilder()
+        builder.add_edges(edges)
+        assert sorted(builder.build().iter_edges()) == sorted(edges)

@@ -1,0 +1,82 @@
+"""Unit tests for connectivity analysis and repair."""
+
+import pytest
+
+from repro.exceptions import EmptyGraphError
+from repro.graph import (
+    SocialGraph,
+    ensure_weakly_connected,
+    is_weakly_connected,
+    weakly_connected_components,
+)
+
+
+@pytest.fixture
+def two_islands():
+    """Components {0,1,2} and {3,4}."""
+    return SocialGraph(5, [(0, 1, 0.5), (1, 2, 0.5), (3, 4, 0.5)])
+
+
+class TestComponents:
+    def test_single_component(self, triangle_graph):
+        components = weakly_connected_components(triangle_graph)
+        assert len(components) == 1
+        assert components[0].tolist() == [0, 1, 2]
+
+    def test_two_components_largest_first(self, two_islands):
+        components = weakly_connected_components(two_islands)
+        assert [c.tolist() for c in components] == [[0, 1, 2], [3, 4]]
+
+    def test_direction_ignored(self):
+        # 0 -> 1 and 2 -> 1: weakly connected despite no directed path 0->2.
+        graph = SocialGraph(3, [(0, 1, 0.5), (2, 1, 0.5)])
+        assert is_weakly_connected(graph)
+
+    def test_isolated_nodes_are_components(self):
+        graph = SocialGraph(3, [(0, 1, 0.5)])
+        components = weakly_connected_components(graph)
+        assert len(components) == 2
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            is_weakly_connected(SocialGraph(0, []))
+
+
+class TestRepair:
+    def test_connected_input_untouched(self, triangle_graph):
+        repaired, added = ensure_weakly_connected(triangle_graph, seed=1)
+        assert added == 0
+        assert repaired is triangle_graph
+
+    def test_repair_connects(self, two_islands):
+        repaired, added = ensure_weakly_connected(two_islands, seed=1)
+        assert added >= 1
+        assert is_weakly_connected(repaired)
+
+    def test_bidirectional_bridges(self, two_islands):
+        repaired, added = ensure_weakly_connected(
+            two_islands, seed=1, bidirectional=True
+        )
+        assert added == 2
+
+    def test_unidirectional_bridges(self, two_islands):
+        repaired, added = ensure_weakly_connected(
+            two_islands, seed=1, bidirectional=False
+        )
+        assert added == 1
+        assert is_weakly_connected(repaired)
+
+    def test_original_edges_preserved(self, two_islands):
+        repaired, _ = ensure_weakly_connected(two_islands, seed=1)
+        original = set(two_islands.iter_edges())
+        assert original <= set(repaired.iter_edges())
+
+    def test_many_islands(self):
+        graph = SocialGraph(9, [(0, 1, 0.5), (2, 3, 0.5), (4, 5, 0.5)])
+        repaired, added = ensure_weakly_connected(graph, seed=2)
+        assert is_weakly_connected(repaired)
+
+    def test_deterministic(self, two_islands):
+        a, _ = ensure_weakly_connected(two_islands, seed=5)
+        b, _ = ensure_weakly_connected(two_islands, seed=5)
+        assert sorted(a.iter_edges()) == sorted(b.iter_edges())

@@ -1,0 +1,126 @@
+"""Unit tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph import (
+    PROBABILITY_SCHEMES,
+    assign_probabilities,
+    banded_degree_graph,
+    preferential_attachment_graph,
+)
+
+
+class TestPreferentialAttachment:
+    def test_basic_shape(self):
+        graph = preferential_attachment_graph(100, out_degree=4, seed=1)
+        assert graph.n_nodes == 100
+        assert graph.n_edges >= 4 * 50  # at least the late arrivals' follows
+
+    def test_deterministic_under_seed(self):
+        a = preferential_attachment_graph(80, out_degree=3, seed=42)
+        b = preferential_attachment_graph(80, out_degree=3, seed=42)
+        assert sorted(a.iter_edges()) == sorted(b.iter_edges())
+
+    def test_different_seeds_differ(self):
+        a = preferential_attachment_graph(80, out_degree=3, seed=1)
+        b = preferential_attachment_graph(80, out_degree=3, seed=2)
+        assert sorted(a.iter_edges()) != sorted(b.iter_edges())
+
+    def test_heavy_tail_in_degree(self):
+        graph = preferential_attachment_graph(500, out_degree=5, seed=7)
+        in_degrees = graph.in_degrees()
+        # Rich-get-richer: the max in-degree should dwarf the median.
+        assert in_degrees.max() > 5 * np.median(in_degrees[in_degrees > 0])
+
+    def test_reciprocity_adds_back_edges(self):
+        none = preferential_attachment_graph(100, 4, reciprocity=0.0, seed=3)
+        lots = preferential_attachment_graph(100, 4, reciprocity=0.9, seed=3)
+        assert lots.n_edges > none.n_edges
+
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(ConfigurationError):
+            preferential_attachment_graph(1, out_degree=2)
+
+    def test_rejects_bad_reciprocity(self):
+        with pytest.raises(ConfigurationError):
+            preferential_attachment_graph(10, 2, reciprocity=1.5)
+
+
+class TestBandedDegree:
+    def test_degrees_within_band(self):
+        graph = banded_degree_graph(200, 5, 9, seed=1)
+        out_degrees = graph.out_degrees()
+        assert out_degrees.min() >= 1  # oversampling may fall slightly short
+        assert out_degrees.max() <= 9
+
+    def test_mostly_hits_band(self):
+        graph = banded_degree_graph(200, 5, 9, seed=1)
+        out_degrees = graph.out_degrees()
+        in_band = np.count_nonzero((out_degrees >= 5) & (out_degrees <= 9))
+        assert in_band >= 0.9 * 200
+
+    def test_deterministic_under_seed(self):
+        a = banded_degree_graph(100, 3, 6, seed=9)
+        b = banded_degree_graph(100, 3, 6, seed=9)
+        assert sorted(a.iter_edges()) == sorted(b.iter_edges())
+
+    def test_rejects_band_inversion(self):
+        with pytest.raises(ConfigurationError):
+            banded_degree_graph(100, 9, 5)
+
+    def test_rejects_band_exceeding_nodes(self):
+        with pytest.raises(ConfigurationError):
+            banded_degree_graph(10, 2, 10)
+
+    def test_hub_bias_zero_is_uniformish(self):
+        graph = banded_degree_graph(300, 4, 6, hub_bias=0.0, seed=2)
+        in_degrees = graph.in_degrees()
+        assert in_degrees.max() < 40  # no celebrity hubs without bias
+
+    def test_rejects_negative_hub_bias(self):
+        with pytest.raises(ConfigurationError):
+            banded_degree_graph(100, 3, 5, hub_bias=-1.0)
+
+
+class TestAssignProbabilities:
+    EDGES = [(0, 1), (1, 2), (2, 0), (0, 2)]
+
+    def test_weighted_cascade_is_inverse_in_degree(self):
+        triples = assign_probabilities(3, self.EDGES, scheme="weighted_cascade")
+        lookup = {(s, t): p for s, t, p in triples}
+        assert lookup[(1, 2)] == 0.5  # node 2 has in-degree 2
+        assert lookup[(0, 1)] == 1.0  # node 1 has in-degree 1
+
+    def test_trivalency_values(self):
+        triples = assign_probabilities(3, self.EDGES, scheme="trivalency", seed=1)
+        assert all(p in (0.1, 0.01, 0.001) for _, _, p in triples)
+
+    def test_uniform_bounds(self):
+        triples = assign_probabilities(
+            3, self.EDGES, scheme="uniform", seed=1, uniform_low=0.2, uniform_high=0.3
+        )
+        assert all(0.2 <= p <= 0.3 for _, _, p in triples)
+
+    def test_uniform_bad_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            assign_probabilities(
+                3, self.EDGES, scheme="uniform", uniform_low=0.5, uniform_high=0.2
+            )
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown probability scheme"):
+            assign_probabilities(3, self.EDGES, scheme="nope")
+
+    def test_deduplicates_edges(self):
+        triples = assign_probabilities(3, self.EDGES + [(0, 1)], scheme="trivalency", seed=0)
+        assert len(triples) == len(self.EDGES)
+
+    def test_all_schemes_produce_valid_graphs(self):
+        from repro.graph import SocialGraph
+
+        for scheme in PROBABILITY_SCHEMES:
+            triples = assign_probabilities(3, self.EDGES, scheme=scheme, seed=5)
+            graph = SocialGraph(3, triples)
+            assert graph.n_edges == len(self.EDGES)

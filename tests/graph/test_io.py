@@ -1,0 +1,79 @@
+"""Unit tests for graph serialization."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import load_edge_list, load_npz, save_edge_list, save_npz
+
+
+class TestEdgeList:
+    def test_roundtrip(self, diamond_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        save_edge_list(diamond_graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.n_nodes == diamond_graph.n_nodes
+        assert sorted(loaded.iter_edges()) == sorted(diamond_graph.iter_edges())
+
+    def test_header_preserves_isolated_nodes(self, tmp_path):
+        from repro.graph import SocialGraph
+
+        graph = SocialGraph(10, [(0, 1, 0.5)])
+        path = tmp_path / "graph.txt"
+        save_edge_list(graph, path)
+        assert load_edge_list(path).n_nodes == 10
+
+    def test_explicit_node_count_overrides(self, triangle_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        save_edge_list(triangle_graph, path)
+        assert load_edge_list(path, n_nodes=7).n_nodes == 7
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError, match="expected"):
+            load_edge_list(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 one 0.5\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# a comment\n\n0 1 0.5\n")
+        graph = load_edge_list(path)
+        assert graph.n_edges == 1
+
+    def test_probabilities_roundtrip_exactly(self, tmp_path):
+        from repro.graph import SocialGraph
+
+        graph = SocialGraph(2, [(0, 1, 0.12345678901234567)])
+        path = tmp_path / "graph.txt"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.edge_probability(0, 1) == 0.12345678901234567
+
+
+class TestNpz:
+    def test_roundtrip(self, diamond_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_npz(diamond_graph, path)
+        loaded = load_npz(path)
+        assert sorted(loaded.iter_edges()) == sorted(diamond_graph.iter_edges())
+
+    def test_isolated_nodes_preserved(self, tmp_path):
+        from repro.graph import SocialGraph
+
+        graph = SocialGraph(6, [(0, 1, 0.5)])
+        path = tmp_path / "graph.npz"
+        save_npz(graph, path)
+        assert load_npz(path).n_nodes == 6
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(GraphError):
+            load_npz(path)

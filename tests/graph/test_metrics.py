@@ -1,0 +1,85 @@
+"""Unit tests for graph structural metrics."""
+
+import pytest
+
+from repro.exceptions import EmptyGraphError
+from repro.graph import (
+    SocialGraph,
+    average_clustering_coefficient,
+    degree_summary,
+    gini_coefficient,
+    power_law_tail_exponent,
+    preferential_attachment_graph,
+    reciprocity,
+)
+
+
+class TestReciprocity:
+    def test_fully_reciprocal(self):
+        graph = SocialGraph(2, [(0, 1, 0.5), (1, 0, 0.5)])
+        assert reciprocity(graph) == 1.0
+
+    def test_no_reciprocity(self, chain_graph):
+        assert reciprocity(chain_graph) == 0.0
+
+    def test_partial(self):
+        graph = SocialGraph(3, [(0, 1, 0.5), (1, 0, 0.5), (1, 2, 0.5)])
+        assert reciprocity(graph) == pytest.approx(2 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            reciprocity(SocialGraph(3, []))
+
+
+class TestPowerLawExponent:
+    def test_pa_graph_in_plausible_range(self):
+        graph = preferential_attachment_graph(800, 5, seed=1)
+        alpha = power_law_tail_exponent(graph)
+        assert 1.2 < alpha < 4.5
+
+    def test_requires_tail(self, chain_graph):
+        with pytest.raises(EmptyGraphError):
+            power_law_tail_exponent(chain_graph, minimum_degree=5)
+
+
+class TestGini:
+    def test_uniform_degrees_near_zero(self, triangle_graph):
+        assert gini_coefficient(triangle_graph) == pytest.approx(0.0)
+
+    def test_hub_graph_high(self):
+        edges = [(i, 0, 0.5) for i in range(1, 20)]
+        graph = SocialGraph(20, edges)
+        assert gini_coefficient(graph) > 0.8
+
+    def test_edgeless_zero(self):
+        assert gini_coefficient(SocialGraph(4, [])) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            gini_coefficient(SocialGraph(0, []))
+
+
+class TestClustering:
+    def test_triangle_fully_clustered(self):
+        # Undirected projection of the 3-cycle is a triangle.
+        graph = SocialGraph(3, [(0, 1, 0.5), (1, 2, 0.5), (2, 0, 0.5)])
+        assert average_clustering_coefficient(graph) == pytest.approx(1.0)
+
+    def test_chain_unclustered(self, chain_graph):
+        assert average_clustering_coefficient(chain_graph) == 0.0
+
+    def test_sampled_variant_runs(self):
+        graph = preferential_attachment_graph(200, 4, seed=2)
+        full = average_clustering_coefficient(graph)
+        sampled = average_clustering_coefficient(graph, sample=50, seed=3)
+        assert 0.0 <= sampled <= 1.0
+        assert abs(full - sampled) < 0.3
+
+
+class TestDegreeSummary:
+    def test_keys_and_consistency(self, diamond_graph):
+        summary = degree_summary(diamond_graph)
+        assert summary["nodes"] == 4
+        assert summary["edges"] == 5
+        assert summary["max_in_degree"] == 3
+        assert 0.0 <= summary["in_degree_gini"] <= 1.0

@@ -1,0 +1,98 @@
+"""Unit tests for node sampling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, EmptyGraphError
+from repro.graph import (
+    SocialGraph,
+    sample_nodes_by_degree,
+    sample_nodes_uniform,
+    sample_rate_to_count,
+)
+
+
+@pytest.fixture
+def hub_graph():
+    """Node 0 is a hub (degree 10); nodes 1..10 have degree 1; 11 isolated."""
+    edges = [(i, 0, 0.5) for i in range(1, 11)]
+    return SocialGraph(12, edges)
+
+
+class TestSampleRate:
+    def test_rounding(self, hub_graph):
+        assert sample_rate_to_count(hub_graph, 0.5) == 6
+
+    def test_minimum_one(self, hub_graph):
+        assert sample_rate_to_count(hub_graph, 0.0001) == 1
+
+    def test_full_rate(self, hub_graph):
+        assert sample_rate_to_count(hub_graph, 1.0) == 12
+
+    def test_invalid_rate(self, hub_graph):
+        with pytest.raises(ConfigurationError):
+            sample_rate_to_count(hub_graph, 0.0)
+        with pytest.raises(ConfigurationError):
+            sample_rate_to_count(hub_graph, 1.5)
+
+    def test_empty_graph(self):
+        with pytest.raises(EmptyGraphError):
+            sample_rate_to_count(SocialGraph(0, []), 0.5)
+
+
+class TestDegreeSampling:
+    def test_sample_distinct_and_sorted(self, hub_graph):
+        sample = sample_nodes_by_degree(hub_graph, 5, seed=1)
+        assert sample.size == 5
+        assert len(set(sample.tolist())) == 5
+        assert sample.tolist() == sorted(sample.tolist())
+
+    def test_hub_sampled_most_often(self, hub_graph):
+        hits = sum(
+            0 in sample_nodes_by_degree(hub_graph, 3, seed=s).tolist()
+            for s in range(100)
+        )
+        # Hub holds 10/20 of total degree; with 3 draws it should appear
+        # in the clear majority of samples.
+        assert hits > 60
+
+    def test_isolated_node_only_when_forced(self, hub_graph):
+        for s in range(30):
+            sample = sample_nodes_by_degree(hub_graph, 5, seed=s)
+            assert 11 not in sample.tolist()
+        # Asking for all nodes must include the isolated one.
+        sample = sample_nodes_by_degree(hub_graph, 12, seed=1)
+        assert 11 in sample.tolist()
+
+    def test_all_isolated_falls_back_to_uniform(self):
+        graph = SocialGraph(5, [])
+        sample = sample_nodes_by_degree(graph, 3, seed=2)
+        assert sample.size == 3
+
+    def test_count_validated(self, hub_graph):
+        with pytest.raises(ConfigurationError):
+            sample_nodes_by_degree(hub_graph, 0)
+        with pytest.raises(ConfigurationError):
+            sample_nodes_by_degree(hub_graph, 100)
+
+    def test_deterministic(self, hub_graph):
+        a = sample_nodes_by_degree(hub_graph, 4, seed=9)
+        b = sample_nodes_by_degree(hub_graph, 4, seed=9)
+        assert a.tolist() == b.tolist()
+
+
+class TestUniformSampling:
+    def test_sample_shape(self, hub_graph):
+        sample = sample_nodes_uniform(hub_graph, 6, seed=1)
+        assert sample.size == 6
+        assert len(set(sample.tolist())) == 6
+
+    def test_covers_all_nodes_eventually(self, hub_graph):
+        seen = set()
+        for s in range(60):
+            seen.update(sample_nodes_uniform(hub_graph, 3, seed=s).tolist())
+        assert seen == set(range(12))
+
+    def test_empty_graph(self):
+        with pytest.raises(EmptyGraphError):
+            sample_nodes_uniform(SocialGraph(0, []), 1)

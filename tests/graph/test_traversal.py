@@ -1,0 +1,124 @@
+"""Unit tests for hop-limited traversals."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph import (
+    SocialGraph,
+    forward_reachable,
+    hop_distance,
+    hop_distances,
+    pairwise_hop_distances,
+    reverse_hop_distances,
+    reverse_reachable,
+)
+
+
+class TestHopDistances:
+    def test_chain_distances(self, chain_graph):
+        dist = hop_distances(chain_graph, 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4]
+
+    def test_chain_distances_capped(self, chain_graph):
+        dist = hop_distances(chain_graph, 0, max_hops=2)
+        assert dist.tolist() == [0, 1, 2, -1, -1]
+
+    def test_unreachable_marked(self, chain_graph):
+        dist = hop_distances(chain_graph, 4)
+        assert dist.tolist() == [-1, -1, -1, -1, 0]
+
+    def test_cycle(self, triangle_graph):
+        dist = hop_distances(triangle_graph, 0)
+        assert dist.tolist() == [0, 1, 2]
+
+    def test_zero_hops(self, chain_graph):
+        dist = hop_distances(chain_graph, 2, max_hops=0)
+        assert dist.tolist() == [-1, -1, 0, -1, -1]
+
+    def test_negative_hops_rejected(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            hop_distances(chain_graph, 0, max_hops=-1)
+
+    def test_diamond_takes_shortest(self, diamond_graph):
+        dist = hop_distances(diamond_graph, 0)
+        assert dist[3] == 1  # direct shortcut beats two-hop paths
+
+
+class TestReverseDistances:
+    def test_reverse_chain(self, chain_graph):
+        dist = reverse_hop_distances(chain_graph, 4)
+        assert dist.tolist() == [4, 3, 2, 1, 0]
+
+    def test_reverse_equals_forward_on_reversed_graph(self, diamond_graph):
+        rev = diamond_graph.reversed()
+        for node in diamond_graph.nodes:
+            expected = hop_distances(rev, node)
+            actual = reverse_hop_distances(diamond_graph, node)
+            assert expected.tolist() == actual.tolist()
+
+
+class TestHopDistanceScalar:
+    def test_found(self, chain_graph):
+        assert hop_distance(chain_graph, 0, 3) == 3
+
+    def test_not_found_within_bound(self, chain_graph):
+        assert hop_distance(chain_graph, 0, 3, max_hops=2) == -1
+
+    def test_self_distance(self, chain_graph):
+        assert hop_distance(chain_graph, 1, 1) == 0
+
+
+class TestReachableSets:
+    def test_forward_reachable(self, chain_graph):
+        assert forward_reachable(chain_graph, 1, 2).tolist() == [2, 3]
+
+    def test_forward_reachable_includes_source(self, chain_graph):
+        result = forward_reachable(chain_graph, 1, 2, include_source=True)
+        assert result.tolist() == [1, 2, 3]
+
+    def test_reverse_reachable(self, chain_graph):
+        assert reverse_reachable(chain_graph, 3, 2).tolist() == [1, 2]
+
+    def test_reverse_reachable_includes_target(self, chain_graph):
+        result = reverse_reachable(chain_graph, 3, 2, include_target=True)
+        assert result.tolist() == [1, 2, 3]
+
+    def test_reverse_reachable_whole_graph(self, triangle_graph):
+        assert reverse_reachable(triangle_graph, 0, 5).tolist() == [1, 2]
+
+
+class TestPairwise:
+    def test_pairwise_matches_single(self, diamond_graph):
+        table = pairwise_hop_distances(diamond_graph, [0, 1], max_hops=3)
+        assert table[0].tolist() == hop_distances(diamond_graph, 0, 3).tolist()
+        assert table[1].tolist() == hop_distances(diamond_graph, 1, 3).tolist()
+
+
+class TestLargerGraph:
+    def test_bfs_levels_on_random_graph(self):
+        # Cross-check the vectorized BFS against a reference implementation.
+        rng = np.random.default_rng(5)
+        n = 60
+        edges = set()
+        while len(edges) < 200:
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                edges.add((int(u), int(v)))
+        graph = SocialGraph(n, [(u, v, 0.5) for u, v in edges])
+        dist = hop_distances(graph, 0)
+
+        # Reference: plain dict BFS.
+        from collections import deque
+
+        ref = {0: 0}
+        queue = deque([0])
+        while queue:
+            node = queue.popleft()
+            for nxt in graph.out_neighbors(node):
+                nxt = int(nxt)
+                if nxt not in ref:
+                    ref[nxt] = ref[node] + 1
+                    queue.append(nxt)
+        for node in range(n):
+            assert dist[node] == ref.get(node, -1)

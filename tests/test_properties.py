@@ -1,0 +1,330 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property encodes a law the paper's machinery must satisfy regardless
+of input: probability algebra of the grouping rules, partition behaviour of
+no-overlap grouping, conservation laws of influence propagation, and the
+index invariants that make the top-k search's pruning sound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PropagationIndex,
+    TopicSummary,
+    propagate_influence,
+)
+from repro.core.rcl import greedy_no_overlap, label_pairs
+from repro.graph import SocialGraph, hop_distances, reverse_hop_distances
+from repro.walks import WalkIndex
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_graphs(draw):
+    """Random digraphs with 2-14 nodes and valid transition probabilities."""
+    n = draw(st.integers(min_value=2, max_value=14))
+    max_edges = n * (n - 1)
+    n_edges = draw(st.integers(min_value=1, max_value=min(max_edges, 40)))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda p: p[0] != p[1]),
+            min_size=1,
+            max_size=n_edges,
+            unique=True,
+        )
+    )
+    probs = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=len(pairs),
+            max_size=len(pairs),
+        )
+    )
+    return SocialGraph(n, [(u, v, p) for (u, v), p in zip(pairs, probs)])
+
+
+@st.composite
+def gp_matrices(draw):
+    """Symmetric GP+ / GP- matrices with GP+ + GP- <= 1 everywhere."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    raw = rng.dirichlet([1.0, 1.0, 1.0], size=(n, n))
+    pos = (raw[..., 0] + raw[..., 0].T) / 2
+    neg = (raw[..., 1] + raw[..., 1].T) / 2
+    # Renormalize so pos + neg <= 1 after symmetrization.
+    total = pos + neg
+    scale = np.where(total > 1.0, total, 1.0)
+    return pos / scale, neg / scale, seed
+
+
+# ---------------------------------------------------------------------------
+# Graph invariants
+# ---------------------------------------------------------------------------
+
+
+class TestGraphProperties:
+    @SETTINGS
+    @given(small_graphs())
+    def test_degree_sums_match_edge_count(self, graph):
+        assert graph.out_degrees().sum() == graph.n_edges
+        assert graph.in_degrees().sum() == graph.n_edges
+
+    @SETTINGS
+    @given(small_graphs())
+    def test_edge_roundtrip(self, graph):
+        rebuilt = SocialGraph(graph.n_nodes, graph.iter_edges())
+        assert sorted(rebuilt.iter_edges()) == sorted(graph.iter_edges())
+
+    @SETTINGS
+    @given(small_graphs())
+    def test_reverse_distance_duality(self, graph):
+        # dist_G(u -> v) == dist_rev(G)(v -> u) for every pair.
+        rev = graph.reversed()
+        for source in range(graph.n_nodes):
+            forward = hop_distances(graph, source)
+            backward = reverse_hop_distances(rev, source)
+            assert forward.tolist() == backward.tolist()
+
+    @SETTINGS
+    @given(small_graphs())
+    def test_distance_triangle_step(self, graph):
+        # A node at distance d > 0 has an in-neighbour at distance d - 1.
+        dist = hop_distances(graph, 0)
+        for node in range(graph.n_nodes):
+            d = dist[node]
+            if d > 0:
+                predecessors = [
+                    int(p) for p in graph.in_neighbors(node)
+                    if dist[int(p)] == d - 1
+                ]
+                assert predecessors
+
+
+# ---------------------------------------------------------------------------
+# Walk-index invariants
+# ---------------------------------------------------------------------------
+
+
+class TestWalkIndexProperties:
+    @SETTINGS
+    @given(small_graphs(), st.integers(1, 4), st.integers(1, 5),
+           st.integers(0, 1000))
+    def test_walk_lengths_and_reachability(self, graph, length, samples, seed):
+        index = WalkIndex.built(graph, length, samples, seed=seed)
+        for node in range(graph.n_nodes):
+            records = index.walks_from(node)
+            assert len(records) == samples
+            exact = set(
+                int(v) for v in np.flatnonzero(
+                    hop_distances(graph, node, length) >= 1
+                )
+            )
+            for record in records:
+                assert record.steps_taken <= length
+                assert record.path[0] == node
+                # Dedup: no repeated entries in the recorded path.
+                assert len(set(record.path.tolist())) == record.path.size
+                # Every visited node is genuinely reachable within L hops.
+                assert set(record.path[1:].tolist()) <= exact
+
+    @SETTINGS
+    @given(small_graphs(), st.integers(1, 4), st.integers(1, 5),
+           st.integers(0, 1000))
+    def test_hit_frequencies_bounded(self, graph, length, samples, seed):
+        index = WalkIndex.built(graph, length, samples, seed=seed)
+        table = index.hitting_frequencies()
+        assert np.all(table >= 0.0)
+        # A node can be visited at most once per step across one walk, so
+        # the per-walk frequency is at most (step+1)/R (start + revisits).
+        for step in range(1, length + 1):
+            assert np.all(table[step] <= (step + 1) / samples + 1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Grouping-rule invariants
+# ---------------------------------------------------------------------------
+
+
+class TestGroupingProperties:
+    @SETTINGS
+    @given(gp_matrices())
+    def test_labels_symmetric_binary(self, matrices):
+        pos, neg, seed = matrices
+        labels = label_pairs(pos, neg, seed=seed)
+        assert np.array_equal(labels, labels.T)
+        assert set(np.unique(labels)) <= {0, 1}
+        assert np.all(np.diag(labels) == 1)
+
+    @SETTINGS
+    @given(gp_matrices(), st.integers(1, 5))
+    def test_no_overlap_is_partition(self, matrices, n_clusters):
+        pos, neg, seed = matrices
+        labels = label_pairs(pos, neg, seed=seed)
+        groups = greedy_no_overlap(labels, n_clusters)
+        members = [m for g in groups for m in g]
+        assert sorted(members) == list(range(labels.shape[0]))
+
+    @SETTINGS
+    @given(gp_matrices(), st.integers(1, 5))
+    def test_groups_are_label_cliques(self, matrices, n_clusters):
+        pos, neg, seed = matrices
+        labels = label_pairs(pos, neg, seed=seed)
+        for group in greedy_no_overlap(labels, n_clusters, policy="all"):
+            for i in group:
+                for j in group:
+                    assert labels[i, j] == 1
+
+
+# ---------------------------------------------------------------------------
+# Influence-propagation invariants
+# ---------------------------------------------------------------------------
+
+
+class TestInfluenceProperties:
+    @SETTINGS
+    @given(small_graphs(), st.integers(1, 5))
+    def test_influence_monotone_in_length(self, graph, length):
+        weights = {0: 1.0}
+        shorter = propagate_influence(graph, weights, length)
+        longer = propagate_influence(graph, weights, length + 1)
+        assert np.all(longer >= shorter - 1e-12)
+
+    @SETTINGS
+    @given(small_graphs(), st.integers(1, 4))
+    def test_influence_scales_linearly(self, graph, length):
+        base = propagate_influence(graph, {0: 1.0}, length)
+        scaled = propagate_influence(graph, {0: 0.5}, length)
+        assert np.allclose(scaled, 0.5 * base)
+
+
+# ---------------------------------------------------------------------------
+# Propagation-index invariants
+# ---------------------------------------------------------------------------
+
+
+class TestPropagationIndexProperties:
+    @SETTINGS
+    @given(small_graphs(), st.floats(min_value=0.02, max_value=0.5))
+    def test_gamma_entries_exceed_theta(self, graph, theta):
+        index = PropagationIndex(graph, theta)
+        for node in range(graph.n_nodes):
+            entry = index.entry(node)
+            for source, probability in entry.gamma.items():
+                assert probability >= theta - 1e-12
+                assert source != node
+
+    @SETTINGS
+    @given(small_graphs(), st.floats(min_value=0.05, max_value=0.5))
+    def test_smaller_theta_never_shrinks_gamma(self, graph, theta):
+        coarse = PropagationIndex(graph, theta)
+        fine = PropagationIndex(graph, theta / 2)
+        for node in range(graph.n_nodes):
+            coarse_entry = coarse.entry(node).gamma
+            fine_entry = fine.entry(node).gamma
+            assert set(coarse_entry) <= set(fine_entry)
+            for source, probability in coarse_entry.items():
+                # Aggregation only adds paths as theta decreases.
+                assert fine_entry[source] >= probability - 1e-12
+
+    @SETTINGS
+    @given(small_graphs(), st.floats(min_value=0.02, max_value=0.5))
+    def test_marked_nodes_inside_gamma(self, graph, theta):
+        index = PropagationIndex(graph, theta)
+        for node in range(graph.n_nodes):
+            entry = index.entry(node)
+            assert entry.marked <= set(entry.gamma)
+
+
+# ---------------------------------------------------------------------------
+# Search invariants
+# ---------------------------------------------------------------------------
+
+
+class TestSearchProperties:
+    @SETTINGS
+    @given(small_graphs(), st.integers(0, 10_000), st.integers(1, 3))
+    def test_pruning_preserves_in_index_ranking(self, graph, seed, k):
+        """With expansion disabled, Algorithm 10's pruning must return
+        exactly the brute-force ranking by in-index score
+        ``sum_{rep in Gamma(v)} Gamma(v)[rep] * weight(rep)``.
+
+        (With expansion enabled, scores legitimately *grow* while
+        membership is undecided, so only this expansion-free core has an
+        exact external reference.)"""
+        from repro.core import PersonalizedSearcher, PropagationIndex, TopicSummary
+        from repro.topics import TopicIndex
+
+        rng = np.random.default_rng(seed)
+        n = graph.n_nodes
+        n_topics = int(rng.integers(2, 6))
+        assignments = {}
+        for t in range(n_topics):
+            members = rng.choice(n, size=min(n, 2), replace=False)
+            for m in members:
+                assignments.setdefault(int(m), []).append(f"topic t{t}")
+        index = TopicIndex(n, assignments)
+        summaries = {}
+        for topic_id in range(index.n_topics):
+            nodes = index.topic_nodes(topic_id)
+            weight = 1.0 / nodes.size
+            summaries[topic_id] = TopicSummary(
+                topic_id, {int(v): weight for v in nodes}
+            )
+        propagation = PropagationIndex(graph, 0.05)
+        searcher = PersonalizedSearcher(
+            index, summaries, propagation, max_expand_rounds=0
+        )
+        user = int(rng.integers(n))
+        results, _ = searcher.search(user, "topic", k)
+
+        gamma = propagation.entry(user).gamma
+        brute = {
+            topic_id: sum(
+                gamma.get(rep, 0.0) * weight
+                for rep, weight in summaries[topic_id].weights.items()
+            )
+            for topic_id in range(index.n_topics)
+        }
+        expected = sorted(
+            brute, key=lambda t: (-brute[t], index.label(t))
+        )[:k]
+        assert [r.topic_id for r in results] == expected
+        for result in results:
+            assert result.influence == pytest.approx(brute[result.topic_id])
+
+
+# ---------------------------------------------------------------------------
+# Summary invariants
+# ---------------------------------------------------------------------------
+
+
+class TestSummaryProperties:
+    @SETTINGS
+    @given(
+        st.dictionaries(
+            st.integers(0, 50),
+            st.floats(min_value=0.0, max_value=0.2),
+            max_size=5,
+        )
+    )
+    def test_summary_weight_bound_enforced(self, weights):
+        summary = TopicSummary(0, weights)
+        assert 0.0 <= summary.total_weight <= 1.0 + 1e-9
+        assert summary.size == len(weights)

@@ -1,0 +1,109 @@
+"""Unit tests for internal helpers and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro._utils import (
+    as_int_array,
+    coerce_rng,
+    normalize_rows,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    stable_top_indices,
+)
+from repro.exceptions import (
+    BudgetExceededError,
+    ConfigurationError,
+    NodeNotFoundError,
+    ReproError,
+    UnknownTopicError,
+)
+
+
+class TestCoerceRng:
+    def test_none_gives_generator(self):
+        assert isinstance(coerce_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert coerce_rng(5).random() == coerce_rng(5).random()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert coerce_rng(rng) is rng
+
+
+class TestValidators:
+    def test_require_positive(self):
+        require_positive("x", 1)
+        with pytest.raises(ConfigurationError):
+            require_positive("x", 0)
+
+    def test_require_non_negative(self):
+        require_non_negative("x", 0)
+        with pytest.raises(ConfigurationError):
+            require_non_negative("x", -1)
+
+    def test_require_probability_inclusive(self):
+        require_probability("p", 0.0)
+        require_probability("p", 1.0)
+        with pytest.raises(ConfigurationError):
+            require_probability("p", 1.1)
+
+    def test_require_probability_exclusive_zero(self):
+        with pytest.raises(ConfigurationError):
+            require_probability("p", 0.0, inclusive_zero=False)
+        require_probability("p", 0.01, inclusive_zero=False)
+
+    def test_require_in_range(self):
+        require_in_range("k", 3, 1, 5)
+        require_in_range("k", 3, 1)  # unbounded above
+        with pytest.raises(ConfigurationError):
+            require_in_range("k", 0, 1, 5)
+        with pytest.raises(ConfigurationError):
+            require_in_range("k", 9, 1, 5)
+
+
+class TestArrays:
+    def test_as_int_array(self):
+        arr = as_int_array(iter([3, 1, 2]))
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [3, 1, 2]
+
+    def test_stable_top_indices_order(self):
+        result = stable_top_indices([1.0, 3.0, 3.0, 2.0], 3)
+        # Ties (indices 1, 2) break toward the smaller index.
+        assert result.tolist() == [1, 2, 3]
+
+    def test_stable_top_indices_truncation(self):
+        assert stable_top_indices([1.0, 2.0], 5).size == 2
+        assert stable_top_indices([1.0], 0).size == 0
+
+    def test_normalize_rows(self):
+        matrix = np.array([[1.0, 3.0], [0.0, 0.0]])
+        normalized = normalize_rows(matrix)
+        assert normalized[0].tolist() == [0.25, 0.75]
+        assert normalized[1].tolist() == [0.0, 0.0]  # zero rows stay zero
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ConfigurationError("x"),
+            BudgetExceededError("x", 1),
+            NodeNotFoundError(1, 2),
+            UnknownTopicError("t"),
+        ):
+            assert isinstance(exc, ReproError)
+
+    def test_node_not_found_is_key_error(self):
+        assert isinstance(NodeNotFoundError(1, 2), KeyError)
+
+    def test_configuration_error_is_value_error(self):
+        assert isinstance(ConfigurationError("x"), ValueError)
+
+    def test_budget_error_carries_fields(self):
+        error = BudgetExceededError("tree", 42)
+        assert error.budget == 42
+        assert "tree" in str(error)

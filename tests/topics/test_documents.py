@@ -1,0 +1,51 @@
+"""Unit tests for the tweet corpus."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.topics import TweetCorpus
+
+
+class TestTweetCorpus:
+    def test_empty_corpus(self):
+        corpus = TweetCorpus(3)
+        assert corpus.n_users == 3
+        assert corpus.n_tweets == 0
+        assert corpus.tweets(0) == ()
+
+    def test_rejects_negative_users(self):
+        with pytest.raises(ConfigurationError):
+            TweetCorpus(-1)
+
+    def test_add_and_read_back(self):
+        corpus = TweetCorpus(2)
+        corpus.add_tweet(0, "hello world")
+        corpus.add_tweets(0, ["second tweet", "third tweet"])
+        assert corpus.tweets(0) == ("hello world", "second tweet", "third tweet")
+        assert corpus.n_tweets == 3
+
+    def test_user_bounds_checked(self):
+        corpus = TweetCorpus(2)
+        with pytest.raises(ConfigurationError):
+            corpus.add_tweet(5, "nope")
+        with pytest.raises(ConfigurationError):
+            corpus.tweets(-1)
+
+    def test_user_document_joins_tweets(self):
+        corpus = TweetCorpus(1)
+        corpus.add_tweets(0, ["first", "second"])
+        assert corpus.user_document(0) == "first\nsecond"
+
+    def test_user_tokens(self):
+        corpus = TweetCorpus(1)
+        corpus.add_tweet(0, "Samsung phone rocks")
+        assert corpus.user_tokens(0) == ["samsung", "phone", "rocks"]
+
+    def test_iter_documents_skips_silent_users(self):
+        corpus = TweetCorpus(3)
+        corpus.add_tweet(1, "only me")
+        docs = list(corpus.iter_documents())
+        assert docs == [(1, "only me")]
+
+    def test_len_is_user_count(self):
+        assert len(TweetCorpus(7)) == 7

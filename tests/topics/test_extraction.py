@@ -1,0 +1,91 @@
+"""Integration tests for the LDA + tag-refinement extraction pipeline."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.topics import TagBank, TopicExtractor, TopicIndex, TweetCorpus
+
+
+@pytest.fixture
+def corpus():
+    corpus = TweetCorpus(5)
+    corpus.add_tweets(0, [
+        "loving my new samsung phone",
+        "samsung phone camera is amazing",
+        "phone battery life on the samsung",
+    ])
+    corpus.add_tweets(1, [
+        "apple phone rumors everywhere",
+        "new apple phone leak today",
+        "apple phone pricing announced",
+    ])
+    corpus.add_tweets(2, [
+        "jazz festival tonight downtown",
+        "festival music lineup announced",
+        "music festival tickets sold out",
+    ])
+    # User 3 is silent; user 4 tweets noise only.
+    corpus.add_tweets(4, ["aaaa bbbb cccc"])
+    return corpus
+
+
+@pytest.fixture
+def tag_bank():
+    return TagBank.synthetic(200, seed=1)
+
+
+class TestExtraction:
+    def test_extracts_topics_for_active_users(self, corpus, tag_bank):
+        extractor = TopicExtractor(n_topics=4, lda_iterations=40, seed=2)
+        result = extractor.run(corpus, tag_bank)
+        assert 0 in result.assignments
+        assert 1 in result.assignments
+        assert 2 in result.assignments
+        assert 3 not in result.assignments  # silent user
+
+    def test_phone_users_get_phone_topics(self, corpus, tag_bank):
+        extractor = TopicExtractor(n_topics=4, lda_iterations=60, seed=2)
+        result = extractor.run(corpus, tag_bank)
+        for user in (0, 1):
+            tokens = {
+                token
+                for topic in result.assignments[user]
+                for token in topic.split()
+            }
+            assert "phone" in tokens
+
+    def test_seeds_recorded(self, corpus, tag_bank):
+        extractor = TopicExtractor(
+            n_topics=4, seed_terms_per_user=6, lda_iterations=30, seed=2
+        )
+        result = extractor.run(corpus, tag_bank)
+        assert all(len(seeds) <= 6 for seeds in result.seeds.values())
+
+    def test_tags_per_user_cap(self, corpus, tag_bank):
+        extractor = TopicExtractor(
+            n_topics=4, tags_per_user=3, lda_iterations=30, seed=2
+        )
+        result = extractor.run(corpus, tag_bank)
+        assert all(len(t) <= 3 for t in result.assignments.values())
+
+    def test_result_feeds_topic_index(self, corpus, tag_bank):
+        extractor = TopicExtractor(n_topics=4, lda_iterations=30, seed=2)
+        result = extractor.run(corpus, tag_bank)
+        index = TopicIndex(corpus.n_users, result.assignments)
+        assert index.n_topics == result.topic_space_size()
+
+    def test_empty_corpus_rejected(self, tag_bank):
+        extractor = TopicExtractor(seed=1)
+        with pytest.raises(ConfigurationError):
+            extractor.run(TweetCorpus(3), tag_bank)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            TopicExtractor(n_topics=0)
+        with pytest.raises(ConfigurationError):
+            TopicExtractor(tags_per_user=0)
+
+    def test_deterministic_under_seed(self, corpus, tag_bank):
+        a = TopicExtractor(n_topics=4, lda_iterations=20, seed=9).run(corpus, tag_bank)
+        b = TopicExtractor(n_topics=4, lda_iterations=20, seed=9).run(corpus, tag_bank)
+        assert a.assignments == b.assignments

@@ -1,0 +1,107 @@
+"""Unit tests for the topic space / inverted index."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, UnknownTopicError
+from repro.topics import KeywordQuery, TopicIndex
+
+
+@pytest.fixture
+def index():
+    return TopicIndex(
+        6,
+        {
+            0: ["Apple Phone", "jazz music"],
+            1: ["samsung phone"],
+            2: ["apple phone", "samsung phone"],
+            4: ["jazz music"],
+        },
+    )
+
+
+class TestConstruction:
+    def test_topic_count(self, index):
+        assert index.n_topics == 3
+        assert len(index) == 3
+
+    def test_labels_sorted_and_normalized(self, index):
+        assert index.labels == ("apple phone", "jazz music", "samsung phone")
+
+    def test_rejects_out_of_range_node(self):
+        with pytest.raises(ConfigurationError):
+            TopicIndex(2, {5: ["topic"]})
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(ConfigurationError):
+            TopicIndex(2, {0: ["  "]})
+
+    def test_empty_assignment(self):
+        index = TopicIndex(3, {})
+        assert index.n_topics == 0
+
+
+class TestResolution:
+    def test_resolve_by_label_case_insensitive(self, index):
+        assert index.resolve("Apple Phone") == index.resolve("apple phone")
+
+    def test_resolve_by_id(self, index):
+        assert index.resolve(1) == 1
+
+    def test_unknown_label(self, index):
+        with pytest.raises(UnknownTopicError):
+            index.resolve("nope")
+
+    def test_unknown_id(self, index):
+        with pytest.raises(UnknownTopicError):
+            index.resolve(99)
+
+    def test_contains(self, index):
+        assert "apple phone" in index
+        assert "nope" not in index
+
+    def test_label_roundtrip(self, index):
+        for topic_id in range(index.n_topics):
+            assert index.resolve(index.label(topic_id)) == topic_id
+
+
+class TestMembership:
+    def test_topic_nodes_sorted(self, index):
+        assert index.topic_nodes("apple phone").tolist() == [0, 2]
+
+    def test_topic_size(self, index):
+        assert index.topic_size("samsung phone") == 2
+
+    def test_topics_of_node(self, index):
+        topics = index.topics_of_node(0)
+        labels = {index.label(t) for t in topics}
+        assert labels == {"apple phone", "jazz music"}
+
+    def test_topics_of_silent_node(self, index):
+        assert index.topics_of_node(3) == ()
+
+    def test_node_bounds_checked(self, index):
+        with pytest.raises(ConfigurationError):
+            index.topics_of_node(10)
+
+
+class TestQueryMatching:
+    def test_single_keyword(self, index):
+        related = index.related_topics("phone")
+        labels = {index.label(t) for t in related}
+        assert labels == {"apple phone", "samsung phone"}
+
+    def test_all_mode_requires_every_keyword(self, index):
+        assert index.related_topics("apple phone") == [
+            index.resolve("apple phone")
+        ]
+
+    def test_any_mode(self, index):
+        query = KeywordQuery.parse("apple jazz", mode="any")
+        labels = {index.label(t) for t in index.related_topics(query)}
+        assert labels == {"apple phone", "jazz music"}
+
+    def test_no_match(self, index):
+        assert index.related_topics("quantum") == []
+
+    def test_memory_accounting(self, index):
+        assert index.memory_bytes() > 0

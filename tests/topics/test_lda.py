@@ -1,0 +1,131 @@
+"""Unit tests for the collapsed-Gibbs LDA."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.topics import Vocabulary, fit_lda
+
+
+@pytest.fixture
+def two_topic_corpus():
+    """Two cleanly separable vocabularies (fruit vs metal)."""
+    vocabulary = Vocabulary()
+    fruit = ["apple", "banana", "mango", "kiwi"]
+    metal = ["iron", "steel", "copper", "zinc"]
+    rng = np.random.default_rng(0)
+    docs = []
+    for _ in range(8):
+        docs.append(vocabulary.encode(rng.choice(fruit, size=20).tolist()))
+    for _ in range(8):
+        docs.append(vocabulary.encode(rng.choice(metal, size=20).tolist()))
+    return docs, vocabulary, fruit, metal
+
+
+class TestVocabulary:
+    def test_add_and_lookup(self):
+        vocabulary = Vocabulary()
+        a = vocabulary.add("apple")
+        assert vocabulary.add("apple") == a
+        assert vocabulary.get("apple") == a
+        assert vocabulary.term(a) == "apple"
+        assert len(vocabulary) == 1
+
+    def test_get_unknown_is_none(self):
+        assert Vocabulary().get("nope") is None
+
+    def test_encode_grow_false_skips_unknown(self):
+        vocabulary = Vocabulary()
+        vocabulary.add("known")
+        assert vocabulary.encode(["known", "unknown"], grow=False) == [0]
+
+    def test_terms_indexable(self):
+        vocabulary = Vocabulary()
+        vocabulary.encode(["a1", "b1"])
+        assert vocabulary.terms == ("a1", "b1")
+
+
+class TestFitValidation:
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_lda([[0]], Vocabulary(), 2)
+
+    def test_bad_topic_count(self):
+        vocabulary = Vocabulary()
+        vocabulary.add("x1")
+        with pytest.raises(ConfigurationError):
+            fit_lda([[0]], vocabulary, 0)
+
+    def test_out_of_vocabulary_id_rejected(self):
+        vocabulary = Vocabulary()
+        vocabulary.add("x1")
+        with pytest.raises(ConfigurationError):
+            fit_lda([[5]], vocabulary, 2, iterations=1)
+
+    def test_bad_hyperparameters(self):
+        vocabulary = Vocabulary()
+        vocabulary.add("x1")
+        with pytest.raises(ConfigurationError):
+            fit_lda([[0]], vocabulary, 2, alpha=-1.0)
+        with pytest.raises(ConfigurationError):
+            fit_lda([[0]], vocabulary, 2, beta=0.0)
+
+
+class TestFitQuality:
+    def test_distributions_normalized(self, two_topic_corpus):
+        docs, vocabulary, _, _ = two_topic_corpus
+        model = fit_lda(docs, vocabulary, 2, iterations=30, seed=1)
+        assert np.allclose(model.doc_topic.sum(axis=1), 1.0)
+        assert np.allclose(model.topic_word.sum(axis=1), 1.0)
+
+    def test_separates_clean_topics(self, two_topic_corpus):
+        docs, vocabulary, fruit, metal = two_topic_corpus
+        model = fit_lda(docs, vocabulary, 2, iterations=60, seed=1)
+        top0 = set(model.top_terms(0, 4))
+        top1 = set(model.top_terms(1, 4))
+        # One topic should be fruity, the other metallic.
+        assert {frozenset(top0), frozenset(top1)} == {
+            frozenset(fruit),
+            frozenset(metal),
+        }
+
+    def test_document_topics_match_content(self, two_topic_corpus):
+        docs, vocabulary, fruit, _ = two_topic_corpus
+        model = fit_lda(docs, vocabulary, 2, iterations=60, seed=1)
+        fruit_topic = (
+            0 if vocabulary.get("apple") in
+            np.argsort(-model.topic_word[0])[:4] else 1
+        )
+        # The first 8 docs are fruit docs.
+        for doc in range(8):
+            assert model.document_topics(doc, 1)[0] == fruit_topic
+
+    def test_deterministic_under_seed(self, two_topic_corpus):
+        docs, vocabulary, _, _ = two_topic_corpus
+        a = fit_lda(docs, vocabulary, 2, iterations=10, seed=5)
+        b = fit_lda(docs, vocabulary, 2, iterations=10, seed=5)
+        assert np.array_equal(a.doc_topic, b.doc_topic)
+        assert np.array_equal(a.topic_word, b.topic_word)
+
+    def test_empty_documents_tolerated(self):
+        vocabulary = Vocabulary()
+        vocabulary.add("word")
+        model = fit_lda([[], [0, 0]], vocabulary, 2, iterations=5, seed=1)
+        assert model.n_docs == 2
+
+
+class TestSeedTerms:
+    def test_seed_term_count(self, two_topic_corpus):
+        docs, vocabulary, _, _ = two_topic_corpus
+        model = fit_lda(docs, vocabulary, 2, iterations=30, seed=1)
+        seeds = model.seed_terms(0, count=4)
+        assert len(seeds) == 4
+        assert len(set(seeds)) == 4
+
+    def test_seed_terms_come_from_dominant_topic(self, two_topic_corpus):
+        docs, vocabulary, fruit, metal = two_topic_corpus
+        model = fit_lda(docs, vocabulary, 2, iterations=60, seed=1)
+        seeds = model.seed_terms(0, count=4, topics_per_doc=1)
+        assert set(seeds) == set(fruit) or set(seeds) == set(metal)
+        # Doc 0 is a fruit doc.
+        assert set(seeds) == set(fruit)

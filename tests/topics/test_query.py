@@ -1,0 +1,51 @@
+"""Unit tests for keyword queries."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.topics import KeywordQuery
+
+
+class TestParse:
+    def test_basic(self):
+        query = KeywordQuery.parse("Samsung Phone")
+        assert query.keywords == ("samsung", "phone")
+        assert query.raw == "Samsung Phone"
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            KeywordQuery.parse("   ")
+
+    def test_stopwords_only_rejected(self):
+        with pytest.raises(QueryError):
+            KeywordQuery.parse("the and of")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(QueryError):
+            KeywordQuery.parse("phone", mode="most")
+
+    def test_str_is_raw(self):
+        assert str(KeywordQuery.parse("phone")) == "phone"
+
+    def test_frozen(self):
+        query = KeywordQuery.parse("phone")
+        with pytest.raises(Exception):
+            query.raw = "other"
+
+
+class TestMatching:
+    def test_all_mode(self):
+        query = KeywordQuery.parse("apple phone", mode="all")
+        assert query.matches(["apple", "phone", "news"])
+        assert not query.matches(["apple", "tv"])
+
+    def test_any_mode(self):
+        query = KeywordQuery.parse("apple phone", mode="any")
+        assert query.matches(["apple", "tv"])
+        assert not query.matches(["car", "tv"])
+
+    def test_single_keyword_modes_agree(self):
+        for mode in ("all", "any"):
+            query = KeywordQuery.parse("phone", mode=mode)
+            assert query.matches(["samsung", "phone"])
+            assert not query.matches(["samsung", "tv"])

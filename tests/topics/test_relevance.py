@@ -1,0 +1,65 @@
+"""Unit tests for TF-IDF topic relevance."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.topics import TfIdfScorer, TopicIndex
+
+
+@pytest.fixture
+def scorer():
+    index = TopicIndex(
+        5,
+        {
+            0: ["apple phone", "apple laptop"],
+            1: ["samsung phone"],
+            2: ["jazz music"],
+        },
+    )
+    return TfIdfScorer(index)
+
+
+class TestIdf:
+    def test_rare_token_higher_idf(self, scorer):
+        # "jazz" occurs in 1 label, "phone" in 2.
+        assert scorer.idf("jazz") > scorer.idf("phone")
+
+    def test_unknown_token_zero(self, scorer):
+        assert scorer.idf("zzzqqq") == 0.0
+
+
+class TestScore:
+    def test_exact_label_match_strongest(self, scorer):
+        apple = scorer.score("apple phone", "apple phone")
+        samsung = scorer.score("apple phone", "samsung phone")
+        assert apple > samsung > 0.0
+
+    def test_disjoint_zero(self, scorer):
+        assert scorer.score("jazz", "apple phone") == 0.0
+
+    def test_score_symmetric_in_duplicates(self, scorer):
+        single = scorer.score("phone", "samsung phone")
+        doubled = scorer.score("phone phone", "samsung phone")
+        # Query normalization makes repeated keywords equivalent.
+        assert single == pytest.approx(doubled)
+
+    def test_scores_bounded_by_one(self, scorer):
+        for query in ("apple phone", "apple", "jazz music"):
+            for topic in range(scorer.topic_index.n_topics):
+                assert scorer.score(query, topic) <= 1.0 + 1e-9
+
+
+class TestRank:
+    def test_rank_order(self, scorer):
+        ranked = scorer.rank("apple phone", 3)
+        labels = [scorer.topic_index.label(t) for t, _ in ranked]
+        assert labels[0] == "apple phone"
+
+    def test_zero_scores_excluded(self, scorer):
+        ranked = scorer.rank("jazz", 10)
+        labels = {scorer.topic_index.label(t) for t, _ in ranked}
+        assert labels == {"jazz music"}
+
+    def test_k_validated(self, scorer):
+        with pytest.raises(ConfigurationError):
+            scorer.rank("phone", 0)

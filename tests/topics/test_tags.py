@@ -1,0 +1,90 @@
+"""Unit tests for the synthetic tag bank."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.topics import TagBank
+
+
+class TestConstruction:
+    def test_basic(self):
+        bank = TagBank(["a phone", "b phone"], [10.0, 5.0])
+        assert len(bank) == 2
+        assert "a phone" in bank
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            TagBank(["a"], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            TagBank([], [])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            TagBank(["x", "x"], [1.0, 1.0])
+
+    def test_rejects_nonpositive_popularity(self):
+        with pytest.raises(ConfigurationError):
+            TagBank(["x", "y"], [1.0, 0.0])
+
+    def test_popularity_lookup(self):
+        bank = TagBank(["x", "y"], [3.0, 7.0])
+        assert bank.popularity(1) == 7.0
+        with pytest.raises(ConfigurationError):
+            bank.popularity(5)
+
+
+class TestSynthetic:
+    def test_requested_size(self):
+        bank = TagBank.synthetic(200, seed=1)
+        assert len(bank) == 200
+
+    def test_unique_tags(self):
+        bank = TagBank.synthetic(300, seed=2)
+        assert len(set(bank.tags)) == 300
+
+    def test_deterministic_under_seed(self):
+        a = TagBank.synthetic(150, seed=9)
+        b = TagBank.synthetic(150, seed=9)
+        assert a.tags == b.tags
+
+    def test_contains_domain_heads(self):
+        bank = TagBank.synthetic(100, seed=1)
+        assert "phone" in set(bank.tags)
+
+    def test_zipfian_popularity_spread(self):
+        bank = TagBank.synthetic(200, seed=3)
+        values = sorted(bank.popularity(i) for i in range(200))
+        assert values[-1] > 20 * values[0]
+
+
+class TestMatching:
+    def test_tags_containing_sorted_by_popularity(self):
+        bank = TagBank(["cheap phone", "best phone", "red car"], [1.0, 9.0, 5.0])
+        assert bank.tags_containing("phone") == ["best phone", "cheap phone"]
+
+    def test_tags_containing_unknown_token(self):
+        bank = TagBank.synthetic(50, seed=1)
+        assert bank.tags_containing("zzzqqq") == []
+
+    def test_refine_prefers_multi_token_matches(self):
+        bank = TagBank(
+            ["samsung phone", "samsung tv", "apple phone"], [1.0, 1.0, 1.0]
+        )
+        refined = bank.refine(["samsung", "phone"])
+        assert refined[0] == "samsung phone"  # matches both seed tokens
+
+    def test_refine_respects_limit(self):
+        bank = TagBank.synthetic(300, seed=4)
+        refined = bank.refine(["phone", "music", "travel"], limit=5)
+        assert len(refined) == 5
+
+    def test_refine_empty_seeds(self):
+        bank = TagBank.synthetic(50, seed=1)
+        assert bank.refine([]) == []
+
+    def test_refine_limit_validated(self):
+        bank = TagBank.synthetic(50, seed=1)
+        with pytest.raises(ConfigurationError):
+            bank.refine(["phone"], limit=0)

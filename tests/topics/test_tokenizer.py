@@ -1,0 +1,36 @@
+"""Unit tests for the tokenizer."""
+
+from repro.topics import STOPWORDS, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Samsung PHONE") == ["samsung", "phone"]
+
+    def test_splits_punctuation(self):
+        assert tokenize("love-my_phone!") == ["love", "phone"]
+
+    def test_drops_stopwords(self):
+        assert tokenize("the phone is great") == ["phone", "great"]
+
+    def test_keeps_stopwords_when_asked(self):
+        assert "the" in tokenize("the phone", drop_stopwords=False)
+
+    def test_min_length(self):
+        assert tokenize("a b cd", min_length=2) == ["cd"]
+
+    def test_digits_survive_min_length(self):
+        assert tokenize("iphone 5") == ["iphone", "5"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_only_stopwords(self):
+        assert tokenize("the and of") == []
+
+    def test_stopword_list_is_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)
+
+    def test_idempotent_on_own_output(self):
+        tokens = tokenize("Checking my new HTC phone today!")
+        assert tokenize(" ".join(tokens)) == tokens

@@ -1,0 +1,58 @@
+"""Unit tests for absorbing-walk helpers."""
+
+import numpy as np
+import pytest
+
+from repro.walks import (
+    WalkRecord,
+    absorption_distances,
+    closeness_from_distance,
+    first_absorption,
+)
+
+
+def record(*nodes):
+    path = np.asarray(nodes, dtype=np.int64)
+    return WalkRecord(path, np.ones_like(path), len(nodes) - 1)
+
+
+class TestFirstAbsorption:
+    def test_first_hit_wins(self):
+        walk = record(0, 5, 7, 9)
+        assert first_absorption(walk, {7, 9}) == (7, 2)
+
+    def test_start_is_not_absorbed(self):
+        # Absorption is about reaching a representative, not being one.
+        walk = record(0, 5)
+        assert first_absorption(walk, {0, 5}) == (5, 1)
+
+    def test_no_absorber_returns_none(self):
+        assert first_absorption(record(0, 1, 2), {9}) is None
+
+    def test_distance_is_path_position(self):
+        walk = record(3, 8, 2, 6)
+        assert first_absorption(walk, {6}) == (6, 3)
+
+
+class TestAbsorptionDistances:
+    def test_minimum_over_walks(self):
+        walks = [record(0, 1, 7), record(0, 7, 1)]
+        assert absorption_distances(walks, {7}) == {7: 1}
+
+    def test_multiple_absorbers(self):
+        walks = [record(0, 4, 9), record(0, 9, 4)]
+        # First-hit semantics: each walk is absorbed by its first absorber.
+        assert absorption_distances(walks, {4, 9}) == {4: 1, 9: 1}
+
+    def test_empty_when_never_absorbed(self):
+        assert absorption_distances([record(0, 1)], {5}) == {}
+
+
+class TestClosenessKernel:
+    @pytest.mark.parametrize("distance,expected", [(0, 1.0), (1, 0.5), (3, 0.25)])
+    def test_kernel_values(self, distance, expected):
+        assert closeness_from_distance(distance) == expected
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            closeness_from_distance(-1)
