@@ -6,6 +6,9 @@ Commands
     Print the Figure 4 dataset summary for the bundled scaled analogues.
 ``search``
     Build a dataset + engine and answer one PIT-Search query.
+``build-index``
+    Pre-build the full §5.1 propagation index (optionally in parallel)
+    and persist it to an ``.npz`` for reuse by ``search --index``.
 ``experiment``
     Run one of the per-figure experiments and print its table.
 
@@ -14,7 +17,9 @@ Examples
 ::
 
     pit-search datasets --size 800
-    pit-search search --dataset data_2k --user 3 --query phone --k 5
+    pit-search build-index --dataset data_2k --workers 4 --output prop.npz
+    pit-search search --dataset data_2k --user 3 --query phone --k 5 \
+        --index prop.npz
     pit-search experiment --figure 5 --queries 2 --users 1
 """
 
@@ -68,7 +73,26 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--k", type=int, default=10)
     search.add_argument("--summarizer", default="lrw", choices=["lrw", "rcl"])
     search.add_argument("--theta", type=float, default=0.002)
+    search.add_argument("--index", default=None, metavar="PATH",
+                        help="reuse a propagation index built by build-index "
+                             "(its theta overrides --theta)")
     search.add_argument("--seed", type=int, default=42)
+
+    build_index = sub.add_parser(
+        "build-index",
+        help="pre-build and persist the propagation index",
+    )
+    build_index.add_argument("--dataset", default="data_2k",
+                             choices=["data_2k", "data_350k", "data_1.2m",
+                                      "data_3m"])
+    build_index.add_argument("--size", type=int, default=None)
+    build_index.add_argument("--theta", type=float, default=0.002)
+    build_index.add_argument("--max-branches", type=int, default=200_000)
+    build_index.add_argument("--workers", type=int, default=1,
+                             help="worker processes (0 = all CPUs)")
+    build_index.add_argument("--output", required=True, metavar="PATH",
+                             help="destination .npz file")
+    build_index.add_argument("--seed", type=int, default=42)
 
     diagnose = sub.add_parser(
         "diagnose", help="print summary diagnostics for a query's topics"
@@ -118,17 +142,22 @@ def _run_datasets(args) -> int:
     return 0
 
 
-def _run_search(args) -> int:
-    from .core import PITEngine
+def _load_bundle(args):
     from .datasets import DATASETS
 
     factory = DATASETS[args.dataset]
     kwargs = {}
-    if args.size is not None:
+    if getattr(args, "size", None) is not None:
         kwargs["n_nodes"] = args.size
     if args.dataset == "data_2k":
         kwargs["with_corpus"] = False
-    bundle = factory(seed=args.seed, **kwargs)
+    return factory(seed=args.seed, **kwargs)
+
+
+def _run_search(args) -> int:
+    from .core import PITEngine, load_propagation_index
+
+    bundle = _load_bundle(args)
     print(bundle.describe())
     engine = PITEngine.from_dataset(
         bundle,
@@ -136,6 +165,11 @@ def _run_search(args) -> int:
         theta=args.theta,
         seed=args.seed,
     )
+    if args.index is not None:
+        prebuilt = load_propagation_index(args.index, bundle.graph)
+        engine.use_propagation_index(prebuilt)
+        print(f"using prebuilt propagation index {args.index} "
+              f"({prebuilt.n_cached} entries, theta={prebuilt.theta})")
     results, stats = engine.search(
         args.user, args.query, k=args.k, with_stats=True
     )
@@ -150,17 +184,29 @@ def _run_search(args) -> int:
     return 0
 
 
+def _run_build_index(args) -> int:
+    from .core import PropagationIndex, save_propagation_index
+
+    bundle = _load_bundle(args)
+    print(bundle.describe())
+    workers = None if args.workers == 0 else args.workers
+    index = PropagationIndex(
+        bundle.graph, args.theta, max_branches=args.max_branches
+    )
+    index.build_all(workers=workers)
+    save_propagation_index(index, args.output)
+    stats = index.last_build_stats
+    print(f"built {stats.n_built} entries in {stats.wall_seconds:.2f}s "
+          f"({stats.entries_per_second:.0f} entries/s, "
+          f"{stats.workers} worker(s), "
+          f"{stats.total_bytes / 1024:.1f} KiB) -> {args.output}")
+    return 0
+
+
 def _run_diagnose(args) -> int:
     from .core import PITEngine, diagnostics_table
-    from .datasets import DATASETS
 
-    factory = DATASETS[args.dataset]
-    kwargs = {}
-    if args.size is not None:
-        kwargs["n_nodes"] = args.size
-    if args.dataset == "data_2k":
-        kwargs["with_corpus"] = False
-    bundle = factory(seed=args.seed, **kwargs)
+    bundle = _load_bundle(args)
     engine = PITEngine.from_dataset(
         bundle, summarizer=args.summarizer, seed=args.seed
     )
@@ -194,6 +240,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "datasets": _run_datasets,
         "search": _run_search,
+        "build-index": _run_build_index,
         "diagnose": _run_diagnose,
         "experiment": _run_experiment,
     }

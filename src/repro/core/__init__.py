@@ -7,7 +7,12 @@
 * :mod:`repro.core.engine` - end-to-end facade.
 """
 
-from .diagnostics import SummaryDiagnostics, diagnose_summary, diagnostics_table
+from .diagnostics import (
+    PropagationBuildStats,
+    SummaryDiagnostics,
+    diagnose_summary,
+    diagnostics_table,
+)
 from .dynamics import (
     TopicUpdate,
     apply_topic_update,
@@ -32,7 +37,7 @@ from .influence import (
     topic_influence_vector,
 )
 from .lrw import LRWSummarizer
-from .propagation import PropagationEntry, PropagationIndex
+from .propagation import GammaView, PropagationEntry, PropagationIndex
 from .rcl import RCLSummarizer
 from .search import PersonalizedSearcher, SearchResult, SearchStats
 from .summarization import Summarizer, TopicSummary, summarization_error
@@ -46,6 +51,8 @@ __all__ = [
     "summarization_error",
     "PropagationIndex",
     "PropagationEntry",
+    "GammaView",
+    "PropagationBuildStats",
     "PersonalizedSearcher",
     "SearchResult",
     "SearchStats",

@@ -1,16 +1,21 @@
-"""Summary diagnostics (library extension).
+"""Summary and index-build diagnostics (library extension).
 
 Operational tooling a user of the library needs before trusting a summary:
 how much of the topic's local weight was migrated, how concentrated the
 representative weights are, how far the representatives sit from the topic
 nodes, and (optionally, since it costs a propagation) the Definition 1 L1
 error. The engine-level report aggregates these over a set of topics.
+
+:class:`PropagationBuildStats` is the offline-stage counterpart: build
+time and throughput counters recorded by
+:meth:`~repro.core.propagation.PropagationIndex.build_all`, feeding the
+``benchmarks/bench_propagation_index.py`` perf trajectory.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
@@ -20,7 +25,67 @@ from ..graph import SocialGraph, hop_distances
 from ..topics import TopicIndex
 from .summarization import TopicSummary, summarization_error
 
-__all__ = ["SummaryDiagnostics", "diagnose_summary", "diagnostics_table"]
+__all__ = [
+    "PropagationBuildStats",
+    "SummaryDiagnostics",
+    "diagnose_summary",
+    "diagnostics_table",
+]
+
+
+@dataclass(frozen=True)
+class PropagationBuildStats:
+    """Throughput counters for one ``PropagationIndex.build_all`` call.
+
+    Attributes
+    ----------
+    n_entries:
+        Entries cached in the index after the call.
+    n_built:
+        Entries materialized by this call (cached entries are skipped).
+    total_branches:
+        Branch extensions performed across the built entries.
+    total_members:
+        ``Σ |Γ(v)|`` over the built entries.
+    wall_seconds:
+        Wall-clock build time.
+    workers:
+        Worker processes used (1 = serial in-process build).
+    peak_entry_bytes:
+        Largest single-entry storage footprint built by this call.
+    total_bytes:
+        Exact storage bytes of every cached entry after the call.
+    """
+
+    n_entries: int
+    n_built: int
+    total_branches: int
+    total_members: int
+    wall_seconds: float
+    workers: int
+    peak_entry_bytes: int
+    total_bytes: int
+
+    @property
+    def entries_per_second(self) -> float:
+        """Build throughput (0 when the call was instantaneous)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.n_built / self.wall_seconds
+
+    @property
+    def branches_per_second(self) -> float:
+        """Branch-extension throughput (0 when instantaneous)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.total_branches / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready payload including the derived rates."""
+        payload = asdict(self)
+        payload["entries_per_second"] = self.entries_per_second
+        payload["branches_per_second"] = self.branches_per_second
+        return payload
 
 
 @dataclass(frozen=True)

@@ -171,6 +171,26 @@ class PITEngine:
             self._summaries[topic_id] = cached
         return cached
 
+    def use_propagation_index(self, index: PropagationIndex) -> "PITEngine":
+        """Swap in a pre-built propagation index (e.g. loaded from disk).
+
+        The index must cover this engine's graph; entries it already holds
+        are served as-is and any missing ones still build lazily.
+        """
+        if (
+            index.graph.n_nodes != self._graph.n_nodes
+            or index.graph.n_edges != self._graph.n_edges
+        ):
+            raise ConfigurationError(
+                f"propagation index covers a graph with "
+                f"{index.graph.n_nodes} nodes/{index.graph.n_edges} edges, "
+                f"but the engine's graph has {self._graph.n_nodes} nodes/"
+                f"{self._graph.n_edges} edges"
+            )
+        self.propagation_index = index
+        self._searcher._propagation = index
+        return self
+
     def build(self, topics: Optional[Iterable[Union[int, str]]] = None) -> "PITEngine":
         """Run the offline stage eagerly.
 

@@ -101,42 +101,54 @@ def save_propagation_index(index: PropagationIndex, path: PathLike) -> None:
 
     Lazy entries that were never materialized are not persisted; loading
     restores exactly the cached set (further entries rebuild lazily).
+    Entries already store Γ as sorted source/probability arrays, so the
+    flat payload is a straight concatenation - no per-entry dict walks.
     """
-    nodes: List[int] = []
-    offsets: List[int] = [0]
-    sources: List[int] = []
-    probabilities: List[float] = []
-    marked_offsets: List[int] = [0]
-    marked_nodes: List[int] = []
-    branch_counts: List[int] = []
-    for node in sorted(index._entries):
-        entry = index._entries[node]
-        nodes.append(node)
-        for source in sorted(entry.gamma):
-            sources.append(source)
-            probabilities.append(entry.gamma[source])
-        offsets.append(len(sources))
-        for m in sorted(entry.marked):
-            marked_nodes.append(m)
-        marked_offsets.append(len(marked_nodes))
-        branch_counts.append(entry.branches)
+    entries = [index._entries[node] for node in sorted(index._entries)]
+    nodes = np.fromiter(
+        (e.node for e in entries), dtype=np.int64, count=len(entries)
+    )
+    offsets = np.zeros(len(entries) + 1, dtype=np.int64)
+    np.cumsum(
+        np.asarray([e.size for e in entries], dtype=np.int64), out=offsets[1:]
+    )
+    marked_offsets = np.zeros(len(entries) + 1, dtype=np.int64)
+    np.cumsum(
+        np.asarray([e.marked_array.size for e in entries], dtype=np.int64),
+        out=marked_offsets[1:],
+    )
+    empty_i = np.empty(0, dtype=np.int64)
+    empty_f = np.empty(0, dtype=np.float64)
     np.savez_compressed(
         Path(path),
         n_nodes=np.asarray([index.graph.n_nodes]),
         n_edges=np.asarray([index.graph.n_edges]),
         theta=np.asarray([index.theta]),
-        nodes=np.asarray(nodes, dtype=np.int64),
-        offsets=np.asarray(offsets, dtype=np.int64),
-        sources=np.asarray(sources, dtype=np.int64),
-        probabilities=np.asarray(probabilities, dtype=np.float64),
-        marked_offsets=np.asarray(marked_offsets, dtype=np.int64),
-        marked_nodes=np.asarray(marked_nodes, dtype=np.int64),
-        branch_counts=np.asarray(branch_counts, dtype=np.int64),
+        max_branches=np.asarray([index.max_branches]),
+        strict=np.asarray([int(index.strict)]),
+        nodes=nodes,
+        offsets=offsets,
+        sources=np.concatenate([e.sources for e in entries] or [empty_i]),
+        probabilities=np.concatenate(
+            [e.probabilities for e in entries] or [empty_f]
+        ),
+        marked_offsets=marked_offsets,
+        marked_nodes=np.concatenate(
+            [e.marked_array for e in entries] or [empty_i]
+        ),
+        branch_counts=np.fromiter(
+            (e.branches for e in entries), dtype=np.int64, count=len(entries)
+        ),
     )
 
 
 def load_propagation_index(path: PathLike, graph: SocialGraph) -> PropagationIndex:
-    """Read a propagation index written by :func:`save_propagation_index`."""
+    """Read a propagation index written by :func:`save_propagation_index`.
+
+    Entries are reconstructed as zero-copy views into the flat payload
+    arrays, so a fully built index loads in milliseconds and occupies
+    exactly its storage-array footprint.
+    """
     path = Path(path)
     with np.load(path) as data:
         payload = {key: data[key] for key in data.files}
@@ -145,21 +157,28 @@ def load_propagation_index(path: PathLike, graph: SocialGraph) -> PropagationInd
         graph,
         path,
     )
-    index = PropagationIndex(graph, float(payload["theta"][0]))
+    kwargs = {}
+    if "max_branches" in payload:
+        kwargs["max_branches"] = int(payload["max_branches"][0])
+    if "strict" in payload:
+        kwargs["strict"] = bool(payload["strict"][0])
+    index = PropagationIndex(graph, float(payload["theta"][0]), **kwargs)
     nodes = payload["nodes"]
     offsets = payload["offsets"]
     marked_offsets = payload["marked_offsets"]
+    sources = payload["sources"]
+    probabilities = payload["probabilities"]
+    marked_nodes = payload["marked_nodes"]
+    branch_counts = payload["branch_counts"]
     for i, node in enumerate(nodes):
         lo, hi = int(offsets[i]), int(offsets[i + 1])
-        gamma = {
-            int(s): float(p)
-            for s, p in zip(payload["sources"][lo:hi],
-                            payload["probabilities"][lo:hi])
-        }
         mlo, mhi = int(marked_offsets[i]), int(marked_offsets[i + 1])
-        marked = {int(m) for m in payload["marked_nodes"][mlo:mhi]}
-        index._entries[int(node)] = PropagationEntry(
-            int(node), gamma, marked, int(payload["branch_counts"][i])
+        index._entries[int(node)] = PropagationEntry.from_arrays(
+            int(node),
+            sources[lo:hi],
+            probabilities[lo:hi],
+            marked_nodes[mlo:mhi],
+            int(branch_counts[i]),
         )
     return index
 

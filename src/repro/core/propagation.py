@@ -11,6 +11,15 @@ Construction is the reverse branch expansion of Figure 3: starting from
 probability drops below ``θ`` or it would revisit one of its own nodes.
 A node may appear on many branches (its contributions add up).
 
+The expansion runs as an explicit depth-first stack directly over the
+graph's reverse-CSR arrays. Because a DFS holds exactly one branch (the
+current stack path) at a time, cycle membership is a single reusable
+byte-mask - set a bit on descent, clear it on backtrack - so the per-push
+``frozenset`` copies and per-pop ``in_edges()`` tuple unpacking of the
+naive formulation disappear entirely. The set of qualifying cycle-free
+paths (and therefore ``Γ``) is identical to the breadth-first reading of
+Figure 3; only the enumeration order differs.
+
 A node ``u ∈ Γ(v)`` is *marked* (``Γ*(v)``, "potential to be expanded")
 when it has at least one in-neighbour outside ``Γ(v) ∪ {v}`` - influence
 could flow into ``u`` from parts of the graph the index cannot see, which
@@ -19,14 +28,26 @@ reproduces the Figure 3 narrative exactly (only node 11 is marked there).
 
 Branch counts are worst-case exponential, so expansion takes a budget;
 ``strict`` selects raising versus truncating (truncation only loses
-below-θ-adjacent mass and is safe for the search's bounds).
+below-θ-adjacent mass and is safe for the search's bounds). Budget
+semantics: a branch extension is counted *before* it is consumed, so a
+truncated entry contains the contribution of exactly ``max_branches``
+extensions - the extension that would exceed the budget is never taken
+and no probability mass is silently dropped mid-branch.
+
+:meth:`PropagationIndex.build_all` shards nodes across a
+``ProcessPoolExecutor`` when ``workers > 1``. Every entry build is
+independent and deterministic (DFS order is fixed by the CSR layout), so
+parallel results are byte-identical to serial ones.
 """
 
 from __future__ import annotations
 
+import os
 import warnings
-from collections import deque
-from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+from collections.abc import Mapping as MappingABC
+from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -34,57 +55,241 @@ from .._utils import require_in_range, require_probability
 from ..exceptions import BudgetExceededError, ConfigurationError
 from ..graph import SocialGraph
 
-__all__ = ["PropagationEntry", "PropagationIndex"]
+__all__ = ["GammaView", "PropagationEntry", "PropagationIndex"]
+
+
+class GammaView(MappingABC):
+    """Dict-compatible read-only view over a compact ``Γ(v)``.
+
+    Backed by a sorted ``int64`` source array and a parallel ``float64``
+    probability array; lookups are ``np.searchsorted`` binary searches, so
+    the view adds no storage beyond the arrays it wraps.
+    """
+
+    __slots__ = ("_sources", "_probabilities")
+
+    def __init__(self, sources: np.ndarray, probabilities: np.ndarray):
+        self._sources = sources
+        self._probabilities = probabilities
+
+    def _find(self, source) -> int:
+        """Index of *source* in the sorted array, or -1."""
+        sources = self._sources
+        i = int(np.searchsorted(sources, source))
+        if i < sources.size and sources[i] == source:
+            return i
+        return -1
+
+    def __getitem__(self, source) -> float:
+        i = self._find(source)
+        if i < 0:
+            raise KeyError(source)
+        return float(self._probabilities[i])
+
+    def get(self, source, default=None):
+        i = self._find(source)
+        if i < 0:
+            return default
+        return float(self._probabilities[i])
+
+    def __contains__(self, source) -> bool:
+        return self._find(source) >= 0
+
+    def __iter__(self):
+        return iter(self._sources.tolist())
+
+    def __len__(self) -> int:
+        return int(self._sources.size)
+
+    def __eq__(self, other):
+        if isinstance(other, MappingABC):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GammaView({dict(self)!r})"
 
 
 class PropagationEntry:
-    """Materialized neighbourhood of one node.
+    """Materialized neighbourhood of one node, stored compactly.
+
+    ``Γ(v)`` lives in a sorted ``int64`` source array plus a parallel
+    ``float64`` probability array (16 bytes per member); :attr:`gamma`
+    exposes the familiar mapping interface over them.
 
     Attributes
     ----------
     node:
         The target node ``v``.
-    gamma:
-        ``Γ(v)`` - ``source -> aggregated path probability`` for every
-        source with a qualifying path to ``v``.
-    marked:
-        ``Γ*(v)`` - the subset of ``Γ(v)`` with expansion potential.
     branches:
         Number of branch extensions performed (diagnostics).
     """
 
-    __slots__ = ("node", "gamma", "marked", "branches")
+    __slots__ = (
+        "node",
+        "branches",
+        "_sources",
+        "_probabilities",
+        "_marked_array",
+        "_marked_set",
+        "_gamma_view",
+    )
 
     def __init__(
         self,
         node: int,
-        gamma: Dict[int, float],
-        marked: Set[int],
+        gamma: Mapping[int, float],
+        marked: Iterable[int],
         branches: int,
     ):
-        self.node = node
-        self.gamma = gamma
-        self.marked = marked
-        self.branches = branches
+        items = sorted(gamma.items())
+        sources = np.fromiter(
+            (s for s, _ in items), dtype=np.int64, count=len(items)
+        )
+        probabilities = np.fromiter(
+            (p for _, p in items), dtype=np.float64, count=len(items)
+        )
+        marked_array = np.fromiter(
+            sorted(int(m) for m in marked), dtype=np.int64
+        )
+        self._init_arrays(node, sources, probabilities, marked_array, branches)
+
+    def _init_arrays(
+        self,
+        node: int,
+        sources: np.ndarray,
+        probabilities: np.ndarray,
+        marked: np.ndarray,
+        branches: int,
+    ) -> None:
+        self.node = int(node)
+        self.branches = int(branches)
+        self._sources = sources
+        self._probabilities = probabilities
+        self._marked_array = marked
+        self._marked_set: Optional[FrozenSet[int]] = None
+        self._gamma_view: Optional[GammaView] = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        node: int,
+        sources: np.ndarray,
+        probabilities: np.ndarray,
+        marked: np.ndarray,
+        branches: int,
+    ) -> "PropagationEntry":
+        """Zero-copy construction from pre-sorted CSR-style arrays."""
+        entry = cls.__new__(cls)
+        entry._init_arrays(
+            node,
+            np.asarray(sources, dtype=np.int64),
+            np.asarray(probabilities, dtype=np.float64),
+            np.asarray(marked, dtype=np.int64),
+            branches,
+        )
+        return entry
+
+    # ------------------------------------------------------------------
+    @property
+    def gamma(self) -> GammaView:
+        """``Γ(v)`` as a mapping ``source -> aggregated path probability``."""
+        view = self._gamma_view
+        if view is None:
+            view = GammaView(self._sources, self._probabilities)
+            self._gamma_view = view
+        return view
+
+    @property
+    def marked(self) -> FrozenSet[int]:
+        """``Γ*(v)`` - the subset of ``Γ(v)`` with expansion potential."""
+        cached = self._marked_set
+        if cached is None:
+            cached = frozenset(self._marked_array.tolist())
+            self._marked_set = cached
+        return cached
+
+    @property
+    def sources(self) -> np.ndarray:
+        """Sorted ``int64`` members of ``Γ(v)`` (read-only storage array)."""
+        return self._sources
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """``float64`` probabilities parallel to :attr:`sources`."""
+        return self._probabilities
+
+    @property
+    def marked_array(self) -> np.ndarray:
+        """Sorted ``int64`` members of ``Γ*(v)`` (read-only storage array)."""
+        return self._marked_array
 
     def probability(self, source: int) -> float:
         """Aggregated propagation probability of *source* to this node."""
-        return float(self.gamma.get(int(source), 0.0))
+        sources = self._sources
+        i = int(np.searchsorted(sources, int(source)))
+        if i < sources.size and sources[i] == source:
+            return float(self._probabilities[i])
+        return 0.0
 
     def max_expandable_probability(self) -> float:
         """``maxEP`` - the largest Γ value among marked nodes (0 if none)."""
-        if not self.marked:
+        if self._marked_array.size == 0:
             return 0.0
-        return max(self.gamma[u] for u in self.marked)
+        positions = np.searchsorted(self._sources, self._marked_array)
+        return float(self._probabilities[positions].max())
 
     @property
     def size(self) -> int:
         """``|Γ(v)|``."""
-        return len(self.gamma)
+        return int(self._sources.size)
 
     def memory_bytes(self) -> int:
-        """Approximate resident size (16 bytes per Γ entry, 8 per mark)."""
-        return 16 * len(self.gamma) + 8 * len(self.marked)
+        """Exact resident size of the entry's storage arrays."""
+        return int(
+            self._sources.nbytes
+            + self._probabilities.nbytes
+            + self._marked_array.nbytes
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process-pool plumbing for build_all(workers > 1). The initializer gives
+# every worker its own index over the (read-only, copy-on-write under fork)
+# CSR arrays; chunks return raw arrays so nothing entry-shaped is pickled.
+# ---------------------------------------------------------------------------
+
+_WORKER_INDEX: Optional["PropagationIndex"] = None
+
+_ChunkResult = Tuple[List[Tuple[int, np.ndarray, np.ndarray, np.ndarray, int]], int]
+
+
+def _worker_init(graph: SocialGraph, theta: float, max_branches: int, strict: bool) -> None:
+    global _WORKER_INDEX
+    _WORKER_INDEX = PropagationIndex(
+        graph, theta, max_branches=max_branches, strict=strict
+    )
+
+
+def _worker_build_chunk(nodes: Sequence[int]) -> _ChunkResult:
+    index = _WORKER_INDEX
+    assert index is not None, "worker pool used before initialization"
+    results = []
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for node in nodes:
+            entry = index._build_entry(node)
+            results.append(
+                (
+                    entry.node,
+                    entry.sources,
+                    entry.probabilities,
+                    entry.marked_array,
+                    entry.branches,
+                )
+            )
+    n_truncated = sum(1 for w in caught if "truncated" in str(w.message))
+    return results, n_truncated
 
 
 class PropagationIndex:
@@ -103,7 +308,14 @@ class PropagationIndex:
         budget binds.
 
     Entries are built on first access and cached; :meth:`build_all`
-    materializes every node up front (the paper's offline variant).
+    materializes every node up front (the paper's offline variant),
+    optionally sharding across worker processes.
+
+    Construction keeps two lazily-built scratch structures: a Python-list
+    image of the reverse-CSR arrays (list indexing avoids the numpy scalar
+    boxing that dominates a pure-Python traversal; transient ``O(E)``
+    objects, freed with the index) and a ``bytearray`` membership mask
+    reused across every branch and every entry.
     """
 
     def __init__(
@@ -121,6 +333,9 @@ class PropagationIndex:
         self._max_branches = int(max_branches)
         self._strict = bool(strict)
         self._entries: Dict[int, PropagationEntry] = {}
+        self._csr: Optional[Tuple[List[int], List[int], List[float]]] = None
+        self._mask: Optional[bytearray] = None
+        self.last_build_stats = None
 
     # ------------------------------------------------------------------
     @property
@@ -132,6 +347,16 @@ class PropagationIndex:
     def theta(self) -> float:
         """The path-probability threshold ``θ``."""
         return self._theta
+
+    @property
+    def max_branches(self) -> int:
+        """The per-node branch-extension budget."""
+        return self._max_branches
+
+    @property
+    def strict(self) -> bool:
+        """Whether the budget raises instead of truncating."""
+        return self._strict
 
     @property
     def n_cached(self) -> int:
@@ -147,72 +372,211 @@ class PropagationIndex:
             self._entries[node] = cached
         return cached
 
-    def build_all(self) -> "PropagationIndex":
-        """Materialize every node (offline pre-processing)."""
-        for node in range(self._graph.n_nodes):
-            self.entry(node)
+    def build_all(self, workers: Optional[int] = 1) -> "PropagationIndex":
+        """Materialize every node (offline pre-processing).
+
+        Parameters
+        ----------
+        workers:
+            Worker processes to shard the build across. ``1`` (default)
+            builds serially in-process; ``None`` uses every available CPU.
+            Parallel results are byte-identical to serial ones - each
+            entry's DFS order is fixed by the CSR layout regardless of
+            which process runs it.
+
+        Records a :class:`~repro.core.diagnostics.PropagationBuildStats`
+        on :attr:`last_build_stats`.
+        """
+        from .diagnostics import PropagationBuildStats
+
+        if workers is None:
+            workers = getattr(os, "process_cpu_count", os.cpu_count)() or 1
+        workers = int(workers)
+        missing = [
+            node for node in range(self._graph.n_nodes)
+            if node not in self._entries
+        ]
+        start = perf_counter()
+        if workers <= 1 or len(missing) <= 1:
+            workers = 1
+            for node in missing:
+                self._entries[node] = self._build_entry(node)
+        else:
+            workers = min(workers, len(missing))
+            self._build_parallel(missing, workers)
+        wall = perf_counter() - start
+        built = [self._entries[node] for node in missing]
+        self.last_build_stats = PropagationBuildStats(
+            n_entries=len(self._entries),
+            n_built=len(built),
+            total_branches=sum(e.branches for e in built),
+            total_members=sum(e.size for e in built),
+            wall_seconds=wall,
+            workers=workers,
+            peak_entry_bytes=max((e.memory_bytes() for e in built), default=0),
+            total_bytes=self.memory_bytes(),
+        )
         return self
 
+    def _build_parallel(self, missing: List[int], workers: int) -> None:
+        # Small contiguous chunks keep workers load-balanced when entry
+        # sizes are skewed (hubs cost far more than leaves).
+        chunk_size = max(1, len(missing) // (workers * 4))
+        chunks = [
+            missing[i : i + chunk_size]
+            for i in range(0, len(missing), chunk_size)
+        ]
+        n_truncated = 0
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(self._graph, self._theta, self._max_branches, self._strict),
+        ) as pool:
+            for results, chunk_truncated in pool.map(_worker_build_chunk, chunks):
+                n_truncated += chunk_truncated
+                for node, sources, probabilities, marked, branches in results:
+                    self._entries[node] = PropagationEntry.from_arrays(
+                        node, sources, probabilities, marked, branches
+                    )
+        if n_truncated:
+            warnings.warn(
+                f"{n_truncated} propagation entries truncated at "
+                f"{self._max_branches} branches (theta={self._theta})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     def memory_bytes(self) -> int:
-        """Approximate resident size of all cached entries."""
+        """Exact resident size of all cached entries' storage arrays."""
         return sum(e.memory_bytes() for e in self._entries.values())
 
     # ------------------------------------------------------------------
+    def _csr_lists(self) -> Tuple[List[int], List[int], List[float], List[float]]:
+        cache = self._csr
+        if cache is None:
+            graph = self._graph
+            indptr = graph._in_indptr.tolist()
+            in_probs = graph._in_probs.tolist()
+            # Strongest in-edge per node: a branch at probability p only
+            # needs its node expanded when p * max_in >= θ - every
+            # extension through a weaker node provably fails the per-edge
+            # test, so the expansion skips the whole scan.
+            max_in = [
+                max(in_probs[indptr[v] : indptr[v + 1]], default=0.0)
+                for v in range(graph.n_nodes)
+            ]
+            cache = (indptr, graph._in_sources.tolist(), in_probs, max_in)
+            self._csr = cache
+        return cache
+
+    def _membership_mask(self) -> bytearray:
+        mask = self._mask
+        if mask is None:
+            mask = bytearray(self._graph.n_nodes)
+            self._mask = mask
+        return mask
+
     def _build_entry(self, target: int) -> PropagationEntry:
-        """Reverse branch expansion from *target* (Figure 3 procedure)."""
+        """Reverse branch expansion from *target* (Figure 3 procedure).
+
+        Iterative DFS over the reverse-CSR arrays. The stack *is* the
+        current branch; ``mask`` holds its membership bits (plus the
+        target), giving O(1) cycle checks with zero per-extension
+        allocation. An extension is counted against the budget before it
+        is consumed, so truncation never drops the mass of an
+        already-taken branch.
+        """
+        indptr, in_sources, in_probs, max_in = self._csr_lists()
+        mask = self._membership_mask()
         theta = self._theta
-        graph = self._graph
+        max_branches = self._max_branches
         gamma: Dict[int, float] = {}
+        gamma_get = gamma.get
         branches = 0
-        # Each queue item is (node, path probability, nodes on this branch).
-        # The branch set makes branches cycle-free; frozensets are shared
-        # between siblings, only extended on push.
-        queue: deque = deque()
-        root_set = frozenset((target,))
-        sources, probs = graph.in_edges(target)
-        for source, probability in zip(sources, probs):
-            probability = float(probability)
-            if probability >= theta:
-                queue.append((int(source), probability, root_set))
         truncated = False
-        while queue:
-            node, probability, branch = queue.popleft()
-            branches += 1
-            if branches > self._max_branches:
-                if self._strict:
-                    raise BudgetExceededError(
-                        f"propagation entry of node {target}", self._max_branches
-                    )
-                truncated = True
-                break
-            gamma[node] = gamma.get(node, 0.0) + probability
-            extended = branch | {node}
-            sources, probs = graph.in_edges(node)
-            for source, edge_probability in zip(sources, probs):
-                source = int(source)
-                if source in extended or source == target:
+
+        # The active frame lives in locals; suspended frames are flat
+        # (node, prob, cursor, end) quadruples on one stack. A node is
+        # only pushed (and its membership bit only set) when its own
+        # expansion can still clear θ - a leaf visit touches no stack.
+        mask[target] = 1
+        node = target
+        prob = 1.0
+        cursor = indptr[target]
+        end = indptr[target + 1]
+        stack: List = []
+        push = stack.append
+        pop = stack.pop
+        try:
+            while True:
+                if cursor == end:
+                    mask[node] = 0
+                    if not stack:
+                        break
+                    end = pop()
+                    cursor = pop()
+                    prob = pop()
+                    node = pop()
                     continue
-                extended_probability = probability * float(edge_probability)
-                if extended_probability >= theta:
-                    queue.append((source, extended_probability, extended))
+                source = in_sources[cursor]
+                edge_probability = in_probs[cursor]
+                cursor += 1
+                if mask[source]:
+                    continue
+                probability = prob * edge_probability
+                if probability < theta:
+                    continue
+                if branches >= max_branches:
+                    if self._strict:
+                        raise BudgetExceededError(
+                            f"propagation entry of node {target}", max_branches
+                        )
+                    truncated = True
+                    break
+                branches += 1
+                gamma[source] = gamma_get(source, 0.0) + probability
+                if probability * max_in[source] >= theta:
+                    mask[source] = 1
+                    push(node)
+                    push(prob)
+                    push(cursor)
+                    push(end)
+                    node = source
+                    prob = probability
+                    cursor = indptr[source]
+                    end = indptr[source + 1]
+        finally:
+            # The mask is shared scratch: clear whatever is still set (the
+            # target plus the branch live at truncation/raise time).
+            mask[node] = 0
+            for suspended in stack[0::4]:
+                mask[suspended] = 0
+            mask[target] = 0
+
         if truncated:
             warnings.warn(
                 f"propagation entry of node {target} truncated at "
-                f"{self._max_branches} branches (theta={theta})",
+                f"{max_branches} branches (theta={theta})",
                 RuntimeWarning,
                 stacklevel=3,
             )
         marked = self._mark_potential(target, gamma)
         return PropagationEntry(target, gamma, marked, branches)
 
-    def _mark_potential(self, target: int, gamma: Dict[int, float]) -> Set[int]:
+    def _mark_potential(self, target: int, gamma: Dict[int, float]) -> List[int]:
         """Nodes in Γ with an in-neighbour the index cannot see."""
-        inside = set(gamma)
-        inside.add(target)
-        marked: Set[int] = set()
+        indptr, in_sources, _, _ = self._csr_lists()
+        mask = self._membership_mask()
+        mask[target] = 1
         for node in gamma:
-            for source in self._graph.in_neighbors(node):
-                if int(source) not in inside:
-                    marked.add(node)
+            mask[node] = 1
+        marked: List[int] = []
+        for node in gamma:
+            for cursor in range(indptr[node], indptr[node + 1]):
+                if not mask[in_sources[cursor]]:
+                    marked.append(node)
                     break
+        mask[target] = 0
+        for node in gamma:
+            mask[node] = 0
         return marked

@@ -166,14 +166,17 @@ class PersonalizedSearcher:
             summary = self._summary(topic_id)
             weights = dict(summary.weights)
             influence = 0.0
+            unconsumed = 0.0
             for rep in list(weights):
                 stats.representatives_touched += 1
                 probability = gamma_v.get(rep)
                 if probability is not None:
                     influence += probability * weights.pop(rep)
+                else:
+                    unconsumed += weights[rep]
             heap[topic_id] = influence
             remaining[topic_id] = weights
-            remaining_weight[topic_id] = sum(weights.values())
+            remaining_weight[topic_id] = unconsumed
 
         # Lines 14-20: initial pruning against the marked-frontier bound.
         frontier: Dict[int, float] = {
@@ -258,14 +261,22 @@ class PersonalizedSearcher:
             for topic_id in list(active):
                 weights = remaining[topic_id]
                 gained = 0.0
+                consumed = 0.0
                 for rep in list(weights):
                     stats.representatives_touched += 1
                     probability = gamma_u.get(rep)
                     if probability is not None:
-                        gained += weight_to_v * probability * weights.pop(rep)
+                        weight = weights.pop(rep)
+                        gained += weight_to_v * probability * weight
+                        consumed += weight
                 if gained:
                     heap[topic_id] += gained
-                    remaining_weight[topic_id] = sum(weights.values())
+                    # Decrement instead of re-summing the survivors - O(1)
+                    # per consumed representative. Pin to 0 when the pool
+                    # empties so float drift cannot leave residual bound.
+                    remaining_weight[topic_id] = (
+                        remaining_weight[topic_id] - consumed if weights else 0.0
+                    )
             for marked in entry_u.marked:
                 if marked in expanded:
                     continue

@@ -74,6 +74,12 @@ class BudgetExceededError(ReproError):
         self.what = what
         self.budget = budget
 
+    def __reduce__(self):
+        # args holds the formatted message, so default exception pickling
+        # would re-call __init__ with one argument; rebuild from the
+        # originals instead (worker processes ship this across the pool).
+        return (type(self), (self.what, self.budget))
+
 
 class DatasetError(ReproError):
     """A dataset bundle is inconsistent or cannot be produced as requested."""

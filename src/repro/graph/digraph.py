@@ -107,9 +107,10 @@ class SocialGraph:
         rows = rows[order]
         cols = cols[order]
         vals = vals[order]
+        # bincount is a single vectorized pass; np.add.at's unbuffered
+        # scatter is far slower and this runs twice per construction.
         indptr = np.zeros(n + 1, dtype=np.int64)
-        np.add.at(indptr, rows + 1, 1)
-        np.cumsum(indptr, out=indptr)
+        np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
         return indptr, np.ascontiguousarray(cols), np.ascontiguousarray(vals)
 
     # ------------------------------------------------------------------

@@ -81,6 +81,31 @@ class TestPropagationIndexPersistence:
         with pytest.raises(ConfigurationError):
             load_propagation_index(path, other)
 
+    def test_fully_built_index_round_trips_exactly(self, graph, tmp_path):
+        index = PropagationIndex(graph, 0.02, max_branches=5000).build_all()
+        path = tmp_path / "prop_full.npz"
+        save_propagation_index(index, path)
+        loaded = load_propagation_index(path, graph)
+        assert loaded.n_cached == graph.n_nodes
+        assert loaded.theta == index.theta
+        assert loaded.max_branches == 5000
+        assert loaded.strict == index.strict
+        assert loaded.memory_bytes() == index.memory_bytes()
+        for node in graph.nodes:
+            original = index.entry(node)
+            restored = loaded.entry(node)
+            # Exact equality: floats survive the NPZ round trip bit-for-bit.
+            assert dict(restored.gamma) == dict(original.gamma)
+            assert restored.marked == original.marked
+            assert restored.branches == original.branches
+
+    def test_empty_index_round_trips(self, graph, tmp_path):
+        index = PropagationIndex(graph, 0.02)
+        path = tmp_path / "prop_empty.npz"
+        save_propagation_index(index, path)
+        loaded = load_propagation_index(path, graph)
+        assert loaded.n_cached == 0
+
 
 class TestWalkIndexPersistence:
     def test_roundtrip_walks_and_queries(self, graph, tmp_path):

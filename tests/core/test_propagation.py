@@ -2,11 +2,12 @@
 
 import warnings
 
+import numpy as np
 import pytest
 
-from repro.core import PropagationIndex
+from repro.core import GammaView, PropagationEntry, PropagationIndex
 from repro.exceptions import BudgetExceededError, ConfigurationError
-from repro.graph import SocialGraph
+from repro.graph import SocialGraph, preferential_attachment_graph
 
 
 class TestValidation:
@@ -145,6 +146,136 @@ class TestBudget:
         index = PropagationIndex(graph, 0.0001, max_branches=50, strict=True)
         with pytest.raises(BudgetExceededError):
             index.entry(0)
+
+    def test_truncation_counts_exactly_max_branches(self):
+        # An extension is counted before it is consumed: the truncated
+        # entry contains exactly max_branches contributions and the
+        # budget-tripping extension contributes no silently-dropped mass.
+        graph = self._dense_graph()
+        index = PropagationIndex(graph, 0.0001, max_branches=50)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            entry = index.entry(0)
+        assert entry.branches == 50
+
+    def test_truncated_mass_is_a_lower_bound(self):
+        # Every truncated Γ value is a partial sum of the full one.
+        graph = self._dense_graph()
+        full = PropagationIndex(graph, 0.7).entry(0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            truncated = PropagationIndex(graph, 0.7, max_branches=20).entry(0)
+        assert set(truncated.gamma) <= set(full.gamma)
+        for source, probability in truncated.gamma.items():
+            assert probability <= full.gamma[source] + 1e-12
+
+    def test_strict_and_truncating_agree_below_budget(self):
+        graph = self._dense_graph()
+        lenient = PropagationIndex(graph, 0.75)
+        strict = PropagationIndex(graph, 0.75, strict=True)
+        for node in range(graph.n_nodes):
+            assert strict.entry(node).gamma == lenient.entry(node).gamma
+
+
+class TestCompactEntry:
+    def test_probability_matches_gamma(self, fig3_graph):
+        index = PropagationIndex(fig3_graph, 0.05)
+        entry = index.entry(8)
+        for source, probability in entry.gamma.items():
+            assert entry.probability(source) == probability
+
+    def test_probability_of_absent_source_is_zero(self, fig3_graph):
+        entry = PropagationIndex(fig3_graph, 0.05).entry(8)
+        assert entry.probability(10_000) == 0.0
+        assert entry.probability(11) == 0.0  # cut branch, not in Gamma
+
+    def test_storage_arrays_sorted_and_parallel(self, fig3_graph):
+        entry = PropagationIndex(fig3_graph, 0.05).entry(8)
+        assert entry.sources.dtype == np.int64
+        assert entry.probabilities.dtype == np.float64
+        assert entry.sources.size == entry.probabilities.size == entry.size
+        assert np.all(np.diff(entry.sources) > 0)
+        assert np.all(np.diff(entry.marked_array) >= 0)
+
+    def test_gamma_view_mapping_protocol(self, fig3_graph):
+        entry = PropagationIndex(fig3_graph, 0.05).entry(8)
+        view = entry.gamma
+        assert isinstance(view, GammaView)
+        assert len(view) == entry.size
+        assert 5 in view and 11 not in view
+        assert view.get(11) is None
+        assert view.get(11, 0.0) == 0.0
+        assert view[5] == pytest.approx(0.4)
+        with pytest.raises(KeyError):
+            view[11]
+        assert dict(view) == {int(s): view[int(s)] for s in entry.sources}
+        assert view == dict(view)
+
+    def test_memory_bytes_exact(self, fig3_graph):
+        entry = PropagationIndex(fig3_graph, 0.05).entry(8)
+        expected = 16 * entry.size + 8 * len(entry.marked)
+        assert entry.memory_bytes() == expected
+
+    def test_from_arrays_round_trip(self):
+        entry = PropagationEntry(7, {3: 0.5, 1: 0.25}, {3}, 4)
+        rebuilt = PropagationEntry.from_arrays(
+            entry.node,
+            entry.sources,
+            entry.probabilities,
+            entry.marked_array,
+            entry.branches,
+        )
+        assert rebuilt.gamma == entry.gamma
+        assert rebuilt.marked == entry.marked
+        assert rebuilt.branches == entry.branches
+        assert rebuilt.probability(1) == 0.25
+
+
+class TestBuildAll:
+    @pytest.fixture
+    def random_graph(self):
+        return preferential_attachment_graph(80, 4, seed=11)
+
+    def test_parallel_matches_serial_exactly(self, random_graph):
+        serial = PropagationIndex(random_graph, 0.01).build_all(workers=1)
+        parallel = PropagationIndex(random_graph, 0.01).build_all(workers=2)
+        assert parallel.n_cached == serial.n_cached == random_graph.n_nodes
+        for node in range(random_graph.n_nodes):
+            a, b = serial.entry(node), parallel.entry(node)
+            # Byte-identical: same DFS order in every process.
+            assert dict(a.gamma) == dict(b.gamma)
+            assert a.marked == b.marked
+            assert a.branches == b.branches
+
+    def test_parallel_skips_cached_entries(self, random_graph):
+        index = PropagationIndex(random_graph, 0.01)
+        first = index.entry(0)
+        index.build_all(workers=2)
+        assert index.entry(0) is first
+        assert index.last_build_stats.n_built == random_graph.n_nodes - 1
+
+    def test_build_stats_recorded(self, random_graph):
+        index = PropagationIndex(random_graph, 0.01).build_all()
+        stats = index.last_build_stats
+        assert stats is not None
+        assert stats.workers == 1
+        assert stats.n_entries == stats.n_built == random_graph.n_nodes
+        assert stats.total_branches > 0
+        assert stats.total_members > 0
+        assert stats.wall_seconds >= 0.0
+        assert stats.entries_per_second > 0.0
+        assert stats.peak_entry_bytes > 0
+        assert stats.total_bytes == index.memory_bytes()
+        payload = stats.as_dict()
+        assert payload["entries_per_second"] == stats.entries_per_second
+        assert payload["n_built"] == stats.n_built
+
+    def test_strict_budget_propagates_from_workers(self):
+        edges = [(u, v, 0.9) for u in range(10) for v in range(10) if u != v]
+        graph = SocialGraph(10, edges)
+        index = PropagationIndex(graph, 0.0001, max_branches=10, strict=True)
+        with pytest.raises(BudgetExceededError):
+            index.build_all(workers=2)
 
 
 class TestCaching:

@@ -67,3 +67,26 @@ class TestCommands:
         ])
         assert code == 0
         assert "Fig. 4" in capsys.readouterr().out
+
+    def test_build_index_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build-index"])
+
+    def test_build_index_then_search_reuses_it(self, capsys, tmp_path):
+        artifact = tmp_path / "prop.npz"
+        code = main([
+            "build-index", "--dataset", "data_2k", "--size", "200",
+            "--seed", "3", "--output", str(artifact),
+        ])
+        assert code == 0
+        assert artifact.exists()
+        assert "built 200 entries" in capsys.readouterr().out
+        code = main([
+            "search", "--dataset", "data_2k", "--size", "200",
+            "--user", "3", "--query", "phone", "--k", "3", "--seed", "3",
+            "--index", str(artifact),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "using prebuilt propagation index" in out
+        assert "Top-3" in out
