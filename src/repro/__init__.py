@@ -24,7 +24,10 @@ Quickstart::
 from __future__ import annotations
 
 from .exceptions import (
+    ArtifactCorruptedError,
+    ArtifactError,
     BudgetExceededError,
+    BuildFailedError,
     ConfigurationError,
     DatasetError,
     EdgeError,
@@ -38,7 +41,7 @@ from .exceptions import (
     UnknownTopicError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -53,7 +56,10 @@ __all__ = [
     "IndexNotBuiltError",
     "ConfigurationError",
     "BudgetExceededError",
+    "BuildFailedError",
     "DatasetError",
+    "ArtifactError",
+    "ArtifactCorruptedError",
 ]
 
 

@@ -1,0 +1,283 @@
+"""Atomic, checksummed artifact IO (internal).
+
+Shared by :mod:`repro.core.persistence` and :mod:`repro.graph.io` so every
+offline artifact gets the same durability contract:
+
+* **Atomic publication** - bytes are written to a same-directory temp
+  file, fsynced, and ``os.replace``d into place. A reader never observes
+  a half-written artifact: the destination holds either the previous
+  complete version or the new one.
+* **Content checksum** - payloads embed a SHA-256 digest of their logical
+  content; loaders recompute and compare, so a flipped bit surfaces as
+  :class:`~repro.exceptions.ArtifactCorruptedError` (with expected/actual
+  digests) instead of a crash deep inside numpy or a silently wrong
+  query answer.
+* **Format version** - payloads carry a format-version field; loaders
+  reject versions newer than they understand. Legacy artifacts written
+  before this layer existed (no checksum/version fields) still load.
+
+NPZ payloads stay plain ``.npz`` files readable by ``np.load``, carrying
+two integrity layers:
+
+* a **content digest** in two extra arrays (``__checksum__``,
+  ``__format_version__``), covering each array's name, dtype, shape, and
+  raw bytes in sorted-key order - independent of zip framing, so it
+  survives recompression;
+* a **file seal**: a SHA-256 of the complete byte stream stored as the
+  zip archive comment (``sha256:<hex>``). Zip framing contains bytes no
+  reader ever checks (local-header timestamps, ignored flag fields); the
+  seal closes that hole so *any* single flipped byte in the file is
+  rejected, not just flips that land in compressed data.
+
+``np.savez_compressed`` writes epoch zip timestamps, which keeps
+identical payloads byte-identical on disk - the property the
+resume-after-crash tests assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import struct
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Sequence, Union
+
+import numpy as np
+
+from . import _faults
+from .exceptions import ArtifactCorruptedError, ArtifactError
+
+__all__ = [
+    "FORMAT_VERSION",
+    "atomic_write_bytes",
+    "read_artifact_bytes",
+    "array_digest",
+    "json_digest",
+    "save_npz_payload",
+    "load_npz_payload",
+    "save_json_payload",
+    "load_json_payload",
+    "require_keys",
+]
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+#: NPZ member names reserved for integrity metadata.
+CHECKSUM_KEY = "__checksum__"
+VERSION_KEY = "__format_version__"
+
+
+# ---------------------------------------------------------------------------
+# Byte-level primitives
+# ---------------------------------------------------------------------------
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write *data* to *path* atomically (same-dir temp + ``os.replace``)."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+    )
+    tmp_path = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        _faults.inject("artifact.pre_replace", path=path, tmp_path=tmp_path)
+        os.replace(tmp_path, path)
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
+
+
+def read_artifact_bytes(path: PathLike, what: str = "artifact") -> bytes:
+    """Read *path* fully, raising :class:`ArtifactError` when missing."""
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        raise ArtifactError(f"{what} not found: {path}") from None
+    except OSError as exc:
+        raise ArtifactError(f"{what} unreadable: {path}: {exc}") from exc
+    return _faults.transform("artifact.load_bytes", data, path=path)
+
+
+# ---------------------------------------------------------------------------
+# Digests
+# ---------------------------------------------------------------------------
+
+
+def array_digest(arrays: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 over name, dtype, shape, and raw bytes in sorted-key order."""
+    sha = hashlib.sha256()
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        sha.update(key.encode("utf-8"))
+        sha.update(array.dtype.str.encode("ascii"))
+        sha.update(repr(array.shape).encode("ascii"))
+        sha.update(array.tobytes())
+    return sha.hexdigest()
+
+
+def json_digest(payload: Mapping[str, Any]) -> str:
+    """SHA-256 over the canonical (sorted, compact) JSON encoding."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# NPZ payloads
+# ---------------------------------------------------------------------------
+
+_SEAL_PREFIX = b"sha256:"
+_SEAL_LEN = len(_SEAL_PREFIX) + 64  # "sha256:" + hex digest
+
+
+def _seal_zip_bytes(raw: bytes) -> bytes:
+    """Append a whole-file SHA-256 as the zip archive comment.
+
+    The digest covers every byte that precedes the comment, *including*
+    the end-of-central-directory comment-length field (already patched to
+    the final value), so no byte of the published file is outside the
+    digest's reach. The result is still a valid zip / ``np.load``-able
+    NPZ - readers that do not know about the seal see a normal comment.
+    """
+    if raw[-2:] != b"\x00\x00":  # pragma: no cover - savez never comments
+        return raw
+    sealed_head = raw[:-2] + struct.pack("<H", _SEAL_LEN)
+    digest = hashlib.sha256(sealed_head).hexdigest().encode("ascii")
+    return sealed_head + _SEAL_PREFIX + digest
+
+
+def _verify_zip_seal(raw: bytes, path: Path) -> None:
+    """Verify a sealed NPZ byte stream; unsealed (legacy) files pass."""
+    tail = raw[-_SEAL_LEN:]
+    prefix_at = tail.rfind(_SEAL_PREFIX)
+    if prefix_at < 0:
+        return  # legacy artifact, written before sealing existed
+    if prefix_at != 0:
+        # The prefix is inside the tail but not where a complete seal
+        # would put it: the file lost bytes off its end.
+        raise ArtifactCorruptedError(path, reason="truncated integrity seal")
+    expected = raw[-64:].decode("ascii", "replace")
+    actual = hashlib.sha256(raw[:-_SEAL_LEN]).hexdigest()
+    if actual != expected:
+        raise ArtifactCorruptedError(path, expected=expected, actual=actual)
+
+
+def save_npz_payload(path: PathLike, arrays: Dict[str, np.ndarray]) -> None:
+    """Atomically write *arrays* as a checksummed, sealed compressed NPZ."""
+    digest = array_digest(arrays)
+    payload = dict(arrays)
+    payload[VERSION_KEY] = np.asarray([FORMAT_VERSION], dtype=np.int64)
+    payload[CHECKSUM_KEY] = np.frombuffer(
+        digest.encode("ascii"), dtype=np.uint8
+    )
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **payload)
+    atomic_write_bytes(path, _seal_zip_bytes(buffer.getvalue()))
+
+
+def load_npz_payload(path: PathLike, what: str = "artifact") -> Dict[str, np.ndarray]:
+    """Read a (possibly legacy) NPZ artifact, verifying seal + checksum."""
+    path = Path(path)
+    raw = read_artifact_bytes(path, what)
+    _verify_zip_seal(raw, path)
+    try:
+        with np.load(io.BytesIO(raw)) as data:
+            payload = {key: data[key] for key in data.files}
+    except ArtifactError:
+        raise
+    except Exception as exc:
+        # zipfile.BadZipFile, zlib.error, ValueError, EOFError, OSError -
+        # anything a truncated or bit-flipped archive can throw.
+        raise ArtifactCorruptedError(
+            path, reason=f"unreadable NPZ payload ({type(exc).__name__}: {exc})"
+        ) from exc
+    _verify_version(payload.pop(VERSION_KEY, None), path, lambda v: int(v[0]))
+    checksum = payload.pop(CHECKSUM_KEY, None)
+    if checksum is not None:
+        expected = checksum.tobytes().decode("ascii", "replace")
+        actual = array_digest(payload)
+        if actual != expected:
+            raise ArtifactCorruptedError(path, expected=expected, actual=actual)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# JSON payloads
+# ---------------------------------------------------------------------------
+
+
+def save_json_payload(path: PathLike, payload: Dict[str, Any]) -> None:
+    """Atomically write *payload* as checksummed, versioned JSON."""
+    body = dict(payload)
+    body["format_version"] = FORMAT_VERSION
+    body["checksum"] = json_digest(payload)
+    atomic_write_bytes(
+        path, json.dumps(body, sort_keys=True).encode("utf-8")
+    )
+
+
+def load_json_payload(path: PathLike, what: str = "artifact") -> Dict[str, Any]:
+    """Read a (possibly legacy) JSON artifact, verifying version + checksum."""
+    path = Path(path)
+    raw = read_artifact_bytes(path, what)
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ArtifactCorruptedError(
+            path, reason=f"unreadable JSON payload ({exc})"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ArtifactCorruptedError(
+            path, reason=f"expected a JSON object, got {type(payload).__name__}"
+        )
+    _verify_version(payload.pop("format_version", None), path, int)
+    checksum = payload.pop("checksum", None)
+    if checksum is not None:
+        actual = json_digest(payload)
+        if actual != checksum:
+            raise ArtifactCorruptedError(path, expected=checksum, actual=actual)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _verify_version(version, path: Path, as_int) -> None:
+    if version is None:
+        return  # legacy artifact written before the integrity layer
+    try:
+        number = as_int(version)
+    except (TypeError, ValueError, IndexError) as exc:
+        raise ArtifactCorruptedError(
+            path, reason=f"unreadable format version ({version!r})"
+        ) from exc
+    if number > FORMAT_VERSION:
+        raise ArtifactCorruptedError(
+            path,
+            reason=(
+                f"format version {number} is newer than the supported "
+                f"version {FORMAT_VERSION}"
+            ),
+        )
+
+
+def require_keys(
+    payload: Mapping[str, Any], keys: Sequence[str], path: PathLike
+) -> None:
+    """Raise :class:`ArtifactCorruptedError` naming any missing keys."""
+    missing = [key for key in keys if key not in payload]
+    if missing:
+        raise ArtifactCorruptedError(
+            Path(path), reason=f"missing keys {missing}"
+        )

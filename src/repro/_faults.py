@@ -1,0 +1,230 @@
+"""Fault-injection hooks for robustness testing (internal).
+
+The offline pipeline promises to survive worker crashes, interrupted
+writes, and corrupted artifacts. Those failure modes cannot be provoked
+reliably from the outside, so the pipeline exposes named *injection
+points*: well-defined places where a registered hook runs (or may rewrite
+data) before the real work proceeds. In production no hook is registered
+and every injection point is a dictionary miss.
+
+Injection points
+----------------
+``propagation.worker_chunk``
+    Inside a worker process, before building a chunk of propagation
+    entries. Context: ``chunk`` (index), ``attempt``, ``nodes``.
+``propagation.build_entry``
+    In the serial build path, before building one entry. Context:
+    ``node``, ``attempt``.
+``artifact.pre_replace``
+    After an artifact's bytes are written and fsynced to a same-directory
+    temp file, immediately before ``os.replace`` publishes it. Context:
+    ``path``, ``tmp_path``. A hook that raises here simulates a crash
+    mid-write: the destination must stay untouched.
+``artifact.load_bytes``
+    Raw bytes read from disk, before any parsing. The hook receives
+    ``data`` and ``path`` and may return replacement bytes (bit flips,
+    truncation); returning ``None`` keeps the original bytes.
+
+Hooks registered in the parent process are shipped to build workers via
+the pool initializer, so they must be picklable: module-level functions
+or instances of the classes below. The classes cover the scenarios the
+test suite needs; ``monkeypatch``/:func:`fault` cover everything else.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "INJECTION_POINTS",
+    "set_fault",
+    "clear_faults",
+    "fault",
+    "snapshot",
+    "install",
+    "inject",
+    "transform",
+    "ExitOnChunk",
+    "FailOnChunk",
+    "FailOnEntry",
+    "InterruptOnEntry",
+    "FailOnReplace",
+    "FlipByte",
+    "TruncateBytes",
+]
+
+Hook = Callable[..., Any]
+
+INJECTION_POINTS = frozenset({
+    "propagation.worker_chunk",
+    "propagation.build_entry",
+    "artifact.pre_replace",
+    "artifact.load_bytes",
+})
+
+_hooks: Dict[str, Hook] = {}
+
+
+def _check_point(point: str) -> str:
+    if point not in INJECTION_POINTS:
+        raise ValueError(
+            f"unknown injection point {point!r}; "
+            f"known: {sorted(INJECTION_POINTS)}"
+        )
+    return point
+
+
+def set_fault(point: str, hook: Hook) -> None:
+    """Register *hook* at *point* (replacing any previous hook there)."""
+    _hooks[_check_point(point)] = hook
+
+
+def clear_faults(point: Optional[str] = None) -> None:
+    """Remove the hook at *point*, or every hook when *point* is None."""
+    if point is None:
+        _hooks.clear()
+    else:
+        _hooks.pop(_check_point(point), None)
+
+
+@contextmanager
+def fault(point: str, hook: Hook):
+    """Context manager: register *hook* at *point*, restore on exit."""
+    _check_point(point)
+    previous = _hooks.get(point)
+    _hooks[point] = hook
+    try:
+        yield hook
+    finally:
+        if previous is None:
+            _hooks.pop(point, None)
+        else:
+            _hooks[point] = previous
+
+
+def snapshot() -> Dict[str, Hook]:
+    """The current registry, for shipping to worker processes."""
+    return dict(_hooks)
+
+
+def install(hooks: Dict[str, Hook]) -> None:
+    """Replace the registry wholesale (worker-process initialization)."""
+    _hooks.clear()
+    _hooks.update(hooks)
+
+
+def inject(point: str, **context: Any) -> None:
+    """Run the hook registered at *point*, if any."""
+    hook = _hooks.get(point)
+    if hook is not None:
+        hook(**context)
+
+
+def transform(point: str, data: bytes, **context: Any) -> bytes:
+    """Run the hook at *point* over *data*; hooks may return new bytes."""
+    hook = _hooks.get(point)
+    if hook is None:
+        return data
+    replaced = hook(data=data, **context)
+    return data if replaced is None else replaced
+
+
+# ---------------------------------------------------------------------------
+# Picklable hook implementations for the standard failure scenarios.
+# ---------------------------------------------------------------------------
+
+
+class ExitOnChunk:
+    """Hard-kill the worker process (``os._exit``) on matching chunks.
+
+    Simulates an OOM-killed or segfaulted worker: the pool breaks and
+    every in-flight chunk must be retried on a fresh process.
+    """
+
+    def __init__(self, chunk: int, attempts: Sequence[int] = (0,), exit_code: int = 1):
+        self.chunk = int(chunk)
+        self.attempts: Tuple[int, ...] = tuple(int(a) for a in attempts)
+        self.exit_code = int(exit_code)
+
+    def __call__(self, *, chunk: int, attempt: int, **_: Any) -> None:
+        if chunk == self.chunk and attempt in self.attempts:
+            os._exit(self.exit_code)
+
+
+class FailOnChunk:
+    """Raise ``RuntimeError`` inside the worker on matching chunks.
+
+    The worker survives (only the chunk fails), exercising the
+    retry-with-backoff path without breaking the pool.
+    """
+
+    def __init__(self, chunk: int, attempts: Sequence[int] = (0,)):
+        self.chunk = int(chunk)
+        self.attempts: Tuple[int, ...] = tuple(int(a) for a in attempts)
+
+    def __call__(self, *, chunk: int, attempt: int, **_: Any) -> None:
+        if chunk == self.chunk and attempt in self.attempts:
+            raise RuntimeError(
+                f"injected fault: chunk {chunk} failed on attempt {attempt}"
+            )
+
+
+class FailOnEntry:
+    """Raise ``RuntimeError`` in the serial build path for matching nodes."""
+
+    def __init__(self, node: int, attempts: Sequence[int] = (0,)):
+        self.node = int(node)
+        self.attempts: Tuple[int, ...] = tuple(int(a) for a in attempts)
+
+    def __call__(self, *, node: int, attempt: int, **_: Any) -> None:
+        if node == self.node and attempt in self.attempts:
+            raise RuntimeError(
+                f"injected fault: entry {node} failed on attempt {attempt}"
+            )
+
+
+class InterruptOnEntry:
+    """Raise ``KeyboardInterrupt`` when the serial build reaches *node*.
+
+    Simulates SIGINT mid-build; the build flushes its checkpoint and
+    re-raises, so a later run can resume.
+    """
+
+    def __init__(self, node: int):
+        self.node = int(node)
+
+    def __call__(self, *, node: int, **_: Any) -> None:
+        if node == self.node:
+            raise KeyboardInterrupt(f"injected interrupt at entry {node}")
+
+
+class FailOnReplace:
+    """Raise ``OSError`` between the temp-file write and ``os.replace``."""
+
+    def __call__(self, *, path: Any, tmp_path: Any, **_: Any) -> None:
+        raise OSError(f"injected crash before replacing {path}")
+
+
+class FlipByte:
+    """Flip one byte (XOR) of an artifact's bytes as they are loaded."""
+
+    def __init__(self, offset: int, mask: int = 0xFF):
+        self.offset = int(offset)
+        self.mask = int(mask)
+
+    def __call__(self, *, data: bytes, **_: Any) -> bytes:
+        flipped = bytearray(data)
+        flipped[self.offset % len(flipped)] ^= self.mask
+        return bytes(flipped)
+
+
+class TruncateBytes:
+    """Drop the tail of an artifact's bytes as they are loaded."""
+
+    def __init__(self, keep: int):
+        self.keep = int(keep)
+
+    def __call__(self, *, data: bytes, **_: Any) -> bytes:
+        return data[: self.keep]

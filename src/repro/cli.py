@@ -8,16 +8,23 @@ Commands
     Build a dataset + engine and answer one PIT-Search query.
 ``build-index``
     Pre-build the full §5.1 propagation index (optionally in parallel)
-    and persist it to an ``.npz`` for reuse by ``search --index``.
+    and persist it to an ``.npz`` for reuse by ``search --index``. The
+    build checkpoints periodically (``--checkpoint-every``) and can pick
+    up an interrupted run with ``--resume``; see ``docs/operations.md``.
 ``experiment``
     Run one of the per-figure experiments and print its table.
+
+Library errors (:class:`~repro.exceptions.ReproError`) surface as a
+one-line ``pit-search: error: ...`` message on stderr with exit code 2,
+never a traceback. An interrupt exits 130 after flushing any checkpoint.
 
 Examples
 --------
 ::
 
     pit-search datasets --size 800
-    pit-search build-index --dataset data_2k --workers 4 --output prop.npz
+    pit-search build-index --dataset data_2k --workers 4 --output prop.npz \
+        --checkpoint-every 500 --resume
     pit-search search --dataset data_2k --user 3 --query phone --k 5 \
         --index prop.npz
     pit-search experiment --figure 5 --queries 2 --users 1
@@ -27,11 +34,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .evaluation import ExperimentConfig, ExperimentSuite
+from .exceptions import DatasetError, ReproError
 
 __all__ = ["main", "build_parser"]
+
+DATASET_NAMES = ("data_2k", "data_350k", "data_1.2m", "data_3m")
 
 #: Figure id -> ExperimentSuite method name.
 FIGURES = {
@@ -65,8 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
     datasets.add_argument("--seed", type=int, default=42)
 
     search = sub.add_parser("search", help="run one PIT-Search query")
-    search.add_argument("--dataset", default="data_2k",
-                        choices=["data_2k", "data_350k", "data_1.2m", "data_3m"])
+    search.add_argument("--dataset", default="data_2k", metavar="NAME",
+                        help=f"one of {', '.join(DATASET_NAMES)}")
     search.add_argument("--size", type=int, default=None)
     search.add_argument("--user", type=int, required=True)
     search.add_argument("--query", required=True)
@@ -82,9 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
         "build-index",
         help="pre-build and persist the propagation index",
     )
-    build_index.add_argument("--dataset", default="data_2k",
-                             choices=["data_2k", "data_350k", "data_1.2m",
-                                      "data_3m"])
+    build_index.add_argument("--dataset", default="data_2k", metavar="NAME",
+                             help=f"one of {', '.join(DATASET_NAMES)}")
     build_index.add_argument("--size", type=int, default=None)
     build_index.add_argument("--theta", type=float, default=0.002)
     build_index.add_argument("--max-branches", type=int, default=200_000)
@@ -92,13 +102,29 @@ def build_parser() -> argparse.ArgumentParser:
                              help="worker processes (0 = all CPUs)")
     build_index.add_argument("--output", required=True, metavar="PATH",
                              help="destination .npz file")
+    build_index.add_argument("--checkpoint", default=None, metavar="PATH",
+                             help="checkpoint file (default: <output stem>"
+                                  ".ckpt.npz next to --output)")
+    build_index.add_argument("--checkpoint-every", type=int, default=1000,
+                             metavar="N",
+                             help="flush completed entries to the checkpoint "
+                                  "every N entries (0 = only on exit)")
+    build_index.add_argument("--resume", action="store_true",
+                             help="resume from an existing checkpoint "
+                                  "instead of rebuilding from scratch")
+    build_index.add_argument("--max-retries", type=int, default=2,
+                             metavar="N",
+                             help="fresh-process retries for crashed workers")
+    build_index.add_argument("--keep-going", action="store_true",
+                             help="record nodes that still fail after the "
+                                  "retries and continue instead of aborting")
     build_index.add_argument("--seed", type=int, default=42)
 
     diagnose = sub.add_parser(
         "diagnose", help="print summary diagnostics for a query's topics"
     )
-    diagnose.add_argument("--dataset", default="data_2k",
-                          choices=["data_2k", "data_350k", "data_1.2m", "data_3m"])
+    diagnose.add_argument("--dataset", default="data_2k", metavar="NAME",
+                          help=f"one of {', '.join(DATASET_NAMES)}")
     diagnose.add_argument("--size", type=int, default=None)
     diagnose.add_argument("--query", required=True)
     diagnose.add_argument("--summarizer", default="lrw", choices=["lrw", "rcl"])
@@ -145,7 +171,13 @@ def _run_datasets(args) -> int:
 def _load_bundle(args):
     from .datasets import DATASETS
 
-    factory = DATASETS[args.dataset]
+    try:
+        factory = DATASETS[args.dataset]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {args.dataset!r}; "
+            f"available: {', '.join(sorted(DATASETS))}"
+        ) from None
     kwargs = {}
     if getattr(args, "size", None) is not None:
         kwargs["n_nodes"] = args.size
@@ -184,22 +216,46 @@ def _run_search(args) -> int:
     return 0
 
 
+def _default_checkpoint(output: str) -> Path:
+    path = Path(output)
+    stem = path.name[: -len(".npz")] if path.name.endswith(".npz") else path.name
+    return path.with_name(stem + ".ckpt.npz")
+
+
 def _run_build_index(args) -> int:
     from .core import PropagationIndex, save_propagation_index
 
     bundle = _load_bundle(args)
     print(bundle.describe())
     workers = None if args.workers == 0 else args.workers
+    checkpoint = (
+        Path(args.checkpoint) if args.checkpoint
+        else _default_checkpoint(args.output)
+    )
     index = PropagationIndex(
         bundle.graph, args.theta, max_branches=args.max_branches
     )
-    index.build_all(workers=workers)
+    index.build_all(
+        workers=workers,
+        checkpoint=checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        max_retries=args.max_retries,
+        strict=not args.keep_going,
+    )
     save_propagation_index(index, args.output)
     stats = index.last_build_stats
+    if stats.n_resumed:
+        print(f"resumed {stats.n_resumed} entries from {checkpoint}")
     print(f"built {stats.n_built} entries in {stats.wall_seconds:.2f}s "
           f"({stats.entries_per_second:.0f} entries/s, "
           f"{stats.workers} worker(s), "
           f"{stats.total_bytes / 1024:.1f} KiB) -> {args.output}")
+    if stats.failed_nodes:
+        print(f"warning: {stats.n_failed} entries failed to build and were "
+              f"skipped: {list(stats.failed_nodes)[:10]}", file=sys.stderr)
+    # The finished artifact is saved; the checkpoint is now redundant.
+    checkpoint.unlink(missing_ok=True)
     return 0
 
 
@@ -235,7 +291,14 @@ def _run_experiment(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library failures (missing artifacts, corrupted files, bad
+    parameters, failed builds - anything deriving from
+    :class:`~repro.exceptions.ReproError`) print a one-line message to
+    stderr and exit 2 instead of leaking a traceback. Programming errors
+    still traceback, by design.
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "datasets": _run_datasets,
@@ -244,7 +307,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diagnose": _run_diagnose,
         "experiment": _run_experiment,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"pit-search: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        # Checkpointed builds have already flushed in their finally block.
+        print("pit-search: interrupted (checkpoint flushed if enabled)",
+              file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `pit-search ... | head`). Point
+        # stdout at devnull so interpreter shutdown does not re-raise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +55,13 @@ class PropagationBuildStats:
         Largest single-entry storage footprint built by this call.
     total_bytes:
         Exact storage bytes of every cached entry after the call.
+    failed_nodes:
+        Nodes whose entries could not be built after the configured
+        retries (empty for a fully successful build; only populated when
+        the build degrades gracefully instead of raising
+        :class:`~repro.exceptions.BuildFailedError`).
+    n_resumed:
+        Entries absorbed from a checkpoint before building started.
     """
 
     n_entries: int
@@ -65,6 +72,13 @@ class PropagationBuildStats:
     workers: int
     peak_entry_bytes: int
     total_bytes: int
+    failed_nodes: Tuple[int, ...] = ()
+    n_resumed: int = 0
+
+    @property
+    def n_failed(self) -> int:
+        """Number of nodes that could not be built."""
+        return len(self.failed_nodes)
 
     @property
     def entries_per_second(self) -> float:
@@ -83,6 +97,8 @@ class PropagationBuildStats:
     def as_dict(self) -> Dict[str, float]:
         """JSON-ready payload including the derived rates."""
         payload = asdict(self)
+        payload["failed_nodes"] = list(self.failed_nodes)
+        payload["n_failed"] = self.n_failed
         payload["entries_per_second"] = self.entries_per_second
         payload["branches_per_second"] = self.branches_per_second
         return payload

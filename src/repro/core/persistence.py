@@ -9,19 +9,32 @@ once, this cost is amortized", §6.6) - which presumes the artifacts are
 * propagation entries - compressed NPZ (flat arrays);
 * walk indexes - compressed NPZ (paths flattened with offsets).
 
-All loaders validate the declared graph signature (node/edge counts) so an
-index cannot silently be replayed against a different graph.
+A seven-hour artifact must also be *trustworthy*, so every writer goes
+through :mod:`repro._artifacts`: writes are atomic (same-directory temp
+file + ``os.replace``), payloads carry a SHA-256 content checksum and a
+format-version field, and loaders verify both - a truncated or
+bit-flipped file raises :class:`~repro.exceptions.ArtifactCorruptedError`
+naming the path and digests instead of crashing deep inside numpy. All
+loaders additionally validate the declared graph signature (node/edge
+counts) so an index cannot silently be replayed against a different
+graph.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Dict, List, Union
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, IndexNotBuiltError
+from .._artifacts import (
+    load_json_payload,
+    load_npz_payload,
+    require_keys,
+    save_json_payload,
+    save_npz_payload,
+)
+from ..exceptions import ArtifactCorruptedError, ConfigurationError, IndexNotBuiltError
 from ..graph import SocialGraph
 from ..walks import WalkIndex
 from ..walks.engine import WalkRecord
@@ -65,7 +78,7 @@ def _check_signature(payload: Dict, graph: SocialGraph, path: Path) -> None:
 def save_summaries(
     summaries: Dict[int, TopicSummary], graph: SocialGraph, path: PathLike
 ) -> None:
-    """Write ``topic_id -> TopicSummary`` to a JSON file."""
+    """Write ``topic_id -> TopicSummary`` to a checksummed JSON file."""
     payload = {
         **_graph_signature(graph),
         "summaries": {
@@ -74,26 +87,37 @@ def save_summaries(
             for topic_id, summary in summaries.items()
         },
     }
-    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+    save_json_payload(Path(path), payload)
 
 
 def load_summaries(path: PathLike, graph: SocialGraph) -> Dict[int, TopicSummary]:
     """Read summaries written by :func:`save_summaries`."""
     path = Path(path)
-    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload = load_json_payload(path, "summaries artifact")
+    require_keys(payload, ("n_nodes", "n_edges", "summaries"), path)
     _check_signature(payload, graph, path)
     summaries: Dict[int, TopicSummary] = {}
-    for topic_key, weights in payload["summaries"].items():
-        topic_id = int(topic_key)
-        summaries[topic_id] = TopicSummary(
-            topic_id, {int(node): float(w) for node, w in weights.items()}
-        )
+    try:
+        for topic_key, weights in payload["summaries"].items():
+            topic_id = int(topic_key)
+            summaries[topic_id] = TopicSummary(
+                topic_id, {int(node): float(w) for node, w in weights.items()}
+            )
+    except (AttributeError, TypeError, ValueError) as exc:
+        raise ArtifactCorruptedError(
+            path, reason=f"malformed summaries payload ({exc})"
+        ) from exc
     return summaries
 
 
 # ---------------------------------------------------------------------------
 # Propagation index
 # ---------------------------------------------------------------------------
+
+_PROPAGATION_KEYS = (
+    "n_nodes", "n_edges", "theta", "nodes", "offsets", "sources",
+    "probabilities", "marked_offsets", "marked_nodes", "branch_counts",
+)
 
 
 def save_propagation_index(index: PropagationIndex, path: PathLike) -> None:
@@ -103,6 +127,9 @@ def save_propagation_index(index: PropagationIndex, path: PathLike) -> None:
     restores exactly the cached set (further entries rebuild lazily).
     Entries already store Γ as sorted source/probability arrays, so the
     flat payload is a straight concatenation - no per-entry dict walks.
+    The write is atomic and the payload checksummed; identical entry sets
+    produce byte-identical files, which is what lets a resumed build be
+    compared digest-for-digest against an uninterrupted one.
     """
     entries = [index._entries[node] for node in sorted(index._entries)]
     nodes = np.fromiter(
@@ -119,27 +146,26 @@ def save_propagation_index(index: PropagationIndex, path: PathLike) -> None:
     )
     empty_i = np.empty(0, dtype=np.int64)
     empty_f = np.empty(0, dtype=np.float64)
-    np.savez_compressed(
-        Path(path),
-        n_nodes=np.asarray([index.graph.n_nodes]),
-        n_edges=np.asarray([index.graph.n_edges]),
-        theta=np.asarray([index.theta]),
-        max_branches=np.asarray([index.max_branches]),
-        strict=np.asarray([int(index.strict)]),
-        nodes=nodes,
-        offsets=offsets,
-        sources=np.concatenate([e.sources for e in entries] or [empty_i]),
-        probabilities=np.concatenate(
+    save_npz_payload(Path(path), {
+        "n_nodes": np.asarray([index.graph.n_nodes]),
+        "n_edges": np.asarray([index.graph.n_edges]),
+        "theta": np.asarray([index.theta]),
+        "max_branches": np.asarray([index.max_branches]),
+        "strict": np.asarray([int(index.strict)]),
+        "nodes": nodes,
+        "offsets": offsets,
+        "sources": np.concatenate([e.sources for e in entries] or [empty_i]),
+        "probabilities": np.concatenate(
             [e.probabilities for e in entries] or [empty_f]
         ),
-        marked_offsets=marked_offsets,
-        marked_nodes=np.concatenate(
+        "marked_offsets": marked_offsets,
+        "marked_nodes": np.concatenate(
             [e.marked_array for e in entries] or [empty_i]
         ),
-        branch_counts=np.fromiter(
+        "branch_counts": np.fromiter(
             (e.branches for e in entries), dtype=np.int64, count=len(entries)
         ),
-    )
+    })
 
 
 def load_propagation_index(path: PathLike, graph: SocialGraph) -> PropagationIndex:
@@ -150,8 +176,8 @@ def load_propagation_index(path: PathLike, graph: SocialGraph) -> PropagationInd
     exactly its storage-array footprint.
     """
     path = Path(path)
-    with np.load(path) as data:
-        payload = {key: data[key] for key in data.files}
+    payload = load_npz_payload(path, "propagation index artifact")
+    require_keys(payload, _PROPAGATION_KEYS, path)
     _check_signature(
         {"n_nodes": payload["n_nodes"][0], "n_edges": payload["n_edges"][0]},
         graph,
@@ -170,22 +196,32 @@ def load_propagation_index(path: PathLike, graph: SocialGraph) -> PropagationInd
     probabilities = payload["probabilities"]
     marked_nodes = payload["marked_nodes"]
     branch_counts = payload["branch_counts"]
-    for i, node in enumerate(nodes):
-        lo, hi = int(offsets[i]), int(offsets[i + 1])
-        mlo, mhi = int(marked_offsets[i]), int(marked_offsets[i + 1])
-        index._entries[int(node)] = PropagationEntry.from_arrays(
-            int(node),
-            sources[lo:hi],
-            probabilities[lo:hi],
-            marked_nodes[mlo:mhi],
-            int(branch_counts[i]),
-        )
+    try:
+        for i, node in enumerate(nodes):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            mlo, mhi = int(marked_offsets[i]), int(marked_offsets[i + 1])
+            index._entries[int(node)] = PropagationEntry.from_arrays(
+                int(node),
+                sources[lo:hi],
+                probabilities[lo:hi],
+                marked_nodes[mlo:mhi],
+                int(branch_counts[i]),
+            )
+    except (IndexError, ValueError) as exc:
+        raise ArtifactCorruptedError(
+            path, reason=f"inconsistent propagation payload ({exc})"
+        ) from exc
     return index
 
 
 # ---------------------------------------------------------------------------
 # Walk index
 # ---------------------------------------------------------------------------
+
+_WALK_KEYS = (
+    "n_nodes", "n_edges", "walk_length", "samples", "offsets", "paths",
+    "counts", "hit",
+)
 
 
 def save_walk_index(index: WalkIndex, path: PathLike) -> None:
@@ -200,17 +236,16 @@ def save_walk_index(index: WalkIndex, path: PathLike) -> None:
             flat_paths.extend(int(v) for v in record.path)
             flat_counts.extend(int(c) for c in record.visit_counts)
             offsets.append(len(flat_paths))
-    np.savez_compressed(
-        Path(path),
-        n_nodes=np.asarray([index.graph.n_nodes]),
-        n_edges=np.asarray([index.graph.n_edges]),
-        walk_length=np.asarray([index.walk_length]),
-        samples=np.asarray([index.samples_per_node]),
-        offsets=np.asarray(offsets, dtype=np.int64),
-        paths=np.asarray(flat_paths, dtype=np.int64),
-        counts=np.asarray(flat_counts, dtype=np.int64),
-        hit=index.hitting_frequencies(),
-    )
+    save_npz_payload(Path(path), {
+        "n_nodes": np.asarray([index.graph.n_nodes]),
+        "n_edges": np.asarray([index.graph.n_edges]),
+        "walk_length": np.asarray([index.walk_length]),
+        "samples": np.asarray([index.samples_per_node]),
+        "offsets": np.asarray(offsets, dtype=np.int64),
+        "paths": np.asarray(flat_paths, dtype=np.int64),
+        "counts": np.asarray(flat_counts, dtype=np.int64),
+        "hit": index.hitting_frequencies(),
+    })
 
 
 def load_walk_index(path: PathLike, graph: SocialGraph) -> WalkIndex:
@@ -220,8 +255,8 @@ def load_walk_index(path: PathLike, graph: SocialGraph) -> WalkIndex:
     so the loaded index answers every query identically to the saved one.
     """
     path = Path(path)
-    with np.load(path) as data:
-        payload = {key: data[key] for key in data.files}
+    payload = load_npz_payload(path, "walk index artifact")
+    require_keys(payload, _WALK_KEYS, path)
     _check_signature(
         {"n_nodes": payload["n_nodes"][0], "n_edges": payload["n_edges"][0]},
         graph,
@@ -239,16 +274,21 @@ def load_walk_index(path: PathLike, graph: SocialGraph) -> WalkIndex:
     walks: List[List[WalkRecord]] = [[] for _ in range(graph.n_nodes)]
     reverse = [set() for _ in range(graph.n_nodes)]
     cursor = 0
-    for node in range(graph.n_nodes):
-        for _ in range(samples):
-            lo, hi = int(offsets[cursor]), int(offsets[cursor + 1])
-            cursor += 1
-            path_arr = paths[lo:hi].copy()
-            count_arr = counts[lo:hi].copy()
-            steps = int(count_arr.sum() - 1)
-            walks[node].append(WalkRecord(path_arr, count_arr, steps))
-            for visited in path_arr[1:]:
-                reverse[int(visited)].add(node)
+    try:
+        for node in range(graph.n_nodes):
+            for _ in range(samples):
+                lo, hi = int(offsets[cursor]), int(offsets[cursor + 1])
+                cursor += 1
+                path_arr = paths[lo:hi].copy()
+                count_arr = counts[lo:hi].copy()
+                steps = int(count_arr.sum() - 1)
+                walks[node].append(WalkRecord(path_arr, count_arr, steps))
+                for visited in path_arr[1:]:
+                    reverse[int(visited)].add(node)
+    except (IndexError, ValueError) as exc:
+        raise ArtifactCorruptedError(
+            path, reason=f"inconsistent walk payload ({exc})"
+        ) from exc
     index._walks = walks
     index._hit_frequency = payload["hit"]
     index._reverse = reverse

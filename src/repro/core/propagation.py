@@ -38,24 +38,58 @@ and no probability mass is silently dropped mid-branch.
 ``ProcessPoolExecutor`` when ``workers > 1``. Every entry build is
 independent and deterministic (DFS order is fixed by the CSR layout), so
 parallel results are byte-identical to serial ones.
+
+The build is fault tolerant. With a ``checkpoint`` path, completed
+entries are periodically flushed (atomically, checksummed) so a crash,
+SIGINT, or OOM-killed worker costs at most ``checkpoint_every`` entries
+of work: the next ``build_all`` call resumes from the checkpoint and -
+because every entry is deterministic - produces output byte-identical to
+an uninterrupted build. Failed chunks are retried with bounded
+exponential backoff on a fresh process pool; nodes that still fail after
+``max_retries`` either surface in
+:attr:`~repro.core.diagnostics.PropagationBuildStats.failed_nodes`
+(graceful degradation) or raise
+:class:`~repro.exceptions.BuildFailedError` carrying the partial result,
+per the ``strict`` flag.
 """
 
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from collections.abc import Mapping as MappingABC
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
 from time import perf_counter
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
-from .._utils import require_in_range, require_probability
-from ..exceptions import BudgetExceededError, ConfigurationError
+from .. import _faults
+from .._utils import require_in_range, require_non_negative, require_probability
+from ..exceptions import (
+    BudgetExceededError,
+    BuildFailedError,
+    ConfigurationError,
+    ReproError,
+)
 from ..graph import SocialGraph
 
 __all__ = ["GammaView", "PropagationEntry", "PropagationIndex"]
+
+PathLike = Union[str, Path]
 
 
 class GammaView(MappingABC):
@@ -264,16 +298,35 @@ _WORKER_INDEX: Optional["PropagationIndex"] = None
 _ChunkResult = Tuple[List[Tuple[int, np.ndarray, np.ndarray, np.ndarray, int]], int]
 
 
-def _worker_init(graph: SocialGraph, theta: float, max_branches: int, strict: bool) -> None:
+def _worker_init(
+    graph: SocialGraph,
+    theta: float,
+    max_branches: int,
+    strict: bool,
+    faults: Optional[Dict[str, object]] = None,
+) -> None:
     global _WORKER_INDEX
+    if faults is not None:
+        # Fault hooks registered in the parent travel through the pool
+        # initializer so injected crashes fire inside worker processes
+        # regardless of the multiprocessing start method.
+        _faults.install(faults)
     _WORKER_INDEX = PropagationIndex(
         graph, theta, max_branches=max_branches, strict=strict
     )
 
 
-def _worker_build_chunk(nodes: Sequence[int]) -> _ChunkResult:
+def _worker_build_chunk(
+    nodes: Sequence[int], chunk_id: int = 0, attempt: int = 0
+) -> _ChunkResult:
     index = _WORKER_INDEX
     assert index is not None, "worker pool used before initialization"
+    _faults.inject(
+        "propagation.worker_chunk",
+        chunk=chunk_id,
+        attempt=attempt,
+        nodes=tuple(nodes),
+    )
     results = []
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
@@ -290,6 +343,48 @@ def _worker_build_chunk(nodes: Sequence[int]) -> _ChunkResult:
             )
     n_truncated = sum(1 for w in caught if "truncated" in str(w.message))
     return results, n_truncated
+
+
+class _CheckpointWriter:
+    """Periodic atomic flushes of an index's cached entries.
+
+    The checkpoint file is an ordinary propagation-index artifact
+    (checksummed, atomically replaced), so a partial checkpoint is always
+    loadable and the final checkpoint of a completed build doubles as the
+    finished artifact.
+    """
+
+    def __init__(
+        self,
+        index: "PropagationIndex",
+        path: Optional[PathLike],
+        every: int,
+    ):
+        self._index = index
+        self._path = None if path is None else Path(path)
+        self._every = int(every)
+        self._pending = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._path is not None
+
+    def note_built(self, count: int = 1) -> None:
+        """Record *count* newly built entries, flushing on the cadence."""
+        if self._path is None:
+            return
+        self._pending += count
+        if self._every > 0 and self._pending >= self._every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Persist the index's cached entries if any are unflushed."""
+        if self._path is None or self._pending == 0:
+            return
+        from .persistence import save_propagation_index
+
+        save_propagation_index(self._index, self._path)
+        self._pending = 0
 
 
 class PropagationIndex:
@@ -372,7 +467,42 @@ class PropagationIndex:
             self._entries[node] = cached
         return cached
 
-    def build_all(self, workers: Optional[int] = 1) -> "PropagationIndex":
+    def load_checkpoint(self, path: PathLike) -> int:
+        """Absorb entries from a checkpoint written by an earlier build.
+
+        The checkpoint's graph signature, ``theta``, and ``max_branches``
+        must match this index (a checkpoint built under different
+        parameters would silently change Γ); mismatches raise
+        :class:`~repro.exceptions.ConfigurationError`. Returns the number
+        of entries absorbed (already-cached nodes are kept as-is).
+        """
+        from .persistence import load_propagation_index
+
+        loaded = load_propagation_index(path, self._graph)
+        if loaded.theta != self._theta or loaded.max_branches != self._max_branches:
+            raise ConfigurationError(
+                f"{path}: checkpoint was built with theta={loaded.theta}, "
+                f"max_branches={loaded.max_branches}; this index uses "
+                f"theta={self._theta}, max_branches={self._max_branches}"
+            )
+        absorbed = 0
+        for node, entry in loaded._entries.items():
+            if node not in self._entries:
+                self._entries[node] = entry
+                absorbed += 1
+        return absorbed
+
+    def build_all(
+        self,
+        workers: Optional[int] = 1,
+        *,
+        checkpoint: Optional[PathLike] = None,
+        checkpoint_every: int = 1000,
+        resume: bool = True,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        strict: Optional[bool] = None,
+    ) -> "PropagationIndex":
         """Materialize every node (offline pre-processing).
 
         Parameters
@@ -383,29 +513,79 @@ class PropagationIndex:
             Parallel results are byte-identical to serial ones - each
             entry's DFS order is fixed by the CSR layout regardless of
             which process runs it.
+        checkpoint:
+            Path of a checkpoint artifact. When set, completed entries are
+            flushed there every ``checkpoint_every`` entries (atomically,
+            checksummed), on interruption, and when the build finishes -
+            so a crashed build loses at most one flush interval of work.
+        checkpoint_every:
+            Entries between periodic checkpoint flushes; ``0`` flushes
+            only at interruption/completion.
+        resume:
+            Load an existing checkpoint before building (default). The
+            checkpoint must match this index's graph, ``theta``, and
+            ``max_branches``.
+        max_retries:
+            Fresh-process retry rounds for chunks whose worker crashed or
+            raised an unexpected error. Deterministic library errors
+            (:class:`~repro.exceptions.ReproError`, e.g. a strict budget
+            violation) are never retried - they propagate immediately.
+        retry_backoff:
+            Base of the bounded exponential backoff (seconds) slept
+            before each retry round: ``retry_backoff * 2**(round-1)``,
+            capped at 30s.
+        strict:
+            What to do with nodes that still fail after ``max_retries``:
+            ``True`` raises :class:`~repro.exceptions.BuildFailedError`
+            (with the partial index attached and the checkpoint flushed);
+            ``False`` records them in ``failed_nodes`` on the build stats
+            and continues. ``None`` (default) follows the index's own
+            ``strict`` flag.
 
         Records a :class:`~repro.core.diagnostics.PropagationBuildStats`
-        on :attr:`last_build_stats`.
+        on :attr:`last_build_stats` (also when raising
+        :class:`~repro.exceptions.BuildFailedError`).
         """
         from .diagnostics import PropagationBuildStats
 
+        require_in_range("checkpoint_every", checkpoint_every, 0)
+        require_in_range("max_retries", max_retries, 0)
+        require_non_negative("retry_backoff", retry_backoff)
         if workers is None:
             workers = getattr(os, "process_cpu_count", os.cpu_count)() or 1
         workers = int(workers)
+        strict_build = self._strict if strict is None else bool(strict)
+        n_resumed = 0
+        if checkpoint is not None and resume and Path(checkpoint).exists():
+            n_resumed = self.load_checkpoint(checkpoint)
         missing = [
             node for node in range(self._graph.n_nodes)
             if node not in self._entries
         ]
+        writer = _CheckpointWriter(self, checkpoint, checkpoint_every)
         start = perf_counter()
-        if workers <= 1 or len(missing) <= 1:
-            workers = 1
-            for node in missing:
-                self._entries[node] = self._build_entry(node)
-        else:
-            workers = min(workers, len(missing))
-            self._build_parallel(missing, workers)
+        failed: List[int] = []
+        try:
+            if workers <= 1 or len(missing) <= 1:
+                workers = 1
+                failed = self._build_serial(
+                    missing, max_retries, retry_backoff, writer
+                )
+            else:
+                workers = min(workers, len(missing))
+                failed = self._build_parallel(
+                    missing, workers, max_retries, retry_backoff, writer
+                )
+        finally:
+            # One flush covers every exit: completion, a strict-budget
+            # raise, and KeyboardInterrupt/SystemExit mid-build. Entries
+            # built before the exit are on disk for the next resume.
+            writer.flush()
         wall = perf_counter() - start
-        built = [self._entries[node] for node in missing]
+        failed_set = set(failed)
+        built = [
+            self._entries[node] for node in missing if node not in failed_set
+        ]
         self.last_build_stats = PropagationBuildStats(
             n_entries=len(self._entries),
             n_built=len(built),
@@ -415,36 +595,131 @@ class PropagationIndex:
             workers=workers,
             peak_entry_bytes=max((e.memory_bytes() for e in built), default=0),
             total_bytes=self.memory_bytes(),
+            failed_nodes=tuple(sorted(failed_set)),
+            n_resumed=n_resumed,
         )
+        if failed:
+            if strict_build:
+                error = BuildFailedError(failed, len(built))
+                error.partial_index = self
+                raise error
+            warnings.warn(
+                f"{len(failed)} propagation entries failed to build after "
+                f"{max_retries} retries and were skipped "
+                f"(see last_build_stats.failed_nodes)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return self
 
-    def _build_parallel(self, missing: List[int], workers: int) -> None:
-        # Small contiguous chunks keep workers load-balanced when entry
-        # sizes are skewed (hubs cost far more than leaves).
+    @staticmethod
+    def _backoff(attempt: int, retry_backoff: float) -> None:
+        if retry_backoff > 0:
+            time.sleep(min(retry_backoff * (2 ** (attempt - 1)), 30.0))
+
+    def _build_serial(
+        self,
+        missing: List[int],
+        max_retries: int,
+        retry_backoff: float,
+        writer: _CheckpointWriter,
+    ) -> List[int]:
+        """In-process build with per-node retries; returns failed nodes."""
+        failed: List[int] = []
+        for node in missing:
+            attempt = 0
+            while True:
+                try:
+                    _faults.inject(
+                        "propagation.build_entry", node=node, attempt=attempt
+                    )
+                    entry = self._build_entry(node)
+                except ReproError:
+                    raise  # deterministic (e.g. strict budget) - no retry
+                except Exception:
+                    attempt += 1
+                    if attempt > max_retries:
+                        failed.append(node)
+                        break
+                    self._backoff(attempt, retry_backoff)
+                else:
+                    self._entries[node] = entry
+                    writer.note_built()
+                    break
+        return failed
+
+    def _build_parallel(
+        self,
+        missing: List[int],
+        workers: int,
+        max_retries: int,
+        retry_backoff: float,
+        writer: _CheckpointWriter,
+    ) -> List[int]:
+        """Sharded build with fresh-pool chunk retries; returns failures.
+
+        Small contiguous chunks keep workers load-balanced when entry
+        sizes are skewed (hubs cost far more than leaves). A crashed
+        worker breaks its whole pool, so each retry round runs the still
+        -failing chunks on a freshly spawned pool; chunks that completed
+        before the crash are kept and never rebuilt.
+        """
         chunk_size = max(1, len(missing) // (workers * 4))
-        chunks = [
-            missing[i : i + chunk_size]
-            for i in range(0, len(missing), chunk_size)
+        pending = [
+            (i, missing[i * chunk_size : (i + 1) * chunk_size])
+            for i in range((len(missing) + chunk_size - 1) // chunk_size)
         ]
         n_truncated = 0
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(self._graph, self._theta, self._max_branches, self._strict),
-        ) as pool:
-            for results, chunk_truncated in pool.map(_worker_build_chunk, chunks):
-                n_truncated += chunk_truncated
-                for node, sources, probabilities, marked, branches in results:
-                    self._entries[node] = PropagationEntry.from_arrays(
-                        node, sources, probabilities, marked, branches
-                    )
+        for attempt in range(max_retries + 1):
+            if attempt:
+                self._backoff(attempt, retry_backoff)
+            still_failing: List[Tuple[int, List[int]]] = []
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                initializer=_worker_init,
+                initargs=(
+                    self._graph,
+                    self._theta,
+                    self._max_branches,
+                    self._strict,
+                    _faults.snapshot(),
+                ),
+            ) as pool:
+                futures = {
+                    pool.submit(_worker_build_chunk, chunk, chunk_id, attempt):
+                        (chunk_id, chunk)
+                    for chunk_id, chunk in pending
+                }
+                for future in as_completed(futures):
+                    chunk_id, chunk = futures[future]
+                    try:
+                        results, chunk_truncated = future.result()
+                    except ReproError:
+                        raise  # deterministic - propagate immediately
+                    except Exception:
+                        # Worker crash (BrokenProcessPool fails every
+                        # in-flight chunk of the round) or an unexpected
+                        # in-worker error: retry on a fresh pool.
+                        still_failing.append((chunk_id, chunk))
+                    else:
+                        n_truncated += chunk_truncated
+                        for node, sources, probabilities, marked, branches in results:
+                            self._entries[node] = PropagationEntry.from_arrays(
+                                node, sources, probabilities, marked, branches
+                            )
+                        writer.note_built(len(results))
+            if not still_failing:
+                pending = []
+                break
+            pending = sorted(still_failing)
         if n_truncated:
             warnings.warn(
                 f"{n_truncated} propagation entries truncated at "
                 f"{self._max_branches} branches (theta={self._theta})",
                 RuntimeWarning,
-                stacklevel=3,
+                stacklevel=4,
             )
+        return [node for _, chunk in pending for node in chunk]
 
     def memory_bytes(self) -> int:
         """Exact resident size of all cached entries' storage arrays."""

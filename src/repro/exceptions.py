@@ -3,9 +3,16 @@
 Every error raised intentionally by :mod:`repro` derives from
 :class:`ReproError`, so callers can catch library failures without also
 swallowing programming errors such as :class:`TypeError`.
+
+Exceptions whose ``__init__`` takes anything other than a single message
+define ``__reduce__``: default exception pickling re-calls ``__init__``
+with ``args`` (the formatted message), which breaks when errors cross the
+``ProcessPoolExecutor`` boundary used by the parallel offline build.
 """
 
 from __future__ import annotations
+
+from typing import List, Optional, Sequence
 
 
 class ReproError(Exception):
@@ -23,6 +30,9 @@ class NodeNotFoundError(GraphError, KeyError):
         super().__init__(f"node {node!r} not in graph with {n_nodes} nodes")
         self.node = node
         self.n_nodes = n_nodes
+
+    def __reduce__(self):
+        return (type(self), (self.node, self.n_nodes))
 
 
 class EdgeError(GraphError):
@@ -43,6 +53,11 @@ class UnknownTopicError(TopicError, KeyError):
     def __init__(self, topic: object):
         super().__init__(f"unknown topic: {topic!r}")
         self.topic = topic
+
+    def __reduce__(self):
+        # Single argument, but args holds the formatted message: default
+        # pickling would wrap the message a second time on rebuild.
+        return (type(self), (self.topic,))
 
 
 class QueryError(ReproError):
@@ -83,3 +98,69 @@ class BudgetExceededError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset bundle is inconsistent or cannot be produced as requested."""
+
+
+class ArtifactError(ReproError):
+    """Base class for offline-artifact storage errors (missing, unreadable)."""
+
+
+class ArtifactCorruptedError(ArtifactError):
+    """A persisted artifact failed integrity verification at load time.
+
+    Raised instead of letting :mod:`zipfile`/:mod:`json`/:mod:`numpy`
+    errors escape from deep inside a loader. Carries the offending path
+    and, for checksum mismatches, the expected and actual digests.
+    """
+
+    def __init__(
+        self,
+        path: object,
+        expected: Optional[str] = None,
+        actual: Optional[str] = None,
+        reason: Optional[str] = None,
+    ):
+        if expected is not None or actual is not None:
+            detail = f"checksum mismatch (expected {expected}, actual {actual})"
+            if reason:
+                detail = f"{reason}; {detail}"
+        else:
+            detail = reason or "artifact corrupted"
+        super().__init__(f"{path}: {detail}")
+        self.path = str(path)
+        self.expected = expected
+        self.actual = actual
+        self.reason = reason
+
+    def __reduce__(self):
+        return (type(self), (self.path, self.expected, self.actual, self.reason))
+
+
+class BuildFailedError(ReproError):
+    """An offline index build could not materialize every entry.
+
+    Raised by :meth:`repro.core.propagation.PropagationIndex.build_all`
+    when chunks keep failing after ``max_retries`` fresh-process retries
+    and the build runs in strict mode. The entries that *did* build are
+    preserved: :attr:`partial_index` references the index (already flushed
+    to the checkpoint file when checkpointing is on), so a caller can
+    inspect or persist the partial result instead of losing hours of work.
+
+    ``partial_index`` is attached by the raiser and deliberately not part
+    of the pickled state (a live index does not belong on the wire).
+    """
+
+    def __init__(self, failed_nodes: Sequence[int], n_built: int):
+        failed = sorted(int(node) for node in failed_nodes)
+        preview = ", ".join(str(node) for node in failed[:8])
+        if len(failed) > 8:
+            preview += ", ..."
+        super().__init__(
+            f"index build failed for {len(failed)} node(s) [{preview}] "
+            f"after retries; {n_built} entries built"
+        )
+        self.failed_nodes: List[int] = failed
+        self.n_built = int(n_built)
+        self.partial_index = None
+
+    def __reduce__(self):
+        return (type(self), (self.failed_nodes, self.n_built))

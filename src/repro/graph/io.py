@@ -3,20 +3,37 @@
 Two formats are supported:
 
 * **Edge-list text** - one ``source target probability`` triple per line,
-  ``#`` comments allowed. Interoperable with SNAP-style tooling.
+  ``#`` comments allowed. Interoperable with SNAP-style tooling; files
+  written here add ``format=``/``checksum=`` tokens to the header comment
+  that are verified on load when present.
 * **NPZ bundles** - the CSR arrays verbatim; loss-free and fast for the
-  dataset cache used by the benchmark harness.
+  dataset cache used by the benchmark harness. Checksummed and versioned
+  via :mod:`repro._artifacts`.
+
+All writers publish atomically (same-directory temp file + ``os.replace``)
+so an interrupted save never leaves a half-written file at the target
+path. Corruption detected at load time raises
+:class:`~repro.exceptions.ArtifactCorruptedError`.
 """
 
 from __future__ import annotations
 
-import json
+import hashlib
+import io
 from pathlib import Path
-from typing import Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..exceptions import GraphError
+from .._artifacts import (
+    FORMAT_VERSION,
+    atomic_write_bytes,
+    load_npz_payload,
+    read_artifact_bytes,
+    require_keys,
+    save_npz_payload,
+)
+from ..exceptions import ArtifactCorruptedError, EdgeError, GraphError
 from .digraph import SocialGraph
 
 __all__ = [
@@ -29,47 +46,103 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
+def _body_digest(body: str) -> str:
+    """SHA-256 of everything after the header line (the edge data)."""
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
 def save_edge_list(graph: SocialGraph, path: PathLike) -> None:
-    """Write the graph as a ``source target probability`` text file."""
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
-        handle.write(f"# nodes={graph.n_nodes} edges={graph.n_edges}\n")
-        for source, target, probability in graph.iter_edges():
-            handle.write(f"{source} {target} {probability!r}\n")
+    """Write the graph as a ``source target probability`` text file.
+
+    The header comment carries the node/edge counts plus a format version
+    and a SHA-256 checksum of the data lines; the write is atomic.
+    """
+    buffer = io.StringIO()
+    for source, target, probability in graph.iter_edges():
+        buffer.write(f"{source} {target} {probability!r}\n")
+    body = buffer.getvalue()
+    header = (
+        f"# nodes={graph.n_nodes} edges={graph.n_edges} "
+        f"format={FORMAT_VERSION} checksum=sha256:{_body_digest(body)}\n"
+    )
+    atomic_write_bytes(Path(path), (header + body).encode("utf-8"))
 
 
-def load_edge_list(path: PathLike, n_nodes: int = None) -> SocialGraph:
+def load_edge_list(path: PathLike, n_nodes: Optional[int] = None) -> SocialGraph:
     """Read a graph written by :func:`save_edge_list`.
 
-    The node count is taken from the header comment when present, from the
-    *n_nodes* argument otherwise, and finally inferred from the maximum
-    endpoint id.
+    The node count is taken from the *n_nodes* argument when given, from
+    the header comment otherwise, and finally inferred from the maximum
+    endpoint id. When a node count is declared, every edge endpoint is
+    validated against it - an out-of-range endpoint raises
+    :class:`~repro.exceptions.EdgeError` naming the offending line
+    instead of silently growing the graph or failing later with an
+    opaque error. A header checksum, when present, is verified before
+    parsing; files from external tooling (no checksum) load unchecked.
     """
     path = Path(path)
-    edges = []
+    text = read_artifact_bytes(path, "edge list").decode("utf-8")
+    _verify_edge_list_checksum(path, text)
+    edges: List[Tuple[int, int, float]] = []
+    linenos: List[int] = []
     header_nodes = None
-    with path.open("r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                header_nodes = _parse_header_nodes(line, header_nodes)
-                continue
-            parts = line.split()
-            if len(parts) != 3:
-                raise GraphError(
-                    f"{path}:{lineno}: expected 'source target probability', got {line!r}"
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            header_nodes = _parse_header_nodes(line, header_nodes)
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise GraphError(
+                f"{path}:{lineno}: expected 'source target probability', got {line!r}"
+            )
+        try:
+            source, target = int(parts[0]), int(parts[1])
+            probability = float(parts[2])
+        except ValueError as exc:
+            raise GraphError(f"{path}:{lineno}: {exc}") from exc
+        if source < 0 or target < 0:
+            raise EdgeError(
+                f"{path}:{lineno}: negative endpoint in edge "
+                f"({source}, {target})"
+            )
+        if not 0.0 < probability <= 1.0:
+            raise EdgeError(
+                f"{path}:{lineno}: probability {probability!r} outside (0, 1]"
+            )
+        edges.append((source, target, probability))
+        linenos.append(lineno)
+    declared = n_nodes if n_nodes is not None else header_nodes
+    if declared is not None:
+        bound = int(declared)
+        origin = "n_nodes argument" if n_nodes is not None else "header"
+        for (source, target, _), lineno in zip(edges, linenos):
+            if source >= bound or target >= bound:
+                raise EdgeError(
+                    f"{path}:{lineno}: edge ({source}, {target}) exceeds the "
+                    f"declared node count {bound} ({origin})"
                 )
-            try:
-                edges.append((int(parts[0]), int(parts[1]), float(parts[2])))
-            except ValueError as exc:
-                raise GraphError(f"{path}:{lineno}: {exc}") from exc
-    if n_nodes is None:
-        n_nodes = header_nodes
-    if n_nodes is None:
-        n_nodes = 1 + max((max(s, t) for s, t, _ in edges), default=-1)
-    return SocialGraph(n_nodes, edges)
+        total = bound
+    else:
+        total = 1 + max((max(s, t) for s, t, _ in edges), default=-1)
+    return SocialGraph(total, edges)
+
+
+def _verify_edge_list_checksum(path: Path, text: str) -> None:
+    header, _, body = text.partition("\n")
+    if not header.startswith("#"):
+        return
+    for token in header.lstrip("#").split():
+        if token.startswith("checksum=sha256:"):
+            expected = token.split(":", 1)[1]
+            actual = _body_digest(body)
+            if actual != expected:
+                raise ArtifactCorruptedError(
+                    path, expected=expected, actual=actual
+                )
+            return
 
 
 def _parse_header_nodes(line: str, current):
@@ -83,28 +156,33 @@ def _parse_header_nodes(line: str, current):
 
 
 def save_npz(graph: SocialGraph, path: PathLike) -> None:
-    """Write the graph's CSR arrays to a compressed ``.npz`` file."""
-    np.savez_compressed(
-        Path(path),
-        n_nodes=np.asarray([graph.n_nodes], dtype=np.int64),
-        out_indptr=graph._out_indptr,
-        out_targets=graph._out_targets,
-        out_probs=graph._out_probs,
-    )
+    """Atomically write the CSR arrays to a checksummed ``.npz`` file."""
+    save_npz_payload(Path(path), {
+        "n_nodes": np.asarray([graph.n_nodes], dtype=np.int64),
+        "out_indptr": graph._out_indptr,
+        "out_targets": graph._out_targets,
+        "out_probs": graph._out_probs,
+    })
 
 
 def load_npz(path: PathLike) -> SocialGraph:
     """Read a graph written by :func:`save_npz`."""
-    with np.load(Path(path)) as data:
-        try:
-            n_nodes = int(data["n_nodes"][0])
-            indptr = data["out_indptr"]
-            targets = data["out_targets"]
-            probs = data["out_probs"]
-        except KeyError as exc:
-            raise GraphError(f"{path}: missing array {exc}") from exc
+    path = Path(path)
+    payload = load_npz_payload(path, "graph bundle")
+    require_keys(
+        payload, ("n_nodes", "out_indptr", "out_targets", "out_probs"), path
+    )
+    n_nodes = int(payload["n_nodes"][0])
+    indptr = payload["out_indptr"]
+    targets = payload["out_targets"]
+    probs = payload["out_probs"]
     edges = []
-    for node in range(n_nodes):
-        for j in range(indptr[node], indptr[node + 1]):
-            edges.append((node, int(targets[j]), float(probs[j])))
+    try:
+        for node in range(n_nodes):
+            for j in range(indptr[node], indptr[node + 1]):
+                edges.append((node, int(targets[j]), float(probs[j])))
+    except (IndexError, ValueError) as exc:
+        raise ArtifactCorruptedError(
+            path, reason=f"inconsistent CSR arrays ({exc})"
+        ) from exc
     return SocialGraph(n_nodes, edges)

@@ -13,7 +13,12 @@ from repro.core import (
     save_summaries,
     save_walk_index,
 )
-from repro.exceptions import ConfigurationError, IndexNotBuiltError
+from repro.exceptions import (
+    ArtifactCorruptedError,
+    ArtifactError,
+    ConfigurationError,
+    IndexNotBuiltError,
+)
 from repro.graph import SocialGraph, preferential_attachment_graph
 from repro.walks import WalkIndex
 
@@ -142,3 +147,92 @@ class TestWalkIndexPersistence:
         other = SocialGraph(3, [(0, 1, 0.5)])
         with pytest.raises(ConfigurationError):
             load_walk_index(path, other)
+
+
+class TestCorruptedArtifacts:
+    """Damaged artifacts must surface as typed errors, never raw numpy
+    / json / zipfile exceptions from deep inside a loader."""
+
+    def test_truncated_propagation_npz_rejected(self, graph, tmp_path):
+        index = PropagationIndex(graph, 0.02)
+        index.entry(0)
+        path = tmp_path / "prop.npz"
+        save_propagation_index(index, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ArtifactCorruptedError, match="unreadable NPZ"):
+            load_propagation_index(path, graph)
+
+    def test_truncated_walk_npz_rejected(self, graph, tmp_path):
+        index = WalkIndex.built(graph, 3, 2, seed=1)
+        path = tmp_path / "walks.npz"
+        save_walk_index(index, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-40])
+        with pytest.raises(ArtifactCorruptedError):
+            load_walk_index(path, graph)
+
+    def test_propagation_npz_missing_arrays_rejected(self, graph, tmp_path):
+        path = tmp_path / "prop.npz"
+        np.savez(path, theta=np.asarray([0.02]))
+        with pytest.raises(ArtifactCorruptedError, match="missing keys"):
+            load_propagation_index(path, graph)
+
+    def test_walk_npz_missing_arrays_rejected(self, graph, tmp_path):
+        path = tmp_path / "walks.npz"
+        np.savez(path, walk_length=np.asarray([3]))
+        with pytest.raises(ArtifactCorruptedError, match="missing keys"):
+            load_walk_index(path, graph)
+
+    def test_summaries_json_missing_keys_rejected(self, graph, tmp_path):
+        path = tmp_path / "summaries.json"
+        path.write_text('{"n_nodes": 40}')
+        with pytest.raises(ArtifactCorruptedError, match="missing keys"):
+            load_summaries(path, graph)
+
+    def test_summaries_invalid_json_rejected(self, graph, tmp_path):
+        path = tmp_path / "summaries.json"
+        path.write_text('{"summaries": [tru')
+        with pytest.raises(ArtifactCorruptedError, match="unreadable JSON"):
+            load_summaries(path, graph)
+
+    def test_summaries_tampered_payload_rejected(self, graph, tmp_path):
+        import json
+
+        path = tmp_path / "summaries.json"
+        save_summaries({0: TopicSummary(0, {1: 0.5})}, graph, path)
+        payload = json.loads(path.read_text())
+        payload["summaries"]["0"]["1"] = 0.99  # bump one summary weight
+        path.write_text(json.dumps(payload))  # checksum now stale
+        with pytest.raises(ArtifactCorruptedError, match="checksum mismatch"):
+            load_summaries(path, graph)
+
+    def test_flipped_byte_in_propagation_npz_rejected(self, graph, tmp_path):
+        index = PropagationIndex(graph, 0.02)
+        index.entry(0)
+        path = tmp_path / "prop.npz"
+        save_propagation_index(index, path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactCorruptedError):
+            load_propagation_index(path, graph)
+
+    def test_missing_artifacts_typed_errors(self, graph, tmp_path):
+        with pytest.raises(ArtifactError, match="not found"):
+            load_propagation_index(tmp_path / "nope.npz", graph)
+        with pytest.raises(ArtifactError, match="not found"):
+            load_walk_index(tmp_path / "nope.npz", graph)
+        with pytest.raises(ArtifactError, match="not found"):
+            load_summaries(tmp_path / "nope.json", graph)
+
+    def test_newer_format_version_rejected(self, graph, tmp_path):
+        import json
+
+        path = tmp_path / "summaries.json"
+        save_summaries({0: TopicSummary(0, {1: 0.5})}, graph, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactCorruptedError, match="newer than"):
+            load_summaries(path, graph)

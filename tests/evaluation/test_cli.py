@@ -90,3 +90,91 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "using prebuilt propagation index" in out
         assert "Top-3" in out
+
+    def test_build_index_removes_checkpoint_on_success(self, capsys, tmp_path):
+        artifact = tmp_path / "prop.npz"
+        checkpoint = tmp_path / "prop.ckpt.npz"
+        code = main([
+            "build-index", "--dataset", "data_2k", "--size", "120",
+            "--seed", "3", "--output", str(artifact),
+            "--checkpoint", str(checkpoint), "--checkpoint-every", "40",
+        ])
+        assert code == 0
+        assert artifact.exists()
+        assert not checkpoint.exists()  # redundant once output is published
+
+    def test_build_index_resume_from_checkpoint(self, capsys, tmp_path):
+        from repro.core import PropagationIndex, save_propagation_index
+        from repro.datasets import data_2k
+
+        bundle = data_2k(n_nodes=120, seed=3, with_corpus=False)
+        partial = PropagationIndex(bundle.graph, 0.002, max_branches=200_000)
+        for node in range(50):
+            partial.entry(node)
+        checkpoint = tmp_path / "prop.ckpt.npz"
+        save_propagation_index(partial, checkpoint)
+
+        artifact = tmp_path / "prop.npz"
+        code = main([
+            "build-index", "--dataset", "data_2k", "--size", "120",
+            "--seed", "3", "--output", str(artifact),
+            "--checkpoint", str(checkpoint), "--resume",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed 50 entries" in out
+        assert "built 70 entries" in out
+
+
+class TestErrorHandling:
+    """ReproError -> one-line stderr message + exit 2, never a traceback."""
+
+    def test_unknown_dataset_exits_2(self, capsys):
+        code = main([
+            "search", "--dataset", "no_such_data", "--user", "0",
+            "--query", "phone",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("pit-search: error: ")
+        assert "unknown dataset 'no_such_data'" in err
+        assert "Traceback" not in err
+
+    def test_unknown_dataset_build_index_exits_2(self, capsys, tmp_path):
+        code = main([
+            "build-index", "--dataset", "nope",
+            "--output", str(tmp_path / "prop.npz"),
+        ])
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_missing_index_artifact_exits_2(self, capsys, tmp_path):
+        code = main([
+            "search", "--dataset", "data_2k", "--size", "200",
+            "--user", "3", "--query", "phone", "--seed", "3",
+            "--index", str(tmp_path / "nope.npz"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "pit-search: error:" in err and "not found" in err
+
+    def test_corrupted_index_artifact_exits_2(self, capsys, tmp_path):
+        artifact = tmp_path / "prop.npz"
+        code = main([
+            "build-index", "--dataset", "data_2k", "--size", "120",
+            "--seed", "3", "--output", str(artifact),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        raw = bytearray(artifact.read_bytes())
+        raw[len(raw) // 2] ^= 0x10  # flip one bit mid-file
+        artifact.write_bytes(bytes(raw))
+        code = main([
+            "search", "--dataset", "data_2k", "--size", "120",
+            "--user", "3", "--query", "phone", "--seed", "3",
+            "--index", str(artifact),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "pit-search: error:" in err
+        assert str(artifact) in err

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.exceptions import GraphError
+from repro.exceptions import ArtifactCorruptedError, ArtifactError, EdgeError, GraphError
 from repro.graph import load_edge_list, load_npz, save_edge_list, save_npz
 
 
@@ -54,6 +54,87 @@ class TestEdgeList:
         loaded = load_edge_list(path)
         assert loaded.edge_probability(0, 1) == 0.12345678901234567
 
+    def test_missing_file_typed_error(self, tmp_path):
+        with pytest.raises(ArtifactError, match="not found"):
+            load_edge_list(tmp_path / "nope.txt")
+
+
+class TestEdgeListValidation:
+    def test_endpoint_beyond_header_bound_rejected_with_lineno(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# nodes=3\n0 1 0.5\n0 9 0.5\n")
+        with pytest.raises(EdgeError, match=r"bad\.txt:3.*\(0, 9\).*declared node count 3"):
+            load_edge_list(path)
+
+    def test_endpoint_beyond_argument_bound_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 5 0.5\n")
+        with pytest.raises(EdgeError, match="n_nodes argument"):
+            load_edge_list(path, n_nodes=3)
+
+    def test_negative_endpoint_rejected_with_lineno(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 0.5\n-1 2 0.5\n")
+        with pytest.raises(EdgeError, match=r"bad\.txt:2"):
+            load_edge_list(path)
+
+    def test_out_of_range_probability_rejected_with_lineno(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 0.5\n1 2 1.5\n")
+        with pytest.raises(EdgeError, match=r"bad\.txt:2.*1\.5"):
+            load_edge_list(path)
+
+    def test_malformed_line_error_names_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 0.5\n\n0 2\n")
+        with pytest.raises(GraphError, match=r"bad\.txt:3"):
+            load_edge_list(path)
+
+    def test_inferred_bound_accepts_any_endpoint(self, tmp_path):
+        # Without a declared bound the maximum endpoint defines the graph.
+        path = tmp_path / "ok.txt"
+        path.write_text("0 41 0.5\n")
+        assert load_edge_list(path).n_nodes == 42
+
+
+class TestEdgeListIntegrity:
+    def test_header_carries_checksum(self, diamond_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        save_edge_list(diamond_graph, path)
+        header = path.read_text().splitlines()[0]
+        assert "checksum=sha256:" in header and "format=" in header
+
+    def test_tampered_body_rejected(self, diamond_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        save_edge_list(diamond_graph, path)
+        header, _, body = path.read_text().partition("\n")
+        lines = body.splitlines()
+        source, target, _ = lines[0].split()
+        lines[0] = f"{source} {target} 0.987654321"  # reweight one edge
+        path.write_text(header + "\n" + "\n".join(lines) + "\n")
+        with pytest.raises(ArtifactCorruptedError, match="checksum mismatch"):
+            load_edge_list(path)
+
+    def test_external_file_without_checksum_loads(self, tmp_path):
+        # SNAP-style files (no checksum token) stay loadable.
+        path = tmp_path / "external.txt"
+        path.write_text("# some external comment\n0 1 0.5\n")
+        assert load_edge_list(path).n_edges == 1
+
+    def test_write_is_atomic_on_injected_crash(self, diamond_graph, tmp_path):
+        from repro import _faults
+        from repro.graph import SocialGraph
+
+        path = tmp_path / "graph.txt"
+        save_edge_list(diamond_graph, path)
+        before = path.read_bytes()
+        bigger = SocialGraph(9, [(0, 1, 0.5), (1, 2, 0.5)])
+        with _faults.fault("artifact.pre_replace", _faults.FailOnReplace()):
+            with pytest.raises(OSError, match="injected"):
+                save_edge_list(bigger, path)
+        assert path.read_bytes() == before  # old version intact
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+
 
 class TestNpz:
     def test_roundtrip(self, diamond_graph, tmp_path):
@@ -75,5 +156,44 @@ class TestNpz:
 
         path = tmp_path / "bad.npz"
         np.savez(path, something=np.zeros(3))
-        with pytest.raises(GraphError):
+        with pytest.raises(ArtifactCorruptedError, match="missing keys"):
             load_npz(path)
+
+    def test_legacy_npz_without_checksum_loads(self, tmp_path):
+        # Bundles written before the integrity layer carry no checksum.
+        import numpy as np
+
+        from repro.graph import SocialGraph
+
+        graph = SocialGraph(3, [(0, 1, 0.5), (1, 2, 0.25)])
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            n_nodes=np.asarray([graph.n_nodes], dtype=np.int64),
+            out_indptr=graph._out_indptr,
+            out_targets=graph._out_targets,
+            out_probs=graph._out_probs,
+        )
+        loaded = load_npz(path)
+        assert sorted(loaded.iter_edges()) == sorted(graph.iter_edges())
+
+    def test_flipped_byte_rejected(self, diamond_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_npz(diamond_graph, path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactCorruptedError):
+            load_npz(path)
+
+    def test_truncated_file_rejected(self, diamond_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_npz(diamond_graph, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ArtifactCorruptedError):
+            load_npz(path)
+
+    def test_missing_file_typed_error(self, tmp_path):
+        with pytest.raises(ArtifactError, match="not found"):
+            load_npz(tmp_path / "nope.npz")

@@ -1,0 +1,88 @@
+"""Regression tests for the exception hierarchy.
+
+The parallel offline build ships exceptions across the
+``ProcessPoolExecutor`` boundary, which pickles them. Default exception
+pickling re-calls ``__init__`` with ``args`` - the *formatted message* -
+which breaks any exception whose ``__init__`` signature is not a single
+message string. Every such exception defines ``__reduce__``; these tests
+round-trip each one so a future constructor change cannot silently make
+worker errors unpicklable again.
+"""
+
+import pickle
+
+import pytest
+
+from repro.exceptions import (
+    ArtifactCorruptedError,
+    BudgetExceededError,
+    BuildFailedError,
+    NodeNotFoundError,
+    ReproError,
+    UnknownTopicError,
+)
+
+MULTI_ARG_ERRORS = [
+    NodeNotFoundError(7, 100),
+    UnknownTopicError("phone"),
+    BudgetExceededError("propagation tree", 50_000),
+    ArtifactCorruptedError("/tmp/prop.npz", expected="aa" * 32, actual="bb" * 32),
+    ArtifactCorruptedError("/tmp/prop.npz", reason="missing keys ['theta']"),
+    BuildFailedError([3, 1, 2], n_built=97),
+]
+
+
+@pytest.mark.parametrize(
+    "error", MULTI_ARG_ERRORS, ids=lambda e: type(e).__name__
+)
+class TestPickleRoundTrip:
+    def test_survives_pickle(self, error):
+        restored = pickle.loads(pickle.dumps(error))
+        assert type(restored) is type(error)
+        assert str(restored) == str(error)
+
+    def test_attributes_survive(self, error):
+        restored = pickle.loads(pickle.dumps(error))
+        original_attrs = {
+            k: v for k, v in vars(error).items() if k != "partial_index"
+        }
+        restored_attrs = {
+            k: v for k, v in vars(restored).items() if k != "partial_index"
+        }
+        assert restored_attrs == original_attrs
+
+
+class TestNodeNotFoundError:
+    def test_message_is_not_double_wrapped(self):
+        # KeyError.__str__ repr-quotes its single arg; the pickle round
+        # trip must not add another layer of quoting.
+        error = NodeNotFoundError(5, 10)
+        restored = pickle.loads(pickle.dumps(error))
+        assert str(restored).count("node 5") == 1
+
+    def test_is_keyerror(self):
+        assert issubclass(NodeNotFoundError, KeyError)
+        assert issubclass(NodeNotFoundError, ReproError)
+
+
+class TestBuildFailedError:
+    def test_failed_nodes_sorted_and_previewed(self):
+        error = BuildFailedError(range(20, 0, -1), n_built=0)
+        assert error.failed_nodes == sorted(error.failed_nodes)
+        assert "..." in str(error)
+
+    def test_partial_index_not_pickled(self):
+        error = BuildFailedError([1], n_built=5)
+        error.partial_index = object()  # stand-in for a live index
+        restored = pickle.loads(pickle.dumps(error))
+        assert restored.partial_index is None
+
+
+class TestArtifactCorruptedError:
+    def test_checksum_message_carries_both_digests(self):
+        error = ArtifactCorruptedError("x.npz", expected="abc", actual="def")
+        assert "abc" in str(error) and "def" in str(error)
+
+    def test_reason_only_message(self):
+        error = ArtifactCorruptedError("x.npz", reason="truncated")
+        assert str(error) == "x.npz: truncated"
