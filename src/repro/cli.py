@@ -5,7 +5,9 @@ Commands
 ``datasets``
     Print the Figure 4 dataset summary for the bundled scaled analogues.
 ``search``
-    Build a dataset + engine and answer one PIT-Search query.
+    Build a dataset + engine and answer one PIT-Search query, or serve a
+    JSONL workload of many requests (``--batch``) through the batched
+    query-serving layer, reporting QPS and cache hit rates.
 ``build-index``
     Pre-build the full §5.1 propagation index (optionally in parallel)
     and persist it to an ``.npz`` for reuse by ``search --index``. The
@@ -27,6 +29,7 @@ Examples
         --checkpoint-every 500 --resume
     pit-search search --dataset data_2k --user 3 --query phone --k 5 \
         --index prop.npz
+    pit-search search --dataset data_2k --batch workload.jsonl --k 5
     pit-search experiment --figure 5 --queries 2 --users 1
 """
 
@@ -75,12 +78,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="override node count for every dataset")
     datasets.add_argument("--seed", type=int, default=42)
 
-    search = sub.add_parser("search", help="run one PIT-Search query")
+    search = sub.add_parser(
+        "search", help="run one PIT-Search query (or a --batch workload)"
+    )
     search.add_argument("--dataset", default="data_2k", metavar="NAME",
                         help=f"one of {', '.join(DATASET_NAMES)}")
     search.add_argument("--size", type=int, default=None)
-    search.add_argument("--user", type=int, required=True)
-    search.add_argument("--query", required=True)
+    search.add_argument("--user", type=int, default=None,
+                        help="query user (required unless --batch)")
+    search.add_argument("--query", default=None,
+                        help="keyword query (required unless --batch)")
+    search.add_argument("--batch", default=None, metavar="PATH",
+                        help="serve a JSONL workload instead of one query: "
+                             'one {"user": ..., "query": ..., "k": ...} '
+                             "object per line (k optional)")
     search.add_argument("--k", type=int, default=10)
     search.add_argument("--summarizer", default="lrw", choices=["lrw", "rcl"])
     search.add_argument("--theta", type=float, default=0.002)
@@ -186,9 +197,86 @@ def _load_bundle(args):
     return factory(seed=args.seed, **kwargs)
 
 
+def _load_workload(path: str):
+    """Parse a JSONL batch workload into ``[(user, query, k or None)]``."""
+    import json
+
+    from .exceptions import ConfigurationError
+
+    requests = []
+    try:
+        lines = Path(path).read_text().splitlines()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read workload {path}: {exc}") from None
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            user = int(record["user"])
+            query = record["query"]
+            k = record.get("k")
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"{path}:{lineno}: bad workload record ({exc}); expected "
+                '{"user": ..., "query": ..., "k": ...} per line'
+            ) from None
+        requests.append((user, str(query), None if k is None else int(k)))
+    if not requests:
+        raise ConfigurationError(f"workload {path} contains no requests")
+    return requests
+
+
+def _run_batch(args, engine) -> int:
+    from time import perf_counter
+
+    requests = _load_workload(args.batch)
+    # Group by k so each group is one search_many call; requests without
+    # their own k use --k. Input order is restored for the report.
+    by_k = {}
+    for position, (user, query, k) in enumerate(requests):
+        by_k.setdefault(k if k is not None else args.k, []).append(
+            (position, user, query)
+        )
+    outcomes = [None] * len(requests)
+    start = perf_counter()
+    for k, group in sorted(by_k.items()):
+        answered = engine.search_batch(
+            [(user, query) for _, user, query in group], k=k, with_stats=True
+        )
+        for (position, _, _), outcome in zip(group, answered):
+            outcomes[position] = outcome
+    elapsed = perf_counter() - start
+
+    n_empty = 0
+    for (user, query, k), (results, stats) in zip(requests, outcomes):
+        if results:
+            top = results[0]
+            print(f"user={user} query={query!r}: {len(results)} topics, "
+                  f"top {top.label} ({top.influence:.6f}), "
+                  f"{stats.topics_pruned}/{stats.topics_considered} pruned")
+        else:
+            n_empty += 1
+            print(f"user={user} query={query!r}: no matching topics")
+    qps = len(requests) / elapsed if elapsed > 0 else float("inf")
+    print(f"\nserved {len(requests)} requests in {elapsed:.3f}s "
+          f"({qps:.1f} QPS, {n_empty} empty)")
+    for cache in engine.cache_stats():
+        print(f"cache {cache.name}: {cache.hits} hits / {cache.misses} misses "
+              f"(hit rate {cache.hit_rate:.1%}), {cache.n_items} items, "
+              f"{cache.current_bytes / 1024:.1f} KiB")
+    return 0
+
+
 def _run_search(args) -> int:
     from .core import PITEngine, load_propagation_index
+    from .exceptions import ConfigurationError
 
+    if args.batch is None and (args.user is None or args.query is None):
+        raise ConfigurationError(
+            "search needs --user and --query (or --batch for a workload)"
+        )
     bundle = _load_bundle(args)
     print(bundle.describe())
     engine = PITEngine.from_dataset(
@@ -196,12 +284,19 @@ def _run_search(args) -> int:
         summarizer=args.summarizer,
         theta=args.theta,
         seed=args.seed,
+        # Batch serving gets bounded caches so the report can show hit
+        # rates and resident bytes; one-shot queries keep the unbounded
+        # default.
+        entry_cache_bytes=64 << 20 if args.batch else None,
+        summary_cache_bytes=8 << 20 if args.batch else None,
     )
     if args.index is not None:
         prebuilt = load_propagation_index(args.index, bundle.graph)
         engine.use_propagation_index(prebuilt)
         print(f"using prebuilt propagation index {args.index} "
               f"({prebuilt.n_cached} entries, theta={prebuilt.theta})")
+    if args.batch is not None:
+        return _run_batch(args, engine)
     results, stats = engine.search(
         args.user, args.query, k=args.k, with_stats=True
     )

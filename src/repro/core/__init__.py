@@ -3,11 +3,14 @@
 * :mod:`repro.core.rcl` - RCL-A random-clustering summarizer (§3).
 * :mod:`repro.core.lrw` - LRW-A L-length random-walk summarizer (§4).
 * :mod:`repro.core.propagation` - personalized propagation index (§5.1).
-* :mod:`repro.core.search` - top-k PIT-Search (§5.2).
+* :mod:`repro.core.search` - top-k PIT-Search (§5.2), array-native.
+* :mod:`repro.core.serving` - bounded caches for the online serving layer.
 * :mod:`repro.core.engine` - end-to-end facade.
 """
 
+from ._scalar_search import ScalarReferenceSearcher
 from .diagnostics import (
+    CacheStats,
     PropagationBuildStats,
     SummaryDiagnostics,
     diagnose_summary,
@@ -40,7 +43,13 @@ from .lrw import LRWSummarizer
 from .propagation import GammaView, PropagationEntry, PropagationIndex
 from .rcl import RCLSummarizer
 from .search import PersonalizedSearcher, SearchResult, SearchStats
-from .summarization import Summarizer, TopicSummary, summarization_error
+from .serving import ByteLRUCache
+from .summarization import (
+    SummaryArrays,
+    Summarizer,
+    TopicSummary,
+    summarization_error,
+)
 
 __all__ = [
     "PITEngine",
@@ -48,12 +57,16 @@ __all__ = [
     "LRWSummarizer",
     "Summarizer",
     "TopicSummary",
+    "SummaryArrays",
     "summarization_error",
     "PropagationIndex",
     "PropagationEntry",
     "GammaView",
     "PropagationBuildStats",
+    "CacheStats",
+    "ByteLRUCache",
     "PersonalizedSearcher",
+    "ScalarReferenceSearcher",
     "SearchResult",
     "SearchStats",
     "propagate_influence",

@@ -10,6 +10,11 @@ error. The engine-level report aggregates these over a set of topics.
 time and throughput counters recorded by
 :meth:`~repro.core.propagation.PropagationIndex.build_all`, feeding the
 ``benchmarks/bench_propagation_index.py`` perf trajectory.
+
+:class:`CacheStats` is the online-serving counterpart: hit/miss/byte
+accounting snapshots of the bounded LRU caches behind
+:meth:`~repro.core.search.PersonalizedSearcher.search_many`, feeding the
+``benchmarks/bench_online_search.py`` trajectory.
 """
 
 from __future__ import annotations
@@ -26,11 +31,59 @@ from ..topics import TopicIndex
 from .summarization import TopicSummary, summarization_error
 
 __all__ = [
+    "CacheStats",
     "PropagationBuildStats",
     "SummaryDiagnostics",
     "diagnose_summary",
     "diagnostics_table",
 ]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/byte accounting snapshot of one bounded serving cache.
+
+    Attributes
+    ----------
+    name:
+        Which cache ("propagation-entries", "summary-arrays", ...).
+    hits / misses:
+        Lookup outcomes since the cache was created (or last cleared).
+    evictions:
+        Items displaced by the byte budget.
+    n_items:
+        Items currently resident.
+    current_bytes / max_bytes:
+        Resident payload bytes and the configured budget (0 = unbounded).
+    """
+
+    name: str
+    hits: int
+    misses: int
+    evictions: int
+    n_items: int
+    current_bytes: int
+    max_bytes: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never consulted)."""
+        total = self.lookups
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready payload including the derived hit rate."""
+        payload = asdict(self)
+        payload["lookups"] = self.lookups
+        payload["hit_rate"] = self.hit_rate
+        return payload
 
 
 @dataclass(frozen=True)

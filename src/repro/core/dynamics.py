@@ -151,7 +151,9 @@ def apply_topic_update(engine: PITEngine, update: TopicUpdate) -> Dict[str, int]
     engine._topic_index = new_index
     engine._summaries = new_summaries
     engine._summarizer = None  # summarizers hold the old index; rebuild lazily
-    engine._searcher._topic_index = new_index
+    # Also drops compiled query plans and cached summary arrays - both are
+    # keyed by (possibly re-numbered) topic ids of the old index.
+    engine._searcher.set_topic_index(new_index)
     return {
         "kept": kept,
         "invalidated": invalidated,

@@ -51,6 +51,12 @@ class PITEngine:
         RCL-A's ``|V'|/|V|`` sampling rate (ignored for LRW-A).
     max_expand_rounds:
         Online Expand recursion bound.
+    entry_cache_bytes / summary_cache_bytes:
+        When set, the online searcher keeps lazily built propagation
+        entries / summary array forms in bounded byte-accounted LRU caches
+        of these sizes instead of unbounded per-index caches (see
+        :mod:`repro.core.serving`). ``None`` (default) keeps the original
+        unbounded behaviour.
     seed:
         Seed or generator for all stochastic stages.
 
@@ -75,6 +81,8 @@ class PITEngine:
         rep_fraction: float = 0.1,
         sample_rate: float = 0.05,
         max_expand_rounds: int = 8,
+        entry_cache_bytes: Optional[int] = None,
+        summary_cache_bytes: Optional[int] = None,
         seed: SeedLike = None,
     ):
         if graph.n_nodes != topic_index.n_nodes:
@@ -99,6 +107,8 @@ class PITEngine:
             self.summary,
             self.propagation_index,
             max_expand_rounds=max_expand_rounds,
+            entry_cache_bytes=entry_cache_bytes,
+            summary_cache_bytes=summary_cache_bytes,
         )
 
     # ------------------------------------------------------------------
@@ -188,7 +198,7 @@ class PITEngine:
                 f"{self._graph.n_edges} edges"
             )
         self.propagation_index = index
-        self._searcher._propagation = index
+        self._searcher.set_propagation_index(index)
         return self
 
     def build(self, topics: Optional[Iterable[Union[int, str]]] = None) -> "PITEngine":
@@ -228,12 +238,52 @@ class PITEngine:
             return results, stats
         return results
 
+    def search_batch(
+        self,
+        requests: Iterable[Tuple[int, Union[str, KeywordQuery]]],
+        k: int = 10,
+        *,
+        with_stats: bool = False,
+    ):
+        """Answer many ``(user, query)`` requests in one batched call.
+
+        Delegates to
+        :meth:`~repro.core.search.PersonalizedSearcher.search_many`:
+        requests sharing a keyword query are grouped so topic resolution
+        and summary arrays are paid once per distinct query. Returns a
+        list aligned with the input order - each element the ranked
+        results, or ``(results, stats)`` when *with_stats* is true.
+        """
+        outcomes = self._searcher.search_many(requests, k)
+        if with_stats:
+            return outcomes
+        return [results for results, _ in outcomes]
+
+    def cache_stats(self):
+        """Snapshots of the searcher's bounded serving caches.
+
+        A tuple of :class:`~repro.core.diagnostics.CacheStats`, empty when
+        the engine was built without cache budgets.
+        """
+        return self._searcher.cache_stats()
+
     def memory_bytes(self) -> int:
-        """Approximate resident size of all engine-owned indexes."""
+        """Approximate resident size of all engine-owned indexes.
+
+        Covers the propagation index, the walk index (when built), every
+        cached topic summary (including its frozen array form, via
+        :meth:`~repro.core.summarization.TopicSummary.memory_bytes`), and
+        the online searcher's bounded serving caches and compiled query
+        plans.
+        """
         total = self.propagation_index.memory_bytes()
         if self._walk_index is not None and self._walk_index.is_built:
             total += self._walk_index.memory_bytes()
-        total += sum(
-            16 * len(s.weights) for s in self._summaries.values()
-        )
+        total += sum(s.memory_bytes() for s in self._summaries.values())
+        total += self._searcher.cache_memory_bytes()
+        summary_stats = self._searcher.summary_cache_stats()
+        if summary_stats is not None:
+            # The summary-array LRU aliases array forms already charged
+            # via TopicSummary.memory_bytes(); back out the double count.
+            total -= summary_stats.current_bytes
         return total

@@ -166,6 +166,7 @@ class PropagationEntry:
         "_probabilities",
         "_marked_array",
         "_marked_set",
+        "_marked_pairs",
         "_gamma_view",
     )
 
@@ -202,6 +203,7 @@ class PropagationEntry:
         self._probabilities = probabilities
         self._marked_array = marked
         self._marked_set: Optional[FrozenSet[int]] = None
+        self._marked_pairs: Optional[Tuple[List[int], np.ndarray]] = None
         self._gamma_view: Optional[GammaView] = None
 
     @classmethod
@@ -266,12 +268,31 @@ class PropagationEntry:
             return float(self._probabilities[i])
         return 0.0
 
+    def marked_pairs(self) -> Tuple[List[int], np.ndarray]:
+        """``Γ*(v)`` as ``(node list, aligned Γ probability array)``.
+
+        The searchsorted resolution of the marked nodes against the source
+        array is cached - the online Expand step probes a frontier entry's
+        marked set once per expansion, and the resolution never changes.
+        """
+        cached = self._marked_pairs
+        if cached is None:
+            marked = self._marked_array
+            if marked.size:
+                positions = np.searchsorted(self._sources, marked)
+                probabilities = self._probabilities[positions]
+            else:
+                probabilities = np.empty(0, dtype=np.float64)
+            cached = (marked.tolist(), probabilities)
+            self._marked_pairs = cached
+        return cached
+
     def max_expandable_probability(self) -> float:
         """``maxEP`` - the largest Γ value among marked nodes (0 if none)."""
         if self._marked_array.size == 0:
             return 0.0
-        positions = np.searchsorted(self._sources, self._marked_array)
-        return float(self._probabilities[positions].max())
+        _, probabilities = self.marked_pairs()
+        return float(probabilities.max())
 
     @property
     def size(self) -> int:
@@ -466,6 +487,24 @@ class PropagationIndex:
             cached = self._build_entry(node)
             self._entries[node] = cached
         return cached
+
+    def get_cached(self, node: int) -> Optional[PropagationEntry]:
+        """The already-materialized entry of *node*, or ``None``.
+
+        Never triggers a build; lets externally bounded caches (the online
+        serving layer) serve prebuilt entries for free while keeping
+        lazily built ones under their own byte budget.
+        """
+        return self._entries.get(self._graph._check_node(node))
+
+    def build_entry(self, node: int) -> PropagationEntry:
+        """Build the entry of *node* WITHOUT inserting it into this index.
+
+        The bounded serving caches use this to materialize entries they
+        manage themselves; :meth:`entry` would pin every build into the
+        index's unbounded cache.
+        """
+        return self._build_entry(self._graph._check_node(node))
 
     def load_checkpoint(self, path: PathLike) -> int:
         """Absorb entries from a checkpoint written by an earlier build.

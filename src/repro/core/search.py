@@ -5,8 +5,8 @@ Online stage. Given a query user ``v`` and keyword query ``q``:
 1. fetch the q-related topics and their summaries (representative node
    sets with local weights);
 2. for each topic, aggregate the influence of the representatives that
-   appear in ``Γ(v)`` (the propagation entry of ``v``) - one hash lookup
-   per representative, no graph traversal;
+   appear in ``Γ(v)`` (the propagation entry of ``v``) - no graph
+   traversal;
 3. prune topics whose influence upper bound (current score + remaining
    representative weight × ``maxEP``) cannot reach the current top-k;
 4. while un-pruned topics remain outside the current top-k, *expand*
@@ -17,23 +17,60 @@ Online stage. Given a query user ``v`` and keyword query ``q``:
    semantics).
 
 The returned ranking is deterministic: ties break on topic label.
+
+Execution is array-native. A query compiles once into a :class:`_QueryPlan`
+holding every related summary's representatives concatenated into one
+sorted-per-topic ``int64`` array (plus aligned weights and a topic-of-rep
+map), so resolving the whole candidate set against a propagation entry is
+a single ``np.searchsorted`` pass followed by ``np.bincount`` scatter-sums
+- replacing the per-representative hash probes of the original
+formulation (retained verbatim in :mod:`repro.core._scalar_search` as the
+parity/benchmark baseline). Consumed representatives are tracked in a
+boolean mask instead of popping dict keys, the k-th-best bound is an
+incrementally maintained bounded heap (:class:`_KthBound`, O(log k) per
+prune instead of a fresh ``heapq.nlargest``), and the upper-bound prune
+itself runs vectorized over the active-topic arrays.
+
+:meth:`PersonalizedSearcher.search_many` is the batched serving layer:
+requests are grouped by keyword query so topic resolution, label ranking
+and summary arrays compile once per distinct query, and propagation
+entries / summary arrays can sit in bounded byte-accounted LRU caches
+(see :mod:`repro.core.serving`).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
 
 from .._utils import require_in_range
-from ..exceptions import ConfigurationError, QueryError
+from ..exceptions import ConfigurationError
 from ..topics import KeywordQuery, TopicIndex
-from .propagation import PropagationIndex
+from .diagnostics import CacheStats
+from .propagation import PropagationEntry, PropagationIndex
+from .serving import ByteLRUCache
 from .summarization import TopicSummary
 
 __all__ = ["SearchResult", "SearchStats", "PersonalizedSearcher"]
 
 SummaryProvider = Union[Mapping[int, TopicSummary], Callable[[int], TopicSummary]]
+
+_EMPTY_F8 = np.empty(0, dtype=np.float64)
+_EMPTY_I8 = np.empty(0, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -69,7 +106,14 @@ class SearchStats:
     expansion_rounds:
         Number of Expand recursions executed.
     representatives_touched:
-        Representative-weight lookups performed.
+        Representative-weight slots examined (one per representative per
+        summary-set probe; identical accounting to the scalar reference).
+    entry_cache_hits / entry_cache_misses:
+        Bounded propagation-entry cache outcomes during this search
+        (0 when the searcher runs without an entry cache).
+    summary_cache_hits / summary_cache_misses:
+        Bounded summary-array cache outcomes during this search
+        (0 when the searcher runs without a summary cache).
     """
 
     topics_considered: int = 0
@@ -77,6 +121,180 @@ class SearchStats:
     entries_probed: int = 0
     expansion_rounds: int = 0
     representatives_touched: int = 0
+    entry_cache_hits: int = 0
+    entry_cache_misses: int = 0
+    summary_cache_hits: int = 0
+    summary_cache_misses: int = 0
+
+
+def _gamma_intersect(
+    sources: np.ndarray, probabilities: np.ndarray, reps: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Γ∩summary kernel: resolve *reps* against a sorted source array.
+
+    One ``np.searchsorted`` pass over the entry's already-sorted ``int64``
+    source array. Returns ``(found, probs)`` where ``found`` is a boolean
+    mask over *reps* and ``probs`` holds the aggregated path probabilities
+    of the found representatives, aligned with ``reps[found]``.
+    """
+    if sources.size == 0 or reps.size == 0:
+        return np.zeros(reps.size, dtype=bool), _EMPTY_F8
+    pos = np.searchsorted(sources, reps)
+    np.minimum(pos, sources.size - 1, out=pos)
+    found = sources[pos] == reps
+    return found, probabilities[pos[found]]
+
+
+class _KthBound:
+    """Incrementally maintained k-th-best score over rising per-topic scores.
+
+    A lazy-deletion min-heap of the current k best scores: because scores
+    only ever increase (Expand adds non-negative mass), membership changes
+    one topic at a time and each update or bound read is O(log k)
+    amortized - replacing the scalar path's fresh ``heapq.nlargest`` per
+    prune. The bound equals ``min`` of the k largest current scores, i.e.
+    exactly the scalar ``_kth_best`` (or -inf while fewer than k topics
+    exist).
+    """
+
+    __slots__ = ("_k", "_heap", "_member")
+
+    def __init__(self, k: int, scores: np.ndarray):
+        self._k = k
+        self._member: Dict[int, float] = {}
+        if scores.size:
+            top = np.argsort(-scores, kind="stable")[:k]
+            self._member = {
+                int(t): float(scores[t]) for t in top.tolist()
+            }
+        self._heap: List[Tuple[float, int]] = [
+            (score, topic) for topic, score in self._member.items()
+        ]
+        heapq.heapify(self._heap)
+
+    def _settle_root(self) -> None:
+        heap, member = self._heap, self._member
+        while heap and member.get(heap[0][1]) != heap[0][0]:
+            heapq.heappop(heap)
+
+    def bound(self) -> float:
+        """The k-th best current score, or -inf with fewer than k topics."""
+        if len(self._member) < self._k:
+            return float("-inf")
+        self._settle_root()
+        return self._heap[0][0]
+
+    def update(self, topic: int, score: float) -> None:
+        """Record that *topic*'s score rose to *score*."""
+        member = self._member
+        current = member.get(topic)
+        if current is not None:
+            if score > current:
+                member[topic] = score
+                heapq.heappush(self._heap, (score, topic))
+            return
+        if len(member) < self._k:
+            member[topic] = score
+            heapq.heappush(self._heap, (score, topic))
+            return
+        self._settle_root()
+        if score > self._heap[0][0]:
+            _, evicted = heapq.heappop(self._heap)
+            del member[evicted]
+            member[topic] = score
+            heapq.heappush(self._heap, (score, topic))
+
+
+class _QueryPlan:
+    """Array-compiled form of one keyword query's candidate topic set.
+
+    Holds everything about the query that is user-independent: the related
+    topic ids, their labels and tie-break ranks, and all summaries'
+    representatives flattened into one array block (per-topic sorted ids,
+    aligned weights, and a rep → topic-position map for bincount
+    scatter-sums). Built once per distinct query and shared by every
+    request in a batch - and across calls via the searcher's plan cache.
+    """
+
+    __slots__ = (
+        "key", "topic_ids", "labels", "label_rank",
+        "rep_ids", "rep_weights", "rep_topic", "rep_counts",
+        "n_topics", "n_reps", "probe_cache",
+    )
+
+    #: Per-plan cap on cached Γ∩summary probe results (nodes).
+    PROBE_CACHE_CAP = 4096
+
+    def __init__(
+        self,
+        key: Tuple,
+        topic_ids: Sequence[int],
+        labels: Sequence[str],
+        rep_arrays: Sequence[Tuple[np.ndarray, np.ndarray]],
+    ):
+        self.key = key
+        self.topic_ids = list(topic_ids)
+        self.labels = list(labels)
+        n = len(self.topic_ids)
+        self.n_topics = n
+        order = sorted(range(n), key=lambda i: self.labels[i])
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n, dtype=np.int64)
+        self.label_rank = rank
+        if n:
+            self.rep_counts = np.fromiter(
+                (reps.size for reps, _ in rep_arrays), dtype=np.int64, count=n
+            )
+            self.rep_ids = (
+                np.concatenate([reps for reps, _ in rep_arrays])
+                if rep_arrays else _EMPTY_I8
+            )
+            self.rep_weights = (
+                np.concatenate([weights for _, weights in rep_arrays])
+                if rep_arrays else _EMPTY_F8
+            )
+            self.rep_topic = np.repeat(
+                np.arange(n, dtype=np.int64), self.rep_counts
+            )
+        else:
+            self.rep_counts = _EMPTY_I8
+            self.rep_ids = _EMPTY_I8
+            self.rep_weights = _EMPTY_F8
+            self.rep_topic = _EMPTY_I8
+        self.n_reps = int(self.rep_ids.size)
+        # node -> (found mask, per-rep probabilities, 0 where absent). The
+        # Γ∩summary resolution of a node against this plan's rep block is
+        # user-independent, so every request in a batch that expands the
+        # same node (and every later query with this plan) reuses it.
+        self.probe_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def probe(
+        self, node: int, entry: PropagationEntry
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Resolve *entry* against the whole rep block, cached per node."""
+        cached = self.probe_cache.get(node)
+        if cached is None:
+            found, probs = _gamma_intersect(
+                entry.sources, entry.probabilities, self.rep_ids
+            )
+            probs_full = np.zeros(self.n_reps, dtype=np.float64)
+            probs_full[found] = probs
+            cached = (found, probs_full)
+            if len(self.probe_cache) < self.PROBE_CACHE_CAP:
+                self.probe_cache[node] = cached
+        return cached
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the plan's arrays."""
+        per_probe = self.n_reps * 9  # bool mask + float64 probabilities
+        return int(
+            self.rep_ids.nbytes
+            + self.rep_weights.nbytes
+            + self.rep_topic.nbytes
+            + self.rep_counts.nbytes
+            + self.label_rank.nbytes
+            + len(self.probe_cache) * per_probe
+        )
 
 
 class PersonalizedSearcher:
@@ -94,6 +312,17 @@ class PersonalizedSearcher:
     max_expand_rounds:
         Recursion cap for Expand; the paper recurses until no frontier
         remains, which the cap also allows (set it high) but bounds.
+    entry_cache_bytes:
+        When set, lazily built propagation entries live in a bounded LRU
+        of this many bytes instead of the index's unbounded cache (entries
+        the index already holds - e.g. a prebuilt artifact - are served
+        from it directly and charged nothing).
+    summary_cache_bytes:
+        When set, summary array forms live in a bounded LRU of this many
+        bytes, and cache hits skip the summary provider entirely.
+    plan_cache_size:
+        Number of compiled :class:`_QueryPlan` objects retained across
+        calls (keyed by normalized keyword query); 0 disables plan reuse.
     """
 
     def __init__(
@@ -103,13 +332,91 @@ class PersonalizedSearcher:
         propagation_index: PropagationIndex,
         *,
         max_expand_rounds: int = 8,
+        entry_cache_bytes: Optional[int] = None,
+        summary_cache_bytes: Optional[int] = None,
+        plan_cache_size: int = 256,
     ):
         require_in_range("max_expand_rounds", max_expand_rounds, 0)
+        require_in_range("plan_cache_size", plan_cache_size, 0)
         self._topic_index = topic_index
         self._summaries = summaries
         self._propagation = propagation_index
         self._max_expand_rounds = int(max_expand_rounds)
+        self._entry_cache: Optional[ByteLRUCache] = (
+            None if entry_cache_bytes is None
+            else ByteLRUCache(entry_cache_bytes, name="propagation-entries")
+        )
+        self._summary_cache: Optional[ByteLRUCache] = (
+            None if summary_cache_bytes is None
+            else ByteLRUCache(summary_cache_bytes, name="summary-arrays")
+        )
+        self._plan_cache_size = int(plan_cache_size)
+        self._plans: "OrderedDict[Tuple, _QueryPlan]" = OrderedDict()
 
+    # ------------------------------------------------------------------
+    # Index wiring and cache management
+    # ------------------------------------------------------------------
+    def set_propagation_index(self, index: PropagationIndex) -> "PersonalizedSearcher":
+        """Swap in a different propagation index (public engine/test hook).
+
+        Clears the bounded entry cache and every compiled plan's probe
+        cache so no stale Γ data survives the swap. Compatibility with the
+        topic space is the caller's contract
+        (:meth:`PITEngine.use_propagation_index` validates the graph).
+        """
+        self._propagation = index
+        if self._entry_cache is not None:
+            self._entry_cache.clear()
+        for plan in self._plans.values():
+            plan.probe_cache.clear()
+        return self
+
+    def set_topic_index(self, topic_index: TopicIndex) -> "PersonalizedSearcher":
+        """Swap the topic space, invalidating every query-derived cache."""
+        self._topic_index = topic_index
+        self.invalidate_query_caches()
+        return self
+
+    def invalidate_query_caches(self) -> None:
+        """Drop compiled plans and cached summary arrays.
+
+        Call after topic summaries change (e.g. dynamic maintenance);
+        propagation entries are unaffected.
+        """
+        self._plans.clear()
+        if self._summary_cache is not None:
+            self._summary_cache.clear()
+
+    def entry_cache_stats(self) -> Optional[CacheStats]:
+        """Snapshot of the bounded entry cache (None when unbounded)."""
+        if self._entry_cache is None:
+            return None
+        return self._entry_cache.stats()
+
+    def summary_cache_stats(self) -> Optional[CacheStats]:
+        """Snapshot of the bounded summary cache (None when disabled)."""
+        if self._summary_cache is None:
+            return None
+        return self._summary_cache.stats()
+
+    def cache_stats(self) -> Tuple[CacheStats, ...]:
+        """Snapshots of every configured bounded cache."""
+        return tuple(
+            s for s in (self.entry_cache_stats(), self.summary_cache_stats())
+            if s is not None
+        )
+
+    def cache_memory_bytes(self) -> int:
+        """Bytes held by the bounded serving caches and compiled plans."""
+        total = sum(plan.memory_bytes() for plan in self._plans.values())
+        if self._entry_cache is not None:
+            total += self._entry_cache.memory_bytes()
+        if self._summary_cache is not None:
+            total += self._summary_cache.memory_bytes()
+        return int(total)
+
+    # ------------------------------------------------------------------
+    # Providers
     # ------------------------------------------------------------------
     def _summary(self, topic_id: int) -> TopicSummary:
         if callable(self._summaries):
@@ -121,18 +428,69 @@ class PersonalizedSearcher:
                 f"no summary available for topic {topic_id}"
             ) from None
 
-    @staticmethod
-    def _kth_best(scores: Dict[int, float], k: int) -> float:
-        """``min(T^k)`` - the k-th best current score (or -inf)."""
-        if len(scores) < k:
-            return float("-inf")
-        return heapq.nlargest(k, scores.values())[-1]
+    def _summary_arrays(self, topic_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        cache = self._summary_cache
+        if cache is not None:
+            arrays = cache.get(topic_id)
+            if arrays is None:
+                arrays = self._summary(topic_id).arrays()
+                cache.put(topic_id, arrays, arrays.memory_bytes())
+            return arrays.representatives, arrays.weights
+        arrays = self._summary(topic_id).arrays()
+        return arrays.representatives, arrays.weights
 
-    @staticmethod
-    def _top_k_ids(scores: Dict[int, float], labels: Dict[int, str], k: int) -> Set[int]:
-        ranked = sorted(scores, key=lambda t: (-scores[t], labels[t]))
-        return set(ranked[:k])
+    def _entry(self, node: int) -> PropagationEntry:
+        cache = self._entry_cache
+        if cache is None:
+            return self._propagation.entry(node)
+        prebuilt = self._propagation.get_cached(node)
+        if prebuilt is not None:
+            return prebuilt
+        entry = cache.get(node)
+        if entry is None:
+            entry = self._propagation.build_entry(node)
+            cache.put(node, entry, entry.memory_bytes())
+        return entry
 
+    def _plan(self, query: Union[str, KeywordQuery]) -> _QueryPlan:
+        if isinstance(query, str):
+            query = KeywordQuery.parse(query)
+        key = (query.keywords, query.mode)
+        plans = self._plans
+        plan = plans.get(key)
+        if plan is not None:
+            plans.move_to_end(key)
+            return plan
+        topic_ids = self._topic_index.related_topics(query)
+        labels = [self._topic_index.label(t) for t in topic_ids]
+        rep_arrays = [self._summary_arrays(t) for t in topic_ids]
+        plan = _QueryPlan(key, topic_ids, labels, rep_arrays)
+        if self._plan_cache_size > 0:
+            plans[key] = plan
+            while len(plans) > self._plan_cache_size:
+                plans.popitem(last=False)
+        return plan
+
+    def _cache_marks(self) -> Tuple[int, int, int, int]:
+        entry, summary = self._entry_cache, self._summary_cache
+        return (
+            entry.hits if entry else 0,
+            entry.misses if entry else 0,
+            summary.hits if summary else 0,
+            summary.misses if summary else 0,
+        )
+
+    def _note_cache_deltas(
+        self, stats: SearchStats, marks: Tuple[int, int, int, int]
+    ) -> None:
+        now = self._cache_marks()
+        stats.entry_cache_hits += now[0] - marks[0]
+        stats.entry_cache_misses += now[1] - marks[1]
+        stats.summary_cache_hits += now[2] - marks[2]
+        stats.summary_cache_misses += now[3] - marks[3]
+
+    # ------------------------------------------------------------------
+    # Public entry points
     # ------------------------------------------------------------------
     def search(
         self,
@@ -146,153 +504,295 @@ class PersonalizedSearcher:
         match the query) and the work statistics.
         """
         require_in_range("k", k, 1)
+        marks = self._cache_marks()
+        plan = self._plan(query)
+        results, stats = self._execute(plan, user, k)
+        self._note_cache_deltas(stats, marks)
+        return results, stats
+
+    def search_many(
+        self,
+        requests: Iterable[Tuple[int, Union[str, KeywordQuery]]],
+        k: int,
+    ) -> List[Tuple[List[SearchResult], SearchStats]]:
+        """Answer many ``(user, query)`` requests, batched by query.
+
+        Requests sharing a keyword query (same normalized tokens and
+        mode) are grouped so topic resolution, label ranking and summary
+        arrays compile exactly once per distinct query; every user in the
+        group then runs the array kernels against the shared plan.
+        Results are returned aligned with the input order, each the same
+        ``(results, stats)`` pair :meth:`search` produces.
+        """
+        require_in_range("k", k, 1)
+        request_list = [
+            (int(user), query) for user, query in requests
+        ]
+        outcomes: List[Optional[Tuple[List[SearchResult], SearchStats]]] = (
+            [None] * len(request_list)
+        )
+        groups: "OrderedDict[Tuple, Tuple[KeywordQuery, List[int]]]" = OrderedDict()
+        for position, (_, query) in enumerate(request_list):
+            parsed = (
+                KeywordQuery.parse(query) if isinstance(query, str) else query
+            )
+            key = (parsed.keywords, parsed.mode)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = (parsed, [position])
+            else:
+                bucket[1].append(position)
+        for parsed, positions in groups.values():
+            group_marks = self._cache_marks()
+            plan = self._plan(parsed)
+            for i, position in enumerate(positions):
+                marks = group_marks if i == 0 else self._cache_marks()
+                user = request_list[position][0]
+                results, stats = self._execute(plan, user, k)
+                self._note_cache_deltas(stats, marks)
+                outcomes[position] = (results, stats)
+        return outcomes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Array-native Algorithm 10/11
+    # ------------------------------------------------------------------
+    def _execute(
+        self, plan: _QueryPlan, user: int, k: int
+    ) -> Tuple[List[SearchResult], SearchStats]:
         stats = SearchStats()
-        topic_ids = self._topic_index.related_topics(query)
-        stats.topics_considered = len(topic_ids)
-        if not topic_ids:
+        stats.topics_considered = plan.n_topics
+        if plan.n_topics == 0:
             return [], stats
 
-        entry_v = self._propagation.entry(user)
+        entry_v = self._entry(user)
         stats.entries_probed += 1
-        gamma_v = entry_v.gamma
+        n_topics = plan.n_topics
 
-        labels = {t: self._topic_index.label(t) for t in topic_ids}
-        heap: Dict[int, float] = {}
-        remaining: Dict[int, Dict[int, float]] = {}
-        remaining_weight: Dict[int, float] = {}
-
-        # Algorithm 10 lines 4-13: aggregate in-index representatives.
-        for topic_id in topic_ids:
-            summary = self._summary(topic_id)
-            weights = dict(summary.weights)
-            influence = 0.0
-            unconsumed = 0.0
-            for rep in list(weights):
-                stats.representatives_touched += 1
-                probability = gamma_v.get(rep)
-                if probability is not None:
-                    influence += probability * weights.pop(rep)
-                else:
-                    unconsumed += weights[rep]
-            heap[topic_id] = influence
-            remaining[topic_id] = weights
-            remaining_weight[topic_id] = unconsumed
+        # Algorithm 10 lines 4-13: resolve every summary against Γ(v) in
+        # one searchsorted pass (cached per node), then scatter-sum per
+        # topic.
+        found, probs_full = plan.probe(user, entry_v)
+        stats.representatives_touched += plan.n_reps
+        scores = np.bincount(
+            plan.rep_topic,
+            weights=probs_full * plan.rep_weights,
+            minlength=n_topics,
+        )
+        remaining_weight = np.bincount(
+            plan.rep_topic,
+            weights=plan.rep_weights * ~found,
+            minlength=n_topics,
+        )
+        consumed = found.copy()  # consumed mask over the rep block
+        n_remaining = plan.rep_counts - np.bincount(
+            plan.rep_topic[found], minlength=n_topics
+        )
 
         # Lines 14-20: initial pruning against the marked-frontier bound.
-        frontier: Dict[int, float] = {
-            u: gamma_v[u] for u in entry_v.marked
-        }
-        max_ep = max(frontier.values(), default=0.0)
-        active = set(topic_ids)
-        self._prune(active, heap, remaining, remaining_weight, max_ep, k, labels, stats)
+        # The frontier is a dense per-node reach array (reach[u] = best
+        # discounted weight from v to u); Γ*(v) seeds it at weight 1.
+        n_nodes = self._propagation.graph.n_nodes
+        reach = np.zeros(n_nodes, dtype=np.float64)
+        marked_v = entry_v.marked_array
+        if marked_v.size:
+            _, marked_probs = entry_v.marked_pairs()
+            reach[marked_v] = marked_probs
+            max_ep = float(marked_probs.max())
+        else:
+            max_ep = 0.0
+        active = np.ones(n_topics, dtype=bool)
+        tracker = _KthBound(k, scores)
+        self._prune(
+            active, scores, remaining_weight, n_remaining, tracker, max_ep,
+            stats,
+        )
 
         # Lines 21-22 + Algorithm 11: expand while an active topic is
-        # outside the current top-k.
-        expanded: Set[int] = set()
+        # outside the current top-k (membership, not scores, drives the
+        # recursion - identical to the scalar reading).
+        expanded = np.zeros(n_nodes, dtype=bool)
+        has_frontier = bool(marked_v.size)
         rounds = 0
         while (
-            frontier
+            has_frontier
             and rounds < self._max_expand_rounds
-            and active - self._top_k_ids(heap, labels, k)
+            and self._active_outside_topk(active, scores, plan.label_rank, k)
         ):
             rounds += 1
             stats.expansion_rounds += 1
-            frontier = self._expand_round(
-                frontier, expanded, active, heap, remaining, remaining_weight,
-                k, labels, stats,
+            reach, next_max = self._expand_round(
+                plan, reach, expanded, active, scores, remaining_weight,
+                n_remaining, consumed, tracker, k, stats,
             )
+            # Frontier entries are only created with positive reach, so a
+            # zero max means the next frontier is empty.
+            has_frontier = next_max > 0.0
 
-        ranked = sorted(heap, key=lambda t: (-heap[t], labels[t]))[:k]
+        order = np.lexsort((plan.label_rank, -scores))[:k]
         results = [
-            SearchResult(topic_id=t, label=labels[t], influence=heap[t])
-            for t in ranked
+            SearchResult(
+                topic_id=plan.topic_ids[i],
+                label=plan.labels[i],
+                influence=float(scores[i]),
+            )
+            for i in order.tolist()
         ]
         return results, stats
 
-    # ------------------------------------------------------------------
+    @staticmethod
+    def _active_outside_topk(
+        active: np.ndarray, scores: np.ndarray, label_rank: np.ndarray, k: int
+    ) -> bool:
+        """Whether any active topic sits outside the current top-k."""
+        if not active.any():
+            return False
+        order = np.lexsort((label_rank, -scores))
+        outside = active.copy()
+        outside[order[:k]] = False
+        return bool(outside.any())
+
+    @staticmethod
     def _prune(
-        self,
-        active: Set[int],
-        heap: Dict[int, float],
-        remaining: Dict[int, Dict[int, float]],
-        remaining_weight: Dict[int, float],
+        active: np.ndarray,
+        scores: np.ndarray,
+        remaining_weight: np.ndarray,
+        n_remaining: np.ndarray,
+        tracker: _KthBound,
         max_ep: float,
-        k: int,
-        labels: Dict[int, str],
         stats: SearchStats,
-    ) -> None:
-        """Remove topics that can no longer change the top-k (lines 17-20)."""
-        kth = self._kth_best(heap, k)
-        for topic_id in list(active):
-            exhausted = not remaining[topic_id]
-            upper_bound = heap[topic_id] + remaining_weight[topic_id] * max_ep
-            if exhausted or kth >= upper_bound:
-                active.discard(topic_id)
-                if not exhausted:
-                    stats.topics_pruned += 1
+    ) -> bool:
+        """Vectorized lines 17-20: drop exhausted and bounded-out topics.
+
+        Returns whether any topic was dropped (i.e. *active* changed).
+        """
+        kth = tracker.bound()
+        exhausted = n_remaining == 0
+        upper = scores + remaining_weight * max_ep
+        drop = active & (exhausted | (kth >= upper))
+        if not drop.any():
+            return False
+        stats.topics_pruned += int(np.count_nonzero(drop & ~exhausted))
+        active &= ~drop
+        return True
 
     def _expand_round(
         self,
-        frontier: Dict[int, float],
-        expanded: Set[int],
-        active: Set[int],
-        heap: Dict[int, float],
-        remaining: Dict[int, Dict[int, float]],
-        remaining_weight: Dict[int, float],
+        plan: _QueryPlan,
+        reach: np.ndarray,
+        expanded: np.ndarray,
+        active: np.ndarray,
+        scores: np.ndarray,
+        remaining_weight: np.ndarray,
+        n_remaining: np.ndarray,
+        consumed: np.ndarray,
+        tracker: _KthBound,
         k: int,
-        labels: Dict[int, str],
         stats: SearchStats,
-    ) -> Dict[int, float]:
-        """One Expand recursion (Algorithm 11); returns the next frontier."""
-        next_frontier: Dict[int, float] = {}
+    ) -> Tuple[np.ndarray, float]:
+        """One Expand recursion (Algorithm 11).
+
+        *reach* is the current frontier as a dense per-node array (0 for
+        nodes not on the frontier); returns the next frontier in the same
+        form together with its largest reach (0 when empty).
+        """
+        n_topics = plan.n_topics
+        next_reach = np.zeros_like(reach)
+        # Running max of the next frontier: entries are only ever
+        # inserted or raised, never lowered, so the max is monotone.
+        next_max = 0.0
+        # The caller only enters a round while an active topic sits
+        # outside the top-k; the lexsort membership test is re-run only
+        # when scores or the active set actually changed since.
+        topk_dirty = False
         # Deterministic order: strongest connection to v first. Processing
         # in descending weight lets the mid-round bound use the next
         # unprocessed weight as maxEP, so the round can stop early
         # (Algorithm 11 lines 13-14 check termination per topic pass).
-        ordered = sorted(frontier, key=lambda u: (-frontier[u], u))
+        nodes = np.flatnonzero(reach)
+        order = np.lexsort((nodes, -reach[nodes]))
+        ordered = nodes[order].tolist()
+        ordered_weights = reach[nodes[order]].tolist()
+        last = len(ordered) - 1
         for position, node in enumerate(ordered):
-            if node in expanded:
+            if expanded[node]:
                 continue
-            expanded.add(node)
-            weight_to_v = frontier[node]
-            entry_u = self._propagation.entry(node)
+            expanded[node] = True
+            weight_to_v = ordered_weights[position]
+            entry_u = self._entry(node)
             stats.entries_probed += 1
-            gamma_u = entry_u.gamma
-            for topic_id in list(active):
-                weights = remaining[topic_id]
-                gained = 0.0
-                consumed = 0.0
-                for rep in list(weights):
-                    stats.representatives_touched += 1
-                    probability = gamma_u.get(rep)
-                    if probability is not None:
-                        weight = weights.pop(rep)
-                        gained += weight_to_v * probability * weight
-                        consumed += weight
-                if gained:
-                    heap[topic_id] += gained
-                    # Decrement instead of re-summing the survivors - O(1)
-                    # per consumed representative. Pin to 0 when the pool
-                    # empties so float drift cannot leave residual bound.
-                    remaining_weight[topic_id] = (
-                        remaining_weight[topic_id] - consumed if weights else 0.0
+            # Un-consumed representatives of still-active topics, matched
+            # against Γ(u) via the plan's cached probe of this node.
+            remaining = ~consumed & active[plan.rep_topic]
+            n_remaining_reps = int(np.count_nonzero(remaining))
+            stats.representatives_touched += n_remaining_reps
+            if n_remaining_reps:
+                found, probs_full = plan.probe(node, entry_u)
+                hit = np.flatnonzero(found & remaining)
+                if hit.size:
+                    weights = plan.rep_weights[hit]
+                    topic_of_hit = plan.rep_topic[hit]
+                    gains = np.bincount(
+                        topic_of_hit,
+                        weights=weight_to_v * probs_full[hit] * weights,
+                        minlength=n_topics,
                     )
-            for marked in entry_u.marked:
-                if marked in expanded:
-                    continue
-                reach = weight_to_v * gamma_u[marked]
-                if reach > next_frontier.get(marked, 0.0):
-                    next_frontier[marked] = reach
+                    consumed_weight = np.bincount(
+                        topic_of_hit, weights=weights, minlength=n_topics
+                    )
+                    consumed[hit] = True
+                    n_remaining -= np.bincount(
+                        topic_of_hit, minlength=n_topics
+                    )
+                    gained = np.flatnonzero(gains)
+                    if gained.size:
+                        topk_dirty = True
+                        scores[gained] += gains[gained]
+                        # Decrement instead of re-summing the survivors;
+                        # pin to 0 when the pool empties so float drift
+                        # cannot leave residual bound.
+                        remaining_weight[gained] = np.where(
+                            n_remaining[gained] > 0,
+                            remaining_weight[gained] - consumed_weight[gained],
+                            0.0,
+                        )
+                        for topic in gained.tolist():
+                            tracker.update(topic, float(scores[topic]))
+            marked_u = entry_u.marked_array
+            if marked_u.size:
+                _, marked_probs = entry_u.marked_pairs()
+                reaches = weight_to_v * marked_probs
+                # Insert-time filtering against *expanded*: nodes expanded
+                # later in this round keep the entry they already earned,
+                # so the next frontier's contents (and hence the bounds)
+                # match the per-node reference exactly.
+                better = np.flatnonzero(
+                    (reaches > next_reach[marked_u]) & ~expanded[marked_u]
+                )
+                if better.size:
+                    gained_reach = reaches[better]
+                    next_reach[marked_u[better]] = gained_reach
+                    top = float(gained_reach.max())
+                    if top > next_max:
+                        next_max = top
             # Mid-round pruning: anything still to come is bounded by the
             # largest unprocessed frontier weight (this round or the next).
-            pending_max = frontier[ordered[position + 1]] if position + 1 < len(ordered) else 0.0
-            round_max_ep = max(pending_max, max(next_frontier.values(), default=0.0))
-            self._prune(
-                active, heap, remaining, remaining_weight, round_max_ep, k,
-                labels, stats,
+            pending_max = (
+                ordered_weights[position + 1] if position < last else 0.0
             )
-            if not active - self._top_k_ids(heap, labels, k):
-                return next_frontier
-        max_ep = max(next_frontier.values(), default=0.0)
-        self._prune(active, heap, remaining, remaining_weight, max_ep, k, labels, stats)
-        return next_frontier
+            round_max_ep = pending_max if pending_max > next_max else next_max
+            if self._prune(
+                active, scores, remaining_weight, n_remaining, tracker,
+                round_max_ep, stats,
+            ):
+                topk_dirty = True
+            if topk_dirty:
+                topk_dirty = False
+                if not self._active_outside_topk(
+                    active, scores, plan.label_rank, k
+                ):
+                    return next_reach, next_max
+        self._prune(
+            active, scores, remaining_weight, n_remaining, tracker, next_max,
+            stats,
+        )
+        return next_reach, next_max

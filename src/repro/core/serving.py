@@ -1,0 +1,128 @@
+"""Online query-serving primitives (library extension).
+
+The paper's whole pitch is that summarization turns PIT-Search into an
+*online* operation; serving it to many users needs the memory story that
+the paper leaves implicit. This module supplies the bounded, byte-accounted
+LRU cache used by :class:`~repro.core.search.PersonalizedSearcher` for
+
+* **propagation entries** - ``Γ(v)`` arrays built lazily per query user;
+  unbounded retention is exactly the §5.1 index's full footprint, which a
+  serving node cannot afford for millions of users;
+* **summary arrays** - the frozen
+  :class:`~repro.core.summarization.SummaryArrays` form of each topic,
+  shared across every user asking a query that touches the topic.
+
+Eviction is least-recently-used under a byte budget (items are charged
+their exact array payload). Hit/miss/eviction counters snapshot into
+:class:`~repro.core.diagnostics.CacheStats` for the benchmarks and the
+engine's memory accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, Optional, TypeVar
+
+from .._utils import require_in_range
+from .diagnostics import CacheStats
+
+__all__ = ["ByteLRUCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class ByteLRUCache(Generic[K, V]):
+    """LRU cache bounded by the total byte size of its payloads.
+
+    Parameters
+    ----------
+    max_bytes:
+        Byte budget. Inserting past it evicts least-recently-used items
+        until the new item fits. An item larger than the whole budget is
+        not cached at all (it would displace everything and still thrash).
+    name:
+        Label used in the :class:`CacheStats` snapshot.
+    """
+
+    __slots__ = ("_name", "_max_bytes", "_items", "_bytes",
+                 "hits", "misses", "evictions")
+
+    def __init__(self, max_bytes: int, *, name: str = "cache"):
+        require_in_range("max_bytes", max_bytes, 1)
+        self._name = str(name)
+        self._max_bytes = int(max_bytes)
+        # key -> (value, nbytes); insertion end = most recently used.
+        self._items: "OrderedDict[K, tuple]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: K) -> Optional[V]:
+        """The cached value (bumped to most-recent), or ``None``."""
+        item = self._items.get(key)
+        if item is None:
+            self.misses += 1
+            return None
+        self._items.move_to_end(key)
+        self.hits += 1
+        return item[0]
+
+    def put(self, key: K, value: V, nbytes: int) -> None:
+        """Insert *value* charged at *nbytes*, evicting LRU items to fit."""
+        nbytes = int(nbytes)
+        old = self._items.pop(key, None)
+        if old is not None:
+            self._bytes -= old[1]
+        if nbytes > self._max_bytes:
+            return
+        while self._bytes + nbytes > self._max_bytes and self._items:
+            _, (_, evicted_bytes) = self._items.popitem(last=False)
+            self._bytes -= evicted_bytes
+            self.evictions += 1
+        self._items[key] = (value, nbytes)
+        self._bytes += nbytes
+
+    def get_or_build(self, key: K, build: Callable[[], V],
+                     size_of: Callable[[V], int]) -> V:
+        """``get`` falling back to ``build()`` + ``put`` on a miss."""
+        value = self.get(key)
+        if value is None:
+            value = build()
+            self.put(key, value, size_of(value))
+        return value
+
+    def clear(self) -> None:
+        """Drop every item (counters are kept; they are cumulative)."""
+        self._items.clear()
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._items
+
+    @property
+    def max_bytes(self) -> int:
+        """The configured byte budget."""
+        return self._max_bytes
+
+    def memory_bytes(self) -> int:
+        """Bytes currently charged to resident items."""
+        return self._bytes
+
+    def stats(self) -> CacheStats:
+        """A :class:`CacheStats` snapshot of the cache's counters."""
+        return CacheStats(
+            name=self._name,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            n_items=len(self._items),
+            current_bytes=self._bytes,
+            max_bytes=self._max_bytes,
+        )

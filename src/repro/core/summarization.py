@@ -22,7 +22,38 @@ from ..graph import SocialGraph
 from ..topics import TopicIndex
 from .influence import propagate_influence, topic_influence_vector
 
-__all__ = ["TopicSummary", "Summarizer", "summarization_error"]
+__all__ = ["SummaryArrays", "TopicSummary", "Summarizer", "summarization_error"]
+
+
+class SummaryArrays:
+    """Frozen array form of a summary, the online kernels' native input.
+
+    Representative ids live in a sorted ``int64`` array with the weights
+    aligned in a parallel ``float64`` array, so resolving a whole summary
+    against a propagation entry's sorted source array is a single
+    ``np.searchsorted`` pass instead of one hash probe per representative.
+    Built once per summary (see :meth:`TopicSummary.arrays`) and shared by
+    every query that touches the topic.
+    """
+
+    __slots__ = ("representatives", "weights")
+
+    def __init__(self, representatives: np.ndarray, weights: np.ndarray):
+        representatives = np.asarray(representatives, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        representatives.setflags(write=False)
+        weights.setflags(write=False)
+        self.representatives = representatives
+        self.weights = weights
+
+    @property
+    def size(self) -> int:
+        """Number of representatives."""
+        return int(self.representatives.size)
+
+    def memory_bytes(self) -> int:
+        """Exact resident size of the two storage arrays."""
+        return int(self.representatives.nbytes + self.weights.nbytes)
 
 
 @dataclass(frozen=True)
@@ -37,7 +68,10 @@ class TopicSummary:
         ``representative node -> local influence weight``. Weights are the
         initial propagation power of each representative (Definition 1);
         they are non-negative and sum to at most 1 (equality when every
-        topic node's local weight was fully migrated).
+        topic node's local weight was fully migrated). Stored in sorted
+        representative order regardless of the mapping passed in, so every
+        consumer iterates (and accumulates floats) in one deterministic
+        order - the same order the array kernels use.
     """
 
     topic_id: int
@@ -55,6 +89,10 @@ class TopicSummary:
             raise ConfigurationError(
                 f"summary weights sum to {total}, which exceeds 1"
             )
+        normalized = {
+            int(node): float(self.weights[node]) for node in sorted(self.weights)
+        }
+        object.__setattr__(self, "weights", normalized)
 
     @property
     def representatives(self) -> Tuple[int, ...]:
@@ -82,6 +120,40 @@ class TopicSummary:
             self.topic_id,
             {v: w for v, w in self.weights.items() if v in keep},
         )
+
+    def arrays(self) -> SummaryArrays:
+        """The :class:`SummaryArrays` form, built once and cached.
+
+        The cache lives on the instance (the dataclass is frozen but not
+        slotted), so every searcher sharing this summary shares one array
+        build.
+        """
+        cached = self.__dict__.get("_array_form")
+        if cached is None:
+            reps = sorted(self.weights)
+            representatives = np.fromiter(
+                reps, dtype=np.int64, count=len(reps)
+            )
+            weights = np.fromiter(
+                (self.weights[r] for r in reps),
+                dtype=np.float64,
+                count=len(reps),
+            )
+            cached = SummaryArrays(representatives, weights)
+            object.__setattr__(self, "_array_form", cached)
+        return cached
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the summary.
+
+        16 bytes per mapping pair (an ``int64`` id plus a ``float64``
+        weight) plus the cached array form when it has been built.
+        """
+        total = 16 * len(self.weights)
+        cached = self.__dict__.get("_array_form")
+        if cached is not None:
+            total += cached.memory_bytes()
+        return int(total)
 
 
 class Summarizer(abc.ABC):

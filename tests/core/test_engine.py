@@ -101,8 +101,88 @@ class TestSearch:
         assert len(results) <= 2
 
 
+class TestBatchServing:
+    def test_search_batch_matches_single(self, engine):
+        requests = [(3, "phone"), (5, "music"), (3, "phone")]
+        batched = engine.search_batch(requests, k=3)
+        assert len(batched) == 3
+        for (user, query), results in zip(requests, batched):
+            single = engine.search(user, query, k=3)
+            assert [(r.topic_id, r.influence) for r in results] == [
+                (r.topic_id, r.influence) for r in single
+            ]
+
+    def test_search_batch_with_stats(self, engine):
+        outcomes = engine.search_batch([(3, "phone")], k=2, with_stats=True)
+        results, stats = outcomes[0]
+        assert stats.topics_considered >= len(results)
+
+    def test_cache_stats_empty_without_budgets(self, engine):
+        assert engine.cache_stats() == ()
+
+    def test_cache_stats_with_budgets(self, bundle):
+        engine = PITEngine.from_dataset(
+            bundle,
+            summarizer="lrw",
+            samples_per_node=5,
+            seed=17,
+            entry_cache_bytes=1 << 20,
+            summary_cache_bytes=1 << 20,
+        )
+        engine.search(3, "phone", k=2)
+        names = [s.name for s in engine.cache_stats()]
+        assert names == ["propagation-entries", "summary-arrays"]
+
+    def test_use_propagation_index_rewires_searcher(self, engine, bundle):
+        from repro.core import PropagationIndex
+
+        engine.search(3, "phone", k=2)
+        fresh = PropagationIndex(bundle.graph, 0.001)
+        engine.use_propagation_index(fresh)
+        assert engine.propagation_index is fresh
+        assert engine._searcher._propagation is fresh
+        results = engine.search(3, "phone", k=2)
+        assert isinstance(results, list)
+
+
 class TestMemory:
     def test_memory_grows_with_use(self, engine):
         before = engine.memory_bytes()
         engine.search(3, "phone", k=2)
         assert engine.memory_bytes() > before
+
+    def test_memory_counts_summary_array_forms(self, engine):
+        engine.search(3, "phone", k=2)
+        accounted = sum(
+            s.memory_bytes() for s in engine._summaries.values()
+        )
+        hand_counted = sum(
+            16 * len(s.weights)
+            + (
+                s.arrays().memory_bytes()
+                if s.__dict__.get("_array_form") is not None
+                else 0
+            )
+            for s in engine._summaries.values()
+        )
+        assert accounted == hand_counted
+
+    def test_bounded_caches_not_double_counted(self, bundle):
+        plain = PITEngine.from_dataset(
+            bundle, summarizer="lrw", samples_per_node=5, seed=17
+        )
+        cached = PITEngine.from_dataset(
+            bundle,
+            summarizer="lrw",
+            samples_per_node=5,
+            seed=17,
+            entry_cache_bytes=64 << 20,
+            summary_cache_bytes=64 << 20,
+        )
+        plain.search(3, "phone", k=2)
+        cached.search(3, "phone", k=2)
+        # The summary-array LRU holds aliases of arrays already charged to
+        # the summaries; the cached engine may only differ by the bounded
+        # entry cache, never by re-counting the arrays.
+        entry_bytes = cached._searcher.entry_cache_stats().current_bytes
+        assert cached.memory_bytes() - entry_bytes <= plain.memory_bytes()

@@ -1,0 +1,183 @@
+"""Scalar-vs-vectorized parity for the online search (Algorithms 10-11).
+
+The array-native :class:`PersonalizedSearcher` must reproduce the
+retained pre-vectorization reference (:mod:`repro.core._scalar_search`)
+exactly: identical rankings, influences to 1e-12 (in practice bit-exact,
+because summaries store their weights in sorted representative order so
+both paths accumulate floats identically), and identical work stats -
+including the pruning counters, which are sensitive to the bound
+sequencing inside Expand.
+"""
+
+import pytest
+
+from repro.core import (
+    PersonalizedSearcher,
+    PITEngine,
+    PropagationIndex,
+    ScalarReferenceSearcher,
+    TopicSummary,
+)
+from repro.datasets import data_2k, generate_workload
+from repro.graph import GraphBuilder
+from repro.topics import TopicIndex
+
+STAT_FIELDS = (
+    "topics_considered",
+    "topics_pruned",
+    "entries_probed",
+    "expansion_rounds",
+    "representatives_touched",
+)
+
+
+def assert_same_outcome(vec_outcome, ref_outcome):
+    vec_results, vec_stats = vec_outcome
+    ref_results, ref_stats = ref_outcome
+    assert [(r.topic_id, r.label) for r in vec_results] == [
+        (r.topic_id, r.label) for r in ref_results
+    ]
+    for got, want in zip(vec_results, ref_results):
+        assert abs(got.influence - want.influence) <= 1e-12
+    for name in STAT_FIELDS:
+        assert getattr(vec_stats, name) == getattr(ref_stats, name), name
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return data_2k(seed=23, n_nodes=300, with_corpus=True)
+
+
+@pytest.fixture(scope="module")
+def workload(bundle):
+    return list(
+        generate_workload(bundle, n_queries=6, n_users=4, seed=23).pairs()
+    )
+
+
+@pytest.fixture(scope="module", params=["lrw", "rcl"])
+def stack(request, bundle):
+    """(engine, scalar reference) sharing one index stack per summarizer."""
+    engine = PITEngine.from_dataset(
+        bundle,
+        summarizer=request.param,
+        theta=0.004,
+        seed=23,
+        entry_cache_bytes=16 << 20,
+        summary_cache_bytes=4 << 20,
+    )
+    scalar = ScalarReferenceSearcher(
+        engine.topic_index, engine.summary, engine.propagation_index
+    )
+    return engine, scalar
+
+
+class TestWorkloadParity:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_single_requests_match_reference(self, stack, workload, k):
+        engine, scalar = stack
+        for user, query in workload:
+            assert_same_outcome(
+                engine._searcher.search(user, query, k),
+                scalar.search(user, query, k),
+            )
+
+    def test_batched_requests_match_reference(self, stack, workload):
+        engine, scalar = stack
+        batched = engine._searcher.search_many(workload, k=5)
+        assert len(batched) == len(workload)
+        for (user, query), outcome in zip(workload, batched):
+            assert_same_outcome(outcome, scalar.search(user, query, 5))
+
+    def test_search_many_matches_search(self, stack, workload):
+        """Grouped execution must not change any per-request answer."""
+        engine, _ = stack
+        searcher = engine._searcher
+        batched = searcher.search_many(workload, k=5)
+        for (user, query), outcome in zip(workload, batched):
+            single = searcher.search(user, query, 5)
+            assert [(r.topic_id, r.influence) for r in outcome[0]] == [
+                (r.topic_id, r.influence) for r in single[0]
+            ]
+
+
+@pytest.fixture
+def edge_stack():
+    """Small deterministic stack with a leaf user and a zero-weight topic.
+
+    Graph: 1 -> 0 (0.5), 2 -> 0 (0.3), 3 -> 1 (0.4), 4 -> 2 (0.4).
+    Nodes 3 and 4 have no in-edges, so their Γ is empty.
+    """
+    builder = GraphBuilder(5)
+    builder.add_edges([
+        (1, 0, 0.5),
+        (2, 0, 0.3),
+        (3, 1, 0.4),
+        (4, 2, 0.4),
+    ])
+    graph = builder.build()
+    topic_index = TopicIndex(
+        5,
+        {
+            1: ["alpha topic"],
+            2: ["beta topic"],
+            3: ["gamma topic"],
+            4: ["zero topic"],
+        },
+    )
+    summaries = {
+        topic_index.resolve("alpha topic"): TopicSummary(
+            topic_index.resolve("alpha topic"), {1: 1.0}
+        ),
+        topic_index.resolve("beta topic"): TopicSummary(
+            topic_index.resolve("beta topic"), {2: 0.7, 4: 0.3}
+        ),
+        topic_index.resolve("gamma topic"): TopicSummary(
+            topic_index.resolve("gamma topic"), {3: 1.0}
+        ),
+        # A summary whose representatives carry no weight at all.
+        topic_index.resolve("zero topic"): TopicSummary(
+            topic_index.resolve("zero topic"), {1: 0.0, 4: 0.0}
+        ),
+    }
+    propagation = PropagationIndex(graph, 0.05)
+    vec = PersonalizedSearcher(topic_index, summaries, propagation)
+    ref = ScalarReferenceSearcher(topic_index, summaries, propagation)
+    return vec, ref
+
+
+class TestEdgeCaseParity:
+    def test_k_exceeds_topic_count(self, edge_stack):
+        vec, ref = edge_stack
+        assert_same_outcome(vec.search(0, "topic", 50), ref.search(0, "topic", 50))
+        results, _ = vec.search(0, "topic", 50)
+        assert len(results) == 4
+
+    def test_query_matching_no_topics(self, edge_stack):
+        vec, ref = edge_stack
+        assert_same_outcome(
+            vec.search(0, "unrelated keywords", 3),
+            ref.search(0, "unrelated keywords", 3),
+        )
+        assert vec.search(0, "unrelated keywords", 3)[0] == []
+
+    def test_user_with_empty_gamma(self, edge_stack):
+        vec, ref = edge_stack
+        for user in (3, 4):
+            assert_same_outcome(
+                vec.search(user, "topic", 4), ref.search(user, "topic", 4)
+            )
+
+    def test_zero_weight_summary(self, edge_stack):
+        vec, ref = edge_stack
+        assert_same_outcome(vec.search(0, "zero", 2), ref.search(0, "zero", 2))
+        results, _ = vec.search(0, "zero", 2)
+        assert all(r.influence == 0.0 for r in results)
+
+    def test_every_user_every_k(self, edge_stack):
+        vec, ref = edge_stack
+        for user in range(5):
+            for k in (1, 2, 4, 9):
+                assert_same_outcome(
+                    vec.search(user, "topic", k), ref.search(user, "topic", k)
+                )

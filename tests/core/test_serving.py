@@ -1,0 +1,224 @@
+"""Unit tests for the online serving layer: ByteLRUCache and the
+bounded caches / batched execution inside PersonalizedSearcher."""
+
+import pytest
+
+from repro.core import (
+    ByteLRUCache,
+    PersonalizedSearcher,
+    PropagationIndex,
+    TopicSummary,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph import GraphBuilder
+from repro.topics import TopicIndex
+
+
+class TestByteLRUCache:
+    def test_basic_round_trip(self):
+        cache = ByteLRUCache(100)
+        assert cache.get("a") is None
+        cache.put("a", 1, 10)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+        assert cache.memory_bytes() == 10
+
+    def test_byte_budget_evicts_lru(self):
+        cache = ByteLRUCache(30)
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.put("c", 3, 10)
+        cache.get("a")  # bump "a"; "b" is now least recent
+        cache.put("d", 4, 10)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.evictions == 1
+        assert cache.memory_bytes() == 30
+
+    def test_oversize_item_not_cached(self):
+        cache = ByteLRUCache(20)
+        cache.put("a", 1, 10)
+        cache.put("big", 2, 21)
+        assert "big" not in cache
+        assert "a" in cache  # nothing evicted to make room
+
+    def test_reinsert_replaces_charge(self):
+        cache = ByteLRUCache(100)
+        cache.put("a", 1, 40)
+        cache.put("a", 2, 10)
+        assert cache.get("a") == 2
+        assert cache.memory_bytes() == 10
+
+    def test_counters_and_stats(self):
+        cache = ByteLRUCache(100, name="test-cache")
+        cache.get("missing")
+        cache.put("a", 1, 5)
+        cache.get("a")
+        stats = cache.stats()
+        assert stats.name == "test-cache"
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.n_items == 1
+        assert stats.current_bytes == 5
+        assert stats.max_bytes == 100
+        assert stats.lookups == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_clear_keeps_counters(self):
+        cache = ByteLRUCache(100)
+        cache.put("a", 1, 5)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.memory_bytes() == 0
+        assert cache.hits == 1  # cumulative across clears
+
+    def test_get_or_build(self):
+        cache = ByteLRUCache(100)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_build("k", build, lambda v: 5) == "value"
+        assert cache.get_or_build("k", build, lambda v: 5) == "value"
+        assert len(calls) == 1
+
+    def test_budget_validated(self):
+        with pytest.raises(ConfigurationError):
+            ByteLRUCache(0)
+
+
+@pytest.fixture
+def stack():
+    """The small deterministic chain used by the search unit tests."""
+    builder = GraphBuilder(5)
+    builder.add_edges([
+        (1, 0, 0.5),
+        (2, 0, 0.3),
+        (3, 1, 0.4),
+        (4, 2, 0.4),
+    ])
+    graph = builder.build()
+    topic_index = TopicIndex(
+        5,
+        {
+            1: ["alpha topic"],
+            2: ["beta topic"],
+            3: ["gamma topic"],
+            4: ["delta topic"],
+        },
+    )
+    summaries = {
+        t: TopicSummary(t, {node: 1.0})
+        for node, t in (
+            (1, topic_index.resolve("alpha topic")),
+            (2, topic_index.resolve("beta topic")),
+            (3, topic_index.resolve("gamma topic")),
+            (4, topic_index.resolve("delta topic")),
+        )
+    }
+    propagation = PropagationIndex(graph, 0.05)
+    return topic_index, summaries, propagation
+
+
+class TestBoundedSearcherCaches:
+    def test_cache_stats_disabled_by_default(self, stack):
+        searcher = PersonalizedSearcher(*stack)
+        assert searcher.entry_cache_stats() is None
+        assert searcher.summary_cache_stats() is None
+        assert searcher.cache_stats() == ()
+
+    def test_entry_cache_hits_accumulate(self, stack):
+        searcher = PersonalizedSearcher(
+            *stack, entry_cache_bytes=1 << 20, summary_cache_bytes=1 << 20
+        )
+        _, first = searcher.search(0, "topic", k=4)
+        _, second = searcher.search(0, "topic", k=4)
+        assert first.entry_cache_misses > 0
+        assert second.entry_cache_hits > 0
+        assert second.entry_cache_misses == 0
+        entry_stats, summary_stats = searcher.cache_stats()
+        assert entry_stats.name == "propagation-entries"
+        assert summary_stats.name == "summary-arrays"
+        assert entry_stats.hits == second.entry_cache_hits
+
+    def test_summary_cache_filled_by_plan_compile(self, stack):
+        searcher = PersonalizedSearcher(*stack, summary_cache_bytes=1 << 20)
+        _, stats = searcher.search(0, "topic", k=4)
+        assert stats.summary_cache_misses == 4  # one per q-related topic
+        assert searcher.summary_cache_stats().n_items == 4
+        # A second distinct searcher call reuses the compiled plan, so no
+        # further summary lookups happen at all.
+        _, again = searcher.search(1, "topic", k=4)
+        assert again.summary_cache_hits == 0
+        assert again.summary_cache_misses == 0
+
+    def test_cache_memory_accounted(self, stack):
+        searcher = PersonalizedSearcher(
+            *stack, entry_cache_bytes=1 << 20, summary_cache_bytes=1 << 20
+        )
+        searcher.search(0, "topic", k=4)
+        assert searcher.cache_memory_bytes() > 0
+
+    def test_set_propagation_index_drops_gamma_caches(self, stack):
+        topic_index, summaries, propagation = stack
+        searcher = PersonalizedSearcher(
+            topic_index, summaries, propagation, entry_cache_bytes=1 << 20
+        )
+        results_before, _ = searcher.search(0, "topic", k=4)
+        assert searcher.entry_cache_stats().n_items > 0
+        # An empty graph kills every influence path; stale Γ probes or
+        # cached entries would keep the old scores alive.
+        empty = GraphBuilder(5).build()
+        searcher.set_propagation_index(PropagationIndex(empty, 0.05))
+        assert searcher.entry_cache_stats().n_items == 0
+        results_after, _ = searcher.search(0, "topic", k=4)
+        assert all(r.influence == 0.0 for r in results_after)
+        assert any(r.influence > 0.0 for r in results_before)
+
+    def test_set_topic_index_drops_plans(self, stack):
+        topic_index, summaries, propagation = stack
+        searcher = PersonalizedSearcher(topic_index, summaries, propagation)
+        labels_before = [r.label for r in searcher.search(0, "topic", k=4)[0]]
+        assert "alpha topic" in labels_before
+        renamed = TopicIndex(5, {1: ["renamed subject"]})
+        searcher.set_topic_index(renamed)
+        assert searcher.search(0, "topic", k=4)[0] == []
+        results, _ = searcher.search(0, "subject", k=4)
+        assert [r.label for r in results] == ["renamed subject"]
+
+
+class TestSearchMany:
+    def test_results_align_with_input_order(self, stack):
+        searcher = PersonalizedSearcher(*stack)
+        requests = [(0, "topic"), (1, "alpha"), (0, "topic"), (2, "beta")]
+        outcomes = searcher.search_many(requests, k=4)
+        assert len(outcomes) == 4
+        for (user, query), outcome in zip(requests, outcomes):
+            single_results, _ = searcher.search(user, query, 4)
+            assert [(r.topic_id, r.influence) for r in outcome[0]] == [
+                (r.topic_id, r.influence) for r in single_results
+            ]
+
+    def test_duplicate_queries_share_summary_lookups(self, stack):
+        searcher = PersonalizedSearcher(*stack, summary_cache_bytes=1 << 20)
+        outcomes = searcher.search_many(
+            [(0, "topic"), (1, "topic"), (2, "topic")], k=4
+        )
+        # The plan compiles once for the group: 4 summary misses, charged
+        # to the group's first request; the rest do no summary work.
+        assert outcomes[0][1].summary_cache_misses == 4
+        assert outcomes[1][1].summary_cache_misses == 0
+        assert outcomes[2][1].summary_cache_misses == 0
+
+    def test_k_validated(self, stack):
+        searcher = PersonalizedSearcher(*stack)
+        with pytest.raises(ConfigurationError):
+            searcher.search_many([(0, "topic")], k=0)
+
+    def test_empty_request_list(self, stack):
+        searcher = PersonalizedSearcher(*stack)
+        assert searcher.search_many([], k=3) == []

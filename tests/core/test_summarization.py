@@ -1,8 +1,9 @@
 """Unit tests for TopicSummary and the Definition 1 error metric."""
 
+import numpy as np
 import pytest
 
-from repro.core import TopicSummary, summarization_error
+from repro.core import SummaryArrays, TopicSummary, summarization_error
 from repro.exceptions import ConfigurationError
 
 
@@ -40,6 +41,57 @@ class TestTopicSummary:
         restricted = summary.restricted_to([1, 3])
         assert restricted.representatives == (1, 3)
         assert restricted.topic_id == 0
+
+    def test_weights_normalized_to_sorted_order(self):
+        # Insertion order of the input mapping must not leak through:
+        # every consumer (scalar iteration and the array kernels alike)
+        # sees — and accumulates floats in — sorted representative order.
+        summary = TopicSummary(0, {7: 0.2, 1: 0.3, 4: 0.1})
+        assert list(summary.weights) == [1, 4, 7]
+        other = TopicSummary(0, {4: 0.1, 7: 0.2, 1: 0.3})
+        assert list(other.weights.items()) == list(summary.weights.items())
+
+
+class TestSummaryArrays:
+    def test_arrays_match_weights(self):
+        summary = TopicSummary(0, {5: 0.25, 2: 0.5})
+        arrays = summary.arrays()
+        assert arrays.representatives.tolist() == [2, 5]
+        assert arrays.weights.tolist() == [0.5, 0.25]
+        assert arrays.representatives.dtype == np.int64
+        assert arrays.weights.dtype == np.float64
+        assert arrays.size == 2
+
+    def test_arrays_cached_on_instance(self):
+        summary = TopicSummary(0, {1: 0.5})
+        assert summary.arrays() is summary.arrays()
+
+    def test_arrays_frozen(self):
+        arrays = TopicSummary(0, {1: 0.5}).arrays()
+        with pytest.raises(ValueError):
+            arrays.weights[0] = 0.9
+
+    def test_empty_summary_arrays(self):
+        arrays = TopicSummary(0, {}).arrays()
+        assert arrays.size == 0
+        assert arrays.memory_bytes() == 0
+
+    def test_standalone_construction_coerces_dtypes(self):
+        arrays = SummaryArrays([3, 1], [0.5, 0.25])
+        assert arrays.representatives.dtype == np.int64
+        assert arrays.weights.dtype == np.float64
+
+
+class TestSummaryMemory:
+    def test_memory_without_array_form(self):
+        summary = TopicSummary(0, {1: 0.5, 2: 0.25})
+        assert summary.memory_bytes() == 16 * 2
+
+    def test_memory_includes_cached_array_form(self):
+        summary = TopicSummary(0, {1: 0.5, 2: 0.25})
+        base = summary.memory_bytes()
+        arrays = summary.arrays()
+        assert summary.memory_bytes() == base + arrays.memory_bytes()
 
 
 class TestSummarizationError:

@@ -10,9 +10,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_search_requires_user_and_query(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["search", "--query", "phone"])
+    def test_search_requires_user_and_query(self, capsys):
+        # --user/--query are optional at parse time (a --batch workload
+        # supplies them per request) but demanded at run time.
+        code = main(["search", "--dataset", "data_2k", "--size", "200",
+                     "--query", "phone", "--seed", "3"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--user and --query" in err
 
     def test_experiment_validates_figure(self):
         with pytest.raises(SystemExit):
@@ -90,6 +95,54 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "using prebuilt propagation index" in out
         assert "Top-3" in out
+
+    def test_search_batch_workload(self, capsys, tmp_path):
+        workload = tmp_path / "workload.jsonl"
+        workload.write_text(
+            '{"user": 3, "query": "phone", "k": 3}\n'
+            '{"user": 5, "query": "music"}\n'
+            '{"user": 3, "query": "phone", "k": 3}\n'
+            '{"user": 4, "query": "zzzqqq"}\n'
+        )
+        code = main([
+            "search", "--dataset", "data_2k", "--size", "200",
+            "--batch", str(workload), "--k", "2", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 4 requests" in out
+        assert "QPS, 1 empty" in out
+        assert "no matching topics" in out
+        assert "cache propagation-entries:" in out
+        assert "cache summary-arrays:" in out
+
+    def test_search_batch_bad_record_exits_2(self, capsys, tmp_path):
+        workload = tmp_path / "workload.jsonl"
+        workload.write_text('{"query": "phone"}\n')
+        code = main([
+            "search", "--dataset", "data_2k", "--size", "200",
+            "--batch", str(workload), "--seed", "3",
+        ])
+        assert code == 2
+        assert "bad workload record" in capsys.readouterr().err
+
+    def test_search_batch_missing_file_exits_2(self, capsys, tmp_path):
+        code = main([
+            "search", "--dataset", "data_2k", "--size", "200",
+            "--batch", str(tmp_path / "nope.jsonl"), "--seed", "3",
+        ])
+        assert code == 2
+        assert "cannot read workload" in capsys.readouterr().err
+
+    def test_search_batch_empty_workload_exits_2(self, capsys, tmp_path):
+        workload = tmp_path / "workload.jsonl"
+        workload.write_text("\n\n")
+        code = main([
+            "search", "--dataset", "data_2k", "--size", "200",
+            "--batch", str(workload), "--seed", "3",
+        ])
+        assert code == 2
+        assert "contains no requests" in capsys.readouterr().err
 
     def test_build_index_removes_checkpoint_on_success(self, capsys, tmp_path):
         artifact = tmp_path / "prop.npz"
