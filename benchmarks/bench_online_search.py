@@ -18,7 +18,11 @@ Both sides share one propagation index and one summary store, pre-warmed
 before timing, so the numbers isolate the search computation itself.
 Every request is answered by both paths and compared - identical
 rankings, influences (<= 1e-12), and work stats - and the benchmark exits
-1 on any divergence, which is what CI's ``--smoke`` run enforces.
+1 on any divergence, which is what CI's ``--smoke`` run enforces. It also
+times the warm single-request loop with metrics disabled
+(:func:`repro.obs.null_registry`) versus a live
+:class:`~repro.obs.MetricsRegistry` and fails when instrumentation adds
+more than 5% (``instrumentation_overhead`` in the JSON).
 
 Run from the repo root::
 
@@ -42,6 +46,9 @@ from typing import Dict, List, Tuple
 from repro.core import PITEngine
 from repro.core._scalar_search import ScalarReferenceSearcher
 from repro.datasets import data_2k, generate_workload
+from repro.obs import MetricsRegistry, null_registry
+
+OVERHEAD_LIMIT = 0.05  # instrumented serving may cost at most 5% extra
 
 STAT_FIELDS = (
     "topics_considered",
@@ -106,6 +113,41 @@ def _time_passes(run, n_requests: int, passes: int) -> Dict[str, float]:
         "requests": n_requests,
         "mean_latency_ms": 1000.0 * best / n_requests,
         "qps": n_requests / best if best > 0 else 0.0,
+    }
+
+
+def _measure_overhead(engine, requests, k: int, passes: int) -> Dict:
+    """Serving cost with metrics disabled vs a live registry.
+
+    Both sides run the same warm single-request loop best-of-*passes*;
+    the only difference is the registry routed through
+    :meth:`PITEngine.set_metrics`. The instrumented side pays the real
+    hot-path cost (two clock reads, one histogram observe, six counter
+    adds per search), which must stay under ``OVERHEAD_LIMIT``.
+    """
+
+    def run():
+        for user, query in requests:
+            engine._searcher.search(user, query, k)
+
+    try:
+        engine.set_metrics(null_registry())
+        disabled = _time_passes(run, len(requests), passes)
+        engine.set_metrics(MetricsRegistry())
+        instrumented = _time_passes(run, len(requests), passes)
+    finally:
+        engine.set_metrics(None)
+    overhead = (
+        instrumented["seconds"] / disabled["seconds"] - 1.0
+        if disabled["seconds"] > 0
+        else 0.0
+    )
+    return {
+        "disabled": disabled,
+        "instrumented": instrumented,
+        "overhead_fraction": overhead,
+        "limit": OVERHEAD_LIMIT,
+        "ok": overhead < OVERHEAD_LIMIT,
     }
 
 
@@ -191,6 +233,13 @@ def main(argv=None) -> int:
           f"({batched_t['qps']:8.1f} QPS, "
           f"{scalar_t['seconds'] / batched_t['seconds']:.2f}x)", flush=True)
 
+    overhead = _measure_overhead(
+        engine, requests, args.k, max(args.passes, 5)
+    )
+    print(f"metrics overhead: {100.0 * overhead['overhead_fraction']:+.2f}% "
+          f"(limit {100.0 * OVERHEAD_LIMIT:.0f}%, "
+          f"{'ok' if overhead['ok'] else 'FAILED'})", flush=True)
+
     payload = {
         "benchmark": "online_search",
         "config": {
@@ -219,6 +268,7 @@ def main(argv=None) -> int:
         },
         "cache_stats": [c.as_dict() for c in engine.cache_stats()],
         "parity": parity,
+        "instrumentation_overhead": overhead,
     }
     output = Path(
         args.output
@@ -233,6 +283,14 @@ def main(argv=None) -> int:
               file=sys.stderr)
         for line in parity["mismatches"]:
             print(f"  {line}", file=sys.stderr)
+        return 1
+    if not overhead["ok"]:
+        print(
+            f"INSTRUMENTATION OVERHEAD "
+            f"{100.0 * overhead['overhead_fraction']:.2f}% exceeds the "
+            f"{100.0 * OVERHEAD_LIMIT:.0f}% budget",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -11,6 +11,7 @@ The package implements the paper's full stack:
 * :mod:`repro.baselines` - BaseMatrix, BaseDijkstra, BasePropagation.
 * :mod:`repro.datasets` - synthetic dataset bundles and query workloads.
 * :mod:`repro.evaluation` - metrics, timing and the per-figure experiments.
+* :mod:`repro.obs` - metrics registry, phase tracing, and exporters.
 
 Quickstart::
 
@@ -74,7 +75,7 @@ def __getattr__(name):
 
         return PITEngine
     if name in {"graph", "walks", "topics", "core", "baselines", "datasets",
-                "evaluation"}:
+                "evaluation", "obs"}:
         import importlib
 
         return importlib.import_module(f".{name}", __name__)

@@ -13,8 +13,17 @@ Commands
     and persist it to an ``.npz`` for reuse by ``search --index``. The
     build checkpoints periodically (``--checkpoint-every``) and can pick
     up an interrupted run with ``--resume``; see ``docs/operations.md``.
+``stats``
+    Run a small seeded demo workload end-to-end and emit its metrics
+    snapshot - offline build phase timings, per-search latency
+    percentiles, cache hit-ratio gauges - as JSON (default), Prometheus
+    text, or a table (see ``docs/observability.md``).
 ``experiment``
     Run one of the per-figure experiments and print its table.
+
+``search`` and ``build-index`` accept ``--metrics-out PATH`` to write
+the invocation's metrics snapshot as JSON at PATH plus Prometheus text
+at the ``.prom`` sibling.
 
 Library errors (:class:`~repro.exceptions.ReproError`) surface as a
 one-line ``pit-search: error: ...`` message on stderr with exit code 2,
@@ -98,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--index", default=None, metavar="PATH",
                         help="reuse a propagation index built by build-index "
                              "(its theta overrides --theta)")
+    search.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write this invocation's metrics snapshot as "
+                             "JSON at PATH (+ Prometheus text at the .prom "
+                             "sibling)")
     search.add_argument("--seed", type=int, default=42)
 
     build_index = sub.add_parser(
@@ -129,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
     build_index.add_argument("--keep-going", action="store_true",
                              help="record nodes that still fail after the "
                                   "retries and continue instead of aborting")
+    build_index.add_argument("--metrics-out", default=None, metavar="PATH",
+                             help="write the build's metrics snapshot as "
+                                  "JSON at PATH (+ Prometheus text at the "
+                                  ".prom sibling)")
     build_index.add_argument("--seed", type=int, default=42)
 
     diagnose = sub.add_parser(
@@ -142,6 +159,29 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--with-error", action="store_true",
                           help="also compute the Definition 1 L1 error")
     diagnose.add_argument("--seed", type=int, default=42)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a seeded demo workload and emit its metrics snapshot",
+    )
+    stats.add_argument("--dataset", default="data_2k", metavar="NAME",
+                       help=f"one of {', '.join(DATASET_NAMES)}")
+    stats.add_argument("--size", type=int, default=300,
+                       help="node count of the demo graph (default 300)")
+    stats.add_argument("--queries", type=int, default=4,
+                       help="distinct keyword queries in the demo workload")
+    stats.add_argument("--users", type=int, default=5,
+                       help="query users in the demo workload")
+    stats.add_argument("--k", type=int, default=5)
+    stats.add_argument("--summarizer", default="lrw", choices=["lrw", "rcl"])
+    stats.add_argument("--theta", type=float, default=0.002)
+    stats.add_argument("--format", default="json",
+                       choices=["json", "prom", "table"],
+                       help="stdout rendering of the snapshot")
+    stats.add_argument("--output", default=None, metavar="PATH",
+                       help="also write JSON at PATH + Prometheus text at "
+                            "the .prom sibling")
+    stats.add_argument("--seed", type=int, default=42)
 
     experiment = sub.add_parser(
         "experiment", help="run a per-figure experiment"
@@ -269,6 +309,13 @@ def _run_batch(args, engine) -> int:
     return 0
 
 
+def _emit_metrics(snapshot, path: str) -> None:
+    from .obs import write_metrics_files
+
+    prom = write_metrics_files(snapshot, path)
+    print(f"metrics written to {path} and {prom}")
+
+
 def _run_search(args) -> int:
     from .core import PITEngine, load_propagation_index
     from .exceptions import ConfigurationError
@@ -279,6 +326,14 @@ def _run_search(args) -> int:
         )
     bundle = _load_bundle(args)
     print(bundle.describe())
+    metrics = None
+    if args.metrics_out is not None:
+        # A private registry scopes the emitted snapshot to this
+        # invocation (the process default would do too, but could carry
+        # metrics from other library use in the same process).
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     engine = PITEngine.from_dataset(
         bundle,
         summarizer=args.summarizer,
@@ -289,6 +344,7 @@ def _run_search(args) -> int:
         # default.
         entry_cache_bytes=64 << 20 if args.batch else None,
         summary_cache_bytes=8 << 20 if args.batch else None,
+        metrics=metrics,
     )
     if args.index is not None:
         prebuilt = load_propagation_index(args.index, bundle.graph)
@@ -296,10 +352,15 @@ def _run_search(args) -> int:
         print(f"using prebuilt propagation index {args.index} "
               f"({prebuilt.n_cached} entries, theta={prebuilt.theta})")
     if args.batch is not None:
-        return _run_batch(args, engine)
+        code = _run_batch(args, engine)
+        if args.metrics_out is not None:
+            _emit_metrics(engine.metrics_snapshot(), args.metrics_out)
+        return code
     results, stats = engine.search(
         args.user, args.query, k=args.k, with_stats=True
     )
+    if args.metrics_out is not None:
+        _emit_metrics(engine.metrics_snapshot(), args.metrics_out)
     if not results:
         print(f"no topics match query {args.query!r}")
         return 1
@@ -327,8 +388,14 @@ def _run_build_index(args) -> int:
         Path(args.checkpoint) if args.checkpoint
         else _default_checkpoint(args.output)
     )
+    metrics = None
+    if args.metrics_out is not None:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     index = PropagationIndex(
-        bundle.graph, args.theta, max_branches=args.max_branches
+        bundle.graph, args.theta, max_branches=args.max_branches,
+        metrics=metrics,
     )
     index.build_all(
         workers=workers,
@@ -349,6 +416,10 @@ def _run_build_index(args) -> int:
     if stats.failed_nodes:
         print(f"warning: {stats.n_failed} entries failed to build and were "
               f"skipped: {list(stats.failed_nodes)[:10]}", file=sys.stderr)
+    if metrics is not None:
+        metrics.set_gauge("propagation.entries_cached", index.n_cached)
+        metrics.set_gauge("propagation.index_bytes", index.memory_bytes())
+        _emit_metrics(metrics.snapshot(), args.metrics_out)
     # The finished artifact is saved; the checkpoint is now redundant.
     checkpoint.unlink(missing_ok=True)
     return 0
@@ -371,6 +442,51 @@ def _run_diagnose(args) -> int:
         compute_error=args.with_error,
     )
     print(table.render())
+    return 0
+
+
+def _run_stats(args) -> int:
+    import json
+
+    from .core import PITEngine
+    from .datasets import generate_workload
+    from .obs import (
+        MetricsRegistry,
+        render_prometheus,
+        render_table,
+        snapshot_to_json,
+    )
+
+    bundle = _load_bundle(args)
+    registry = MetricsRegistry()
+    engine = PITEngine.from_dataset(
+        bundle,
+        summarizer=args.summarizer,
+        theta=args.theta,
+        seed=args.seed,
+        entry_cache_bytes=64 << 20,
+        summary_cache_bytes=8 << 20,
+        metrics=registry,
+    )
+    # The demo exercises all three instrumented layers: an offline index
+    # build, summarization on first use of each topic, and batched online
+    # serving over a seeded workload.
+    engine.propagation_index.build_all(workers=1)
+    workload = generate_workload(
+        bundle, n_queries=args.queries, n_users=args.users, seed=args.seed
+    )
+    engine.search_batch(list(workload.pairs()), k=args.k)
+    snapshot = engine.metrics_snapshot()
+    if args.format == "json":
+        print(json.dumps(snapshot_to_json(snapshot), indent=2, sort_keys=True))
+    elif args.format == "prom":
+        print(render_prometheus(snapshot), end="")
+    else:
+        for table in render_table(snapshot, title=f"{bundle.name} demo"):
+            print(table.render())
+            print()
+    if args.output is not None:
+        _emit_metrics(snapshot, args.output)
     return 0
 
 
@@ -400,6 +516,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "search": _run_search,
         "build-index": _run_build_index,
         "diagnose": _run_diagnose,
+        "stats": _run_stats,
         "experiment": _run_experiment,
     }
     try:

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..graph import SocialGraph, hop_distances
+from ..obs.registry import MetricsSnapshot
 from ..topics import TopicIndex
 from .summarization import TopicSummary, summarization_error
 
@@ -127,6 +128,51 @@ class PropagationBuildStats:
     total_bytes: int
     failed_nodes: Tuple[int, ...] = ()
     n_resumed: int = 0
+
+    @classmethod
+    def from_metrics(
+        cls,
+        delta: "MetricsSnapshot",
+        *,
+        n_entries: int,
+        workers: int,
+        total_bytes: int,
+        failed_nodes: Tuple[int, ...] = (),
+        n_resumed: int = 0,
+    ) -> "PropagationBuildStats":
+        """View one build's stats out of a registry delta snapshot.
+
+        *delta* is ``registry.snapshot().delta(before)`` taken around one
+        :meth:`~repro.core.propagation.PropagationIndex.build_all` call;
+        the ``propagation.*`` counters and the
+        ``phase.propagation.build_all.seconds`` histogram it carries are
+        the single source of truth for throughput accounting. Quantities
+        a snapshot cannot express (cache size after the call, the worker
+        count, which nodes failed) come in as keywords.
+
+        ``peak_entry_bytes`` is read from the ``propagation.entry_bytes``
+        histogram, whose ``max`` tracks the registry's lifetime - on a
+        long-lived shared registry it is an upper bound over all builds,
+        not only this one.
+        """
+        phase = delta.histogram("phase.propagation.build_all.seconds")
+        entry_bytes = delta.histogram("propagation.entry_bytes")
+        return cls(
+            n_entries=int(n_entries),
+            n_built=int(delta.counter("propagation.entries_built")),
+            total_branches=int(delta.counter("propagation.branches")),
+            total_members=int(delta.counter("propagation.members")),
+            wall_seconds=phase.sum if phase is not None else 0.0,
+            workers=int(workers),
+            peak_entry_bytes=(
+                int(entry_bytes.max)
+                if entry_bytes is not None and entry_bytes.count
+                else 0
+            ),
+            total_bytes=int(total_bytes),
+            failed_nodes=tuple(failed_nodes),
+            n_resumed=int(n_resumed),
+        )
 
     @property
     def n_failed(self) -> int:

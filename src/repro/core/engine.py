@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from .._utils import SeedLike, coerce_rng
 from ..exceptions import ConfigurationError
 from ..graph import SocialGraph
+from ..obs.registry import MetricsRegistry, MetricsSnapshot, get_registry
 from ..topics import KeywordQuery, TopicIndex
 from ..walks import WalkIndex
 from .lrw import LRWSummarizer
@@ -59,6 +60,11 @@ class PITEngine:
         unbounded behaviour.
     seed:
         Seed or generator for all stochastic stages.
+    metrics:
+        Registry receiving offline-build, summarization, and per-search
+        metrics from every engine-owned component. ``None`` (default)
+        uses the process-wide registry;
+        :func:`~repro.obs.registry.null_registry` disables recording.
 
     Examples
     --------
@@ -84,6 +90,7 @@ class PITEngine:
         entry_cache_bytes: Optional[int] = None,
         summary_cache_bytes: Optional[int] = None,
         seed: SeedLike = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if graph.n_nodes != topic_index.n_nodes:
             raise ConfigurationError(
@@ -101,7 +108,8 @@ class PITEngine:
         self._summarizer_spec = summarizer
         self._summarizer: Optional[Summarizer] = None
         self._summaries: Dict[int, TopicSummary] = {}
-        self.propagation_index = PropagationIndex(graph, theta)
+        self._metrics = metrics
+        self.propagation_index = PropagationIndex(graph, theta, metrics=metrics)
         self._searcher = PersonalizedSearcher(
             topic_index,
             self.summary,
@@ -109,6 +117,7 @@ class PITEngine:
             max_expand_rounds=max_expand_rounds,
             entry_cache_bytes=entry_cache_bytes,
             summary_cache_bytes=summary_cache_bytes,
+            metrics=metrics,
         )
 
     # ------------------------------------------------------------------
@@ -155,6 +164,7 @@ class PITEngine:
                 self._topic_index,
                 self.walk_index,
                 rep_fraction=self._rep_fraction,
+                metrics=self._metrics,
             )
         if spec == "rcl":
             return RCLSummarizer(
@@ -165,6 +175,7 @@ class PITEngine:
                 rep_fraction=self._rep_fraction,
                 walk_index=self.walk_index,
                 seed=self._rng,
+                metrics=self._metrics,
             )
         raise ConfigurationError(
             f"unknown summarizer {spec!r}; choose from {_SUMMARIZER_NAMES} "
@@ -199,6 +210,8 @@ class PITEngine:
             )
         self.propagation_index = index
         self._searcher.set_propagation_index(index)
+        if self._metrics is not None:
+            index.set_metrics(self._metrics)
         return self
 
     def build(self, topics: Optional[Iterable[Union[int, str]]] = None) -> "PITEngine":
@@ -266,6 +279,44 @@ class PITEngine:
         the engine was built without cache budgets.
         """
         return self._searcher.cache_stats()
+
+    def set_metrics(self, registry: Optional[MetricsRegistry]) -> "PITEngine":
+        """Route every engine-owned component's metrics to *registry*.
+
+        ``None`` restores the process-wide default; a
+        :class:`~repro.obs.registry.NullRegistry` disables recording
+        (the benchmark's overhead baseline).
+        """
+        self._metrics = registry
+        self.propagation_index.set_metrics(registry)
+        self._searcher.set_metrics(registry)
+        if self._summarizer is not None and hasattr(
+            self._summarizer, "set_metrics"
+        ):
+            self._summarizer.set_metrics(registry)
+        return self
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """A coherent snapshot of the engine's metrics registry.
+
+        Publishes the point-in-time gauges first - cache hit ratios and
+        occupancy, propagation-index size, summary count - then snapshots.
+        Gauges are published here (snapshot time) rather than per search,
+        keeping the serving hot path to counter adds only.
+        """
+        registry = (
+            self._metrics if self._metrics is not None else get_registry()
+        )
+        self._searcher.publish_cache_gauges(registry)
+        registry.set_gauge(
+            "propagation.entries_cached", self.propagation_index.n_cached
+        )
+        registry.set_gauge(
+            "propagation.index_bytes", self.propagation_index.memory_bytes()
+        )
+        registry.set_gauge("summaries.cached", self.n_summaries)
+        registry.set_gauge("engine.memory_bytes", self.memory_bytes())
+        return registry.snapshot()
 
     def memory_bytes(self) -> int:
         """Approximate resident size of all engine-owned indexes.

@@ -21,6 +21,8 @@ from typing import Optional
 from ..._utils import SeedLike, require_in_range, require_probability
 from ...exceptions import ConfigurationError
 from ...graph import SocialGraph
+from ...obs.registry import MetricsRegistry, get_registry
+from ...obs.tracing import trace
 from ...topics import TopicIndex
 from ...walks import WalkIndex
 from ..summarization import Summarizer, TopicSummary
@@ -53,6 +55,9 @@ class LRWSummarizer(Summarizer):
         Interpretation knobs of Algorithm 7; defaults follow Equation 5's
         personalized semantics with DivRank self-reinforcement and a
         topic-node candidate pool (see :mod:`~repro.core.lrw.repnodes`).
+    metrics:
+        Registry receiving the per-phase timings
+        (``phase.summarize.lrw.*``); ``None`` uses the process default.
     """
 
     name = "lrw"
@@ -69,6 +74,7 @@ class LRWSummarizer(Summarizer):
         initial: str = "restart",
         reinforcement: str = "divrank",
         candidates: str = "topic",
+        metrics: Optional[MetricsRegistry] = None,
     ):
         require_probability("damping", damping)
         require_probability("rep_fraction", rep_fraction, inclusive_zero=False)
@@ -85,6 +91,15 @@ class LRWSummarizer(Summarizer):
         self._initial = initial
         self._reinforcement = reinforcement
         self._candidates = candidates
+        self._metrics = metrics
+
+    def set_metrics(self, registry: Optional[MetricsRegistry]) -> None:
+        """Route phase metrics to *registry* (None = process default)."""
+        self._metrics = registry
+
+    def _registry(self) -> MetricsRegistry:
+        metrics = self._metrics
+        return metrics if metrics is not None else get_registry()
 
     @property
     def graph(self) -> SocialGraph:
@@ -105,26 +120,33 @@ class LRWSummarizer(Summarizer):
         """Algorithm 7: the ranked representative node ids for a topic."""
         topic_id = self._topic_index.resolve(topic_id)
         topic_nodes = self._topic_index.topic_nodes(topic_id)
-        return select_representatives(
-            self._graph,
-            topic_nodes,
-            self._walk_index,
-            damping=self._damping,
-            rep_fraction=self._rep_fraction,
-            initial=self._initial,
-            reinforcement=self._reinforcement,
-            candidates=self._candidates,
-        )
+        with trace(
+            "summarize.lrw.repnodes", registry=self._registry(), topic=topic_id
+        ):
+            return select_representatives(
+                self._graph,
+                topic_nodes,
+                self._walk_index,
+                damping=self._damping,
+                rep_fraction=self._rep_fraction,
+                initial=self._initial,
+                reinforcement=self._reinforcement,
+                candidates=self._candidates,
+            )
 
     def summarize(self, topic_id: int) -> TopicSummary:
         """Algorithm 9 offline stage: RepNodes + InfluenceMigration."""
         topic_id = self._topic_index.resolve(topic_id)
         topic_nodes = self._topic_index.topic_nodes(topic_id)
+        registry = self._registry()
         reps = self.representatives(topic_id)
-        return migrate_influence(
-            topic_id,
-            self._walk_index,
-            [int(v) for v in topic_nodes],
-            [int(v) for v in reps],
-            absorb_first=self._absorb_first,
-        )
+        with trace("summarize.lrw.migration", registry=registry, topic=topic_id):
+            summary = migrate_influence(
+                topic_id,
+                self._walk_index,
+                [int(v) for v in topic_nodes],
+                [int(v) for v in reps],
+                absorb_first=self._absorb_first,
+            )
+        registry.inc("summaries.built")
+        return summary

@@ -61,7 +61,6 @@ import warnings
 from collections.abc import Mapping as MappingABC
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
-from time import perf_counter
 from typing import (
     Dict,
     FrozenSet,
@@ -86,10 +85,19 @@ from ..exceptions import (
     ReproError,
 )
 from ..graph import SocialGraph
+from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.tracing import trace
 
 __all__ = ["GammaView", "PropagationEntry", "PropagationIndex"]
 
 PathLike = Union[str, Path]
+
+#: Bucket bounds (bytes) for the per-entry storage-size histogram
+#: ``propagation.entry_bytes`` - powers of four from 256B to 16MiB.
+_ENTRY_BYTES_BUCKETS: Tuple[float, ...] = (
+    256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+    262144.0, 1048576.0, 4194304.0, 16777216.0,
+)
 
 
 class GammaView(MappingABC):
@@ -380,11 +388,13 @@ class _CheckpointWriter:
         index: "PropagationIndex",
         path: Optional[PathLike],
         every: int,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self._index = index
         self._path = None if path is None else Path(path)
         self._every = int(every)
         self._pending = 0
+        self._registry = registry
 
     @property
     def enabled(self) -> bool:
@@ -404,7 +414,11 @@ class _CheckpointWriter:
             return
         from .persistence import save_propagation_index
 
-        save_propagation_index(self._index, self._path)
+        registry = self._registry
+        with trace("propagation.checkpoint_flush", registry=registry):
+            save_propagation_index(self._index, self._path)
+        if registry is not None:
+            registry.inc("propagation.checkpoint_flushes")
         self._pending = 0
 
 
@@ -441,6 +455,7 @@ class PropagationIndex:
         *,
         max_branches: int = 200_000,
         strict: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         require_probability("theta", theta, inclusive_zero=False)
         require_in_range("max_branches", max_branches, 1)
@@ -451,7 +466,16 @@ class PropagationIndex:
         self._entries: Dict[int, PropagationEntry] = {}
         self._csr: Optional[Tuple[List[int], List[int], List[float]]] = None
         self._mask: Optional[bytearray] = None
+        self._metrics = metrics
         self.last_build_stats = None
+
+    def set_metrics(self, registry: Optional[MetricsRegistry]) -> None:
+        """Route build metrics to *registry* (None = process default)."""
+        self._metrics = registry
+
+    def _registry(self) -> MetricsRegistry:
+        metrics = self._metrics
+        return metrics if metrics is not None else get_registry()
 
     # ------------------------------------------------------------------
     @property
@@ -583,7 +607,12 @@ class PropagationIndex:
 
         Records a :class:`~repro.core.diagnostics.PropagationBuildStats`
         on :attr:`last_build_stats` (also when raising
-        :class:`~repro.exceptions.BuildFailedError`).
+        :class:`~repro.exceptions.BuildFailedError`). The stats are a
+        *view over a registry delta*: the build increments cumulative
+        counters on its metrics registry and the stats object is
+        constructed from the before/after snapshot difference - one
+        bookkeeping path feeds both the per-call report and the
+        process-wide exporters.
         """
         from .diagnostics import PropagationBuildStats
 
@@ -594,52 +623,62 @@ class PropagationIndex:
             workers = getattr(os, "process_cpu_count", os.cpu_count)() or 1
         workers = int(workers)
         strict_build = self._strict if strict is None else bool(strict)
-        n_resumed = 0
-        if checkpoint is not None and resume and Path(checkpoint).exists():
-            n_resumed = self.load_checkpoint(checkpoint)
-        missing = [
-            node for node in range(self._graph.n_nodes)
-            if node not in self._entries
-        ]
-        writer = _CheckpointWriter(self, checkpoint, checkpoint_every)
-        start = perf_counter()
+        registry = self._registry()
+        if not registry.enabled:
+            # Stats must exist even with metrics disabled: account into a
+            # private throwaway registry instead of forking a second
+            # bookkeeping path.
+            registry = MetricsRegistry()
+        before = registry.snapshot()
         failed: List[int] = []
-        try:
-            if workers <= 1 or len(missing) <= 1:
-                workers = 1
-                failed = self._build_serial(
-                    missing, max_retries, retry_backoff, writer
-                )
-            else:
-                workers = min(workers, len(missing))
-                failed = self._build_parallel(
-                    missing, workers, max_retries, retry_backoff, writer
-                )
-        finally:
-            # One flush covers every exit: completion, a strict-budget
-            # raise, and KeyboardInterrupt/SystemExit mid-build. Entries
-            # built before the exit are on disk for the next resume.
-            writer.flush()
-        wall = perf_counter() - start
-        failed_set = set(failed)
-        built = [
-            self._entries[node] for node in missing if node not in failed_set
-        ]
-        self.last_build_stats = PropagationBuildStats(
+        with trace("propagation.build_all", registry=registry, workers=workers):
+            n_resumed = 0
+            if checkpoint is not None and resume and Path(checkpoint).exists():
+                with trace("propagation.resume", registry=registry):
+                    n_resumed = self.load_checkpoint(checkpoint)
+            if n_resumed:
+                registry.inc("propagation.entries_resumed", n_resumed)
+            missing = [
+                node for node in range(self._graph.n_nodes)
+                if node not in self._entries
+            ]
+            writer = _CheckpointWriter(
+                self, checkpoint, checkpoint_every, registry
+            )
+            try:
+                if workers <= 1 or len(missing) <= 1:
+                    workers = 1
+                    with trace("propagation.build_serial", registry=registry):
+                        failed = self._build_serial(
+                            missing, max_retries, retry_backoff, writer,
+                            registry,
+                        )
+                else:
+                    workers = min(workers, len(missing))
+                    with trace("propagation.build_parallel", registry=registry):
+                        failed = self._build_parallel(
+                            missing, workers, max_retries, retry_backoff,
+                            writer, registry,
+                        )
+            finally:
+                # One flush covers every exit: completion, a strict-budget
+                # raise, and KeyboardInterrupt/SystemExit mid-build. Entries
+                # built before the exit are on disk for the next resume.
+                writer.flush()
+        if failed:
+            registry.inc("propagation.entries_failed", len(failed))
+        delta = registry.snapshot().delta(before)
+        self.last_build_stats = PropagationBuildStats.from_metrics(
+            delta,
             n_entries=len(self._entries),
-            n_built=len(built),
-            total_branches=sum(e.branches for e in built),
-            total_members=sum(e.size for e in built),
-            wall_seconds=wall,
             workers=workers,
-            peak_entry_bytes=max((e.memory_bytes() for e in built), default=0),
             total_bytes=self.memory_bytes(),
-            failed_nodes=tuple(sorted(failed_set)),
+            failed_nodes=tuple(sorted(set(failed))),
             n_resumed=n_resumed,
         )
         if failed:
             if strict_build:
-                error = BuildFailedError(failed, len(built))
+                error = BuildFailedError(failed, self.last_build_stats.n_built)
                 error.partial_index = self
                 raise error
             warnings.warn(
@@ -662,6 +701,7 @@ class PropagationIndex:
         max_retries: int,
         retry_backoff: float,
         writer: _CheckpointWriter,
+        registry: MetricsRegistry,
     ) -> List[int]:
         """In-process build with per-node retries; returns failed nodes."""
         failed: List[int] = []
@@ -680,12 +720,27 @@ class PropagationIndex:
                     if attempt > max_retries:
                         failed.append(node)
                         break
+                    registry.inc("propagation.entry_retries")
                     self._backoff(attempt, retry_backoff)
                 else:
                     self._entries[node] = entry
+                    self._account_entry(registry, entry)
                     writer.note_built()
                     break
         return failed
+
+    @staticmethod
+    def _account_entry(
+        registry: MetricsRegistry, entry: PropagationEntry
+    ) -> None:
+        registry.inc("propagation.entries_built")
+        registry.inc("propagation.branches", entry.branches)
+        registry.inc("propagation.members", entry.size)
+        registry.observe(
+            "propagation.entry_bytes",
+            entry.memory_bytes(),
+            buckets=_ENTRY_BYTES_BUCKETS,
+        )
 
     def _build_parallel(
         self,
@@ -694,6 +749,7 @@ class PropagationIndex:
         max_retries: int,
         retry_backoff: float,
         writer: _CheckpointWriter,
+        registry: MetricsRegistry,
     ) -> List[int]:
         """Sharded build with fresh-pool chunk retries; returns failures.
 
@@ -743,13 +799,17 @@ class PropagationIndex:
                     else:
                         n_truncated += chunk_truncated
                         for node, sources, probabilities, marked, branches in results:
-                            self._entries[node] = PropagationEntry.from_arrays(
+                            entry = PropagationEntry.from_arrays(
                                 node, sources, probabilities, marked, branches
                             )
+                            self._entries[node] = entry
+                            self._account_entry(registry, entry)
                         writer.note_built(len(results))
             if not still_failing:
                 pending = []
                 break
+            if attempt < max_retries:
+                registry.inc("propagation.chunk_retries", len(still_failing))
             pending = sorted(still_failing)
         if n_truncated:
             warnings.warn(

@@ -23,6 +23,8 @@ import numpy as np
 from ..._utils import SeedLike, coerce_rng, require_in_range, require_probability
 from ...exceptions import ConfigurationError
 from ...graph import SocialGraph, sample_nodes_by_degree, sample_rate_to_count
+from ...obs.registry import MetricsRegistry, get_registry
+from ...obs.tracing import trace
 from ...topics import TopicIndex
 from ...walks import WalkIndex
 from ..summarization import Summarizer, TopicSummary
@@ -63,6 +65,9 @@ class RCLSummarizer(Summarizer):
         the worst case; for tests and small topics.
     seed:
         Seed or generator driving sampling and Rule 3 randomization.
+    metrics:
+        Registry receiving the per-phase timings
+        (``phase.summarize.rcl.*``); ``None`` uses the process default.
     """
 
     name = "rcl"
@@ -79,6 +84,7 @@ class RCLSummarizer(Summarizer):
         policy: str = "all",
         use_tree: bool = False,
         seed: SeedLike = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         require_in_range("max_hops", max_hops, 1)
         require_probability("sample_rate", sample_rate, inclusive_zero=False)
@@ -94,6 +100,15 @@ class RCLSummarizer(Summarizer):
         self._policy = policy
         self._use_tree = bool(use_tree)
         self._rng = coerce_rng(seed)
+        self._metrics = metrics
+
+    def set_metrics(self, registry: Optional[MetricsRegistry]) -> None:
+        """Route phase metrics to *registry* (None = process default)."""
+        self._metrics = registry
+
+    def _registry(self) -> MetricsRegistry:
+        metrics = self._metrics
+        return metrics if metrics is not None else get_registry()
 
     # ------------------------------------------------------------------
     @property
@@ -121,42 +136,57 @@ class RCLSummarizer(Summarizer):
             )
         if topic_nodes.size == 1:
             return [(int(topic_nodes[0]),)]
-        sample_count = sample_rate_to_count(self._graph, self._sample_rate)
-        sample = sample_nodes_by_degree(self._graph, sample_count, self._rng)
-        _, gp_pos, gp_neg = compute_grouping_probabilities(
-            self._graph,
-            topic_nodes,
-            sample,
-            max_hops=self._max_hops,
-            walk_index=self._walk_index,
-        )
-        labels = label_pairs(gp_pos, gp_neg, seed=self._rng)
+        registry = self._registry()
+        with trace(
+            "summarize.rcl.sampling", registry=registry, topic=topic_id
+        ):
+            sample_count = sample_rate_to_count(self._graph, self._sample_rate)
+            sample = sample_nodes_by_degree(self._graph, sample_count, self._rng)
+        with trace(
+            "summarize.rcl.grouping", registry=registry, topic=topic_id
+        ):
+            _, gp_pos, gp_neg = compute_grouping_probabilities(
+                self._graph,
+                topic_nodes,
+                sample,
+                max_hops=self._max_hops,
+                walk_index=self._walk_index,
+            )
+            labels = label_pairs(gp_pos, gp_neg, seed=self._rng)
         n_clusters = self.n_clusters_for(topic_id)
-        if self._use_tree:
-            position_groups = no_overlap_from_tree(
-                labels, n_clusters, policy=self._policy
-            )
-        else:
-            position_groups = greedy_no_overlap(
-                labels, n_clusters, policy=self._policy
-            )
+        with trace(
+            "summarize.rcl.no_overlap", registry=registry, topic=topic_id
+        ):
+            if self._use_tree:
+                position_groups = no_overlap_from_tree(
+                    labels, n_clusters, policy=self._policy
+                )
+            else:
+                position_groups = greedy_no_overlap(
+                    labels, n_clusters, policy=self._policy
+                )
         ordered = np.asarray(sorted(set(int(v) for v in topic_nodes)), dtype=np.int64)
         return [tuple(int(ordered[p]) for p in group) for group in position_groups]
 
     def summarize(self, topic_id: int) -> TopicSummary:
         """Algorithm 5 offline stage: groups -> centroids -> weights."""
         topic_id = self._topic_index.resolve(topic_id)
+        registry = self._registry()
         groups = self.cluster_topic(topic_id)
         total_nodes = sum(len(g) for g in groups)
         weights: Dict[int, float] = {}
-        for group in groups:
-            central = select_central(
-                self._graph,
-                group,
-                max_hops=self._max_hops,
-                walk_index=self._walk_index,
-            )
-            share = len(group) / total_nodes
-            # Two groups may elect the same centroid; their shares merge.
-            weights[central] = weights.get(central, 0.0) + share
+        with trace(
+            "summarize.rcl.centroid", registry=registry, topic=topic_id
+        ):
+            for group in groups:
+                central = select_central(
+                    self._graph,
+                    group,
+                    max_hops=self._max_hops,
+                    walk_index=self._walk_index,
+                )
+                share = len(group) / total_nodes
+                # Two groups may elect the same centroid; their shares merge.
+                weights[central] = weights.get(central, 0.0) + share
+        registry.inc("summaries.built")
         return TopicSummary(topic_id, weights)

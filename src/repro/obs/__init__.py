@@ -1,0 +1,65 @@
+"""Observability: metrics registry, phase tracing, exporters.
+
+Dependency-free instrumentation for the three hot layers of the stack -
+offline propagation builds, topic summarization, and online serving:
+
+* :mod:`repro.obs.registry` - process-wide counters, gauges, and
+  fixed-bucket latency histograms cheap enough to stay enabled, plus a
+  :class:`NullRegistry` no-op for benchmark baselines.
+* :mod:`repro.obs.tracing` - ``with trace("phase", ...)`` spans with
+  nested wall-time attribution, feeding ``phase.<name>.seconds``
+  histograms.
+* :mod:`repro.obs.export` - snapshots as JSON (``repro.metrics/v1``),
+  Prometheus text exposition, or human tables; backs ``pit-search
+  stats`` and ``--metrics-out``.
+
+See ``docs/observability.md`` for the metric catalogue.
+"""
+
+from .export import (
+    SCHEMA,
+    prometheus_name,
+    render_prometheus,
+    render_table,
+    snapshot_to_json,
+    validate_metrics_json,
+    write_metrics_files,
+)
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    get_registry,
+    null_registry,
+    set_registry,
+    use_registry,
+)
+from .tracing import TraceEvent, Tracer, get_tracer, set_tracer, trace
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "SCHEMA",
+    "TraceEvent",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "null_registry",
+    "prometheus_name",
+    "render_prometheus",
+    "render_table",
+    "set_registry",
+    "set_tracer",
+    "snapshot_to_json",
+    "trace",
+    "use_registry",
+    "validate_metrics_json",
+    "write_metrics_files",
+]

@@ -1,0 +1,203 @@
+"""Exporters: registry snapshots as JSON, Prometheus text, or a table.
+
+Three consumers, one snapshot:
+
+* **JSON** (``snapshot_to_json`` / ``write_metrics_files``) - the
+  machine-readable schema behind ``--metrics-out`` and ``pit-search
+  stats``; validated by :func:`validate_metrics_json`, which is also
+  what CI runs against the emitted file.
+* **Prometheus text format** (``render_prometheus``) - counters, gauges
+  and cumulative-bucket histograms ready for a scraper; see
+  ``docs/observability.md`` for wiring one up.
+* **Table** (``render_table``) - the human rendering used by the CLI's
+  default output.
+
+Metric names inside the registry are dotted (``search.latency_seconds``)
+- Prometheus names are derived by prefixing ``repro_`` and mapping every
+non-alphanumeric run to ``_``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .registry import MetricsSnapshot
+
+__all__ = [
+    "SCHEMA",
+    "prometheus_name",
+    "render_prometheus",
+    "render_table",
+    "snapshot_to_json",
+    "validate_metrics_json",
+    "write_metrics_files",
+]
+
+#: Schema tag stamped into (and required from) every JSON payload.
+SCHEMA = "repro.metrics/v1"
+
+PathLike = Union[str, Path]
+
+
+def snapshot_to_json(snapshot: MetricsSnapshot) -> Dict[str, object]:
+    """The canonical JSON payload of one snapshot."""
+    payload = snapshot.as_dict()
+    payload["schema"] = SCHEMA
+    return payload
+
+
+def validate_metrics_json(payload: Dict[str, object]) -> None:
+    """Check *payload* against the exporter schema; raise ``ValueError``.
+
+    Verifies the schema tag, the three top-level sections, numeric
+    counter/gauge values, and the internal consistency of every
+    histogram (bucket ordering, counts length, count totals, percentile
+    fields present). CI runs this over the ``--metrics-out`` file.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"metrics payload must be an object, got {type(payload)}")
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"metrics payload schema is {payload.get('schema')!r}, "
+            f"expected {SCHEMA!r}"
+        )
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(payload.get(section), dict):
+            raise ValueError(f"metrics payload is missing the {section!r} map")
+    for section in ("counters", "gauges"):
+        for name, value in payload[section].items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{section}[{name!r}] is not a number: {value!r}")
+    for name, histogram in payload["histograms"].items():
+        if not isinstance(histogram, dict):
+            raise ValueError(f"histograms[{name!r}] is not an object")
+        for key in ("buckets", "counts", "count", "sum",
+                    "max", "min", "mean", "p50", "p90", "p99"):
+            if key not in histogram:
+                raise ValueError(f"histograms[{name!r}] is missing {key!r}")
+        buckets = histogram["buckets"]
+        counts = histogram["counts"]
+        if sorted(buckets) != list(buckets):
+            raise ValueError(f"histograms[{name!r}] buckets are not sorted")
+        if len(counts) != len(buckets) + 1:
+            raise ValueError(
+                f"histograms[{name!r}] has {len(counts)} counts for "
+                f"{len(buckets)} buckets (expected buckets + 1)"
+            )
+        if sum(counts) != histogram["count"]:
+            raise ValueError(
+                f"histograms[{name!r}] counts sum to {sum(counts)}, "
+                f"count says {histogram['count']}"
+            )
+        if histogram["count"] > 0 and histogram["p50"] is None:
+            raise ValueError(
+                f"histograms[{name!r}] is non-empty but has no percentiles"
+            )
+
+
+def prometheus_name(name: str) -> str:
+    """Dotted registry name -> Prometheus metric name (``repro_`` prefix)."""
+    sanitized = "".join(
+        c if c.isalnum() else "_" for c in name
+    ).strip("_")
+    while "__" in sanitized:
+        sanitized = sanitized.replace("__", "_")
+    return f"repro_{sanitized}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    formatted = repr(float(value))
+    return formatted[:-2] if formatted.endswith(".0") else formatted
+
+
+def render_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Prometheus exposition text (version 0.0.4) for one snapshot.
+
+    Histograms render as cumulative ``_bucket{le=...}`` series plus
+    ``_sum`` and ``_count``, exactly what ``histogram_quantile`` expects.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.counters):
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(snapshot.counters[name])}")
+    for name in sorted(snapshot.gauges):
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(snapshot.gauges[name])}")
+    for name in sorted(snapshot.histograms):
+        histogram = snapshot.histograms[name]
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(histogram.buckets, histogram.counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{metric}_sum {_format_value(histogram.sum)}")
+        lines.append(f"{metric}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+def render_table(snapshot: MetricsSnapshot, title: str = "Metrics"):
+    """Human rendering: one counters/gauges table, one histogram table.
+
+    Returns a list of :class:`~repro.evaluation.reporting.Table` objects
+    (imported lazily to keep :mod:`repro.obs` dependency-free).
+    """
+    from ..evaluation.reporting import Table
+
+    tables = []
+    scalars = Table(f"{title} - counters & gauges", ["metric", "kind", "value"])
+    for name in sorted(snapshot.counters):
+        scalars.add_row([name, "counter", f"{snapshot.counters[name]:g}"])
+    for name in sorted(snapshot.gauges):
+        scalars.add_row([name, "gauge", f"{snapshot.gauges[name]:g}"])
+    tables.append(scalars)
+    if snapshot.histograms:
+        histograms = Table(
+            f"{title} - histograms",
+            ["metric", "count", "mean", "p50", "p90", "p99", "max"],
+        )
+        for name in sorted(snapshot.histograms):
+            h = snapshot.histograms[name]
+            if h.count == 0:
+                histograms.add_row([name, 0, "-", "-", "-", "-", "-"])
+                continue
+            histograms.add_row([
+                name, h.count,
+                f"{h.mean:.6f}", f"{h.p50:.6f}", f"{h.p90:.6f}",
+                f"{h.p99:.6f}", f"{h.max:.6f}",
+            ])
+        tables.append(histograms)
+    return tables
+
+
+def write_metrics_files(
+    snapshot: MetricsSnapshot,
+    json_path: PathLike,
+    *,
+    prom_path: Optional[PathLike] = None,
+) -> Path:
+    """Write the JSON payload to *json_path* and Prometheus text beside it.
+
+    The Prometheus file defaults to *json_path* with a ``.prom`` suffix.
+    Returns the Prometheus path. This is what ``--metrics-out`` does.
+    """
+    json_path = Path(json_path)
+    payload = snapshot_to_json(snapshot)
+    validate_metrics_json(payload)  # never publish an invalid artifact
+    json_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    prom = Path(prom_path) if prom_path is not None else (
+        json_path.with_suffix(".prom")
+    )
+    prom.write_text(render_prometheus(snapshot), encoding="utf-8")
+    return prom

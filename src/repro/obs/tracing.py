@@ -1,0 +1,198 @@
+"""Span-based phase tracing with nested wall-time attribution.
+
+``with trace("propagation.build_entry", node=v):`` opens a *span*: a
+named, attributed slice of wall time. Spans nest; when one closes it
+records a structured :class:`TraceEvent` carrying
+
+* ``seconds`` - its total wall time, and
+* ``self_seconds`` - wall time *not* covered by child spans, the number
+  that answers "where did the time actually go" in a nested pipeline
+  (e.g. how much of ``summarize.rcl`` was grouping vs. centroid
+  selection);
+
+and feeds its duration into a ``phase.<name>.seconds`` histogram on a
+:class:`~repro.obs.registry.MetricsRegistry` - the span log is the
+*shape* of one run, the histogram is the *distribution* across runs.
+
+Spans are identified by ids assigned when they open (children close
+before their parents, so log positions cannot express the tree); every
+event carries its own ``span_id`` and its ``parent_id``, from which
+consumers reconstruct the call tree regardless of close order.
+
+The event log is bounded (:attr:`Tracer.max_events`): a 2M-entry offline
+build must not grow an unbounded list, so beyond the cap only the
+histogram timing survives and :attr:`Tracer.n_dropped` counts the rest.
+
+A process-wide default :class:`Tracer` backs the module-level
+:func:`trace`; pass ``registry=`` to route a span's histogram into a
+specific registry (components with an explicit ``metrics=`` handle do
+this), otherwise the process-wide default registry receives it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .registry import MetricsRegistry, get_registry
+
+__all__ = ["TraceEvent", "Tracer", "get_tracer", "set_tracer", "trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed span.
+
+    Attributes
+    ----------
+    name:
+        Span name (dotted phase path, e.g. ``"propagation.build_all"``).
+    span_id / parent_id:
+        Ids assigned at span open; ``parent_id`` is -1 for root spans.
+    start:
+        ``perf_counter()`` timestamp when the span opened (monotonic;
+        only differences between events of one process are meaningful).
+    seconds:
+        Total wall time of the span.
+    self_seconds:
+        Wall time not attributed to any child span.
+    depth:
+        Nesting depth (0 = root span).
+    attrs:
+        The keyword attributes passed to :func:`trace`.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int
+    start: float
+    seconds: float
+    self_seconds: float
+    depth: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "seconds": self.seconds,
+            "self_seconds": self.self_seconds,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from nested :func:`trace` spans.
+
+    Parameters
+    ----------
+    max_events:
+        Event-log capacity; completed spans beyond it are counted in
+        :attr:`n_dropped` instead of stored (their histogram timings are
+        still recorded). ``0`` keeps no log at all.
+    """
+
+    def __init__(self, max_events: int = 10_000):
+        if max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {max_events}")
+        self.max_events = int(max_events)
+        self.events: List[TraceEvent] = []
+        self.n_dropped = 0
+        self._next_id = 0
+        # Open-span stack: [span_id, start, child_seconds].
+        self._stack: List[List[float]] = []
+
+    @contextmanager
+    def trace(
+        self,
+        name: str,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        **attrs: Any,
+    ) -> Iterator[None]:
+        """Open a span; on close, log the event and observe the duration.
+
+        The duration lands in the histogram ``phase.<name>.seconds`` of
+        *registry* (default: the process-wide registry at close time).
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = int(self._stack[-1][0]) if self._stack else -1
+        frame: List[float] = [span_id, perf_counter(), 0.0]
+        self._stack.append(frame)
+        try:
+            yield
+        finally:
+            seconds = perf_counter() - frame[1]
+            stack = self._stack
+            stack.pop()
+            if stack:
+                stack[-1][2] += seconds
+            if len(self.events) < self.max_events:
+                self.events.append(TraceEvent(
+                    name=name,
+                    span_id=span_id,
+                    parent_id=parent_id,
+                    start=frame[1],
+                    seconds=seconds,
+                    self_seconds=max(0.0, seconds - frame[2]),
+                    depth=len(stack),
+                    attrs=attrs,
+                ))
+            else:
+                self.n_dropped += 1
+            target = registry if registry is not None else get_registry()
+            target.observe(f"phase.{name}.seconds", seconds)
+
+    def clear(self) -> None:
+        """Drop the event log (open spans are unaffected)."""
+        self.events.clear()
+        self.n_dropped = 0
+
+    def phase_totals(self) -> Dict[str, Tuple[int, float, float]]:
+        """``name -> (count, total seconds, total self seconds)``."""
+        totals: Dict[str, Tuple[int, float, float]] = {}
+        for event in self.events:
+            count, seconds, self_seconds = totals.get(event.name, (0, 0.0, 0.0))
+            totals[event.name] = (
+                count + 1,
+                seconds + event.seconds,
+                self_seconds + event.self_seconds,
+            )
+        return totals
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """The whole event log as JSON-ready dicts."""
+        return [event.as_dict() for event in self.events]
+
+
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the process-wide tracer; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def trace(
+    name: str,
+    *,
+    registry: Optional[MetricsRegistry] = None,
+    **attrs: Any,
+):
+    """Open a span on the process-wide tracer (see :meth:`Tracer.trace`)."""
+    return _tracer.trace(name, registry=registry, **attrs)

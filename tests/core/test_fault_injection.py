@@ -156,6 +156,74 @@ class TestResumeAfterCrash:
         assert index.last_build_stats.n_built == graph.n_nodes
 
 
+class TestMetricsSurviveCrashes:
+    """Cumulative observability counters across crash + resume builds."""
+
+    def test_crash_and_resume_report_cumulative_counters(
+        self, graph, tmp_path
+    ):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        checkpoint = tmp_path / "prop.ckpt.npz"
+        with _faults.fault(
+            "propagation.build_entry", _faults.InterruptOnEntry(40)
+        ):
+            with pytest.raises(KeyboardInterrupt):
+                PropagationIndex(graph, THETA, metrics=registry).build_all(
+                    workers=1, checkpoint=checkpoint, checkpoint_every=10
+                )
+        # The kill never reached stats construction, but every entry
+        # finished before it is already on the registry.
+        built_before_crash = registry.counter_value("propagation.entries_built")
+        assert built_before_crash > 0
+        flushes_before_crash = registry.counter_value(
+            "propagation.checkpoint_flushes"
+        )
+        assert flushes_before_crash >= 2  # periodic flushes + exit flush
+
+        partial = load_propagation_index(checkpoint, graph)
+        resumed = PropagationIndex(graph, THETA, metrics=registry).build_all(
+            workers=1, checkpoint=checkpoint, checkpoint_every=10
+        )
+        snapshot = registry.snapshot()
+        # Cumulative across both builds: every node built exactly once.
+        assert snapshot.counter("propagation.entries_built") == graph.n_nodes
+        assert snapshot.counter("propagation.entries_resumed") == (
+            partial.n_cached
+        )
+        assert snapshot.counter("propagation.checkpoint_flushes") > (
+            flushes_before_crash
+        )
+        # The per-call stats remain scoped to the resumed build alone.
+        assert resumed.last_build_stats.n_built == (
+            graph.n_nodes - partial.n_cached
+        )
+        # Both build attempts closed their build_all span.
+        phase = snapshot.histogram("phase.propagation.build_all.seconds")
+        assert phase.count == 2
+        # Only the second build had a checkpoint to load.
+        resume_phase = snapshot.histogram("phase.propagation.resume.seconds")
+        assert resume_phase.count == 1
+
+    def test_retries_are_counted(self, graph):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with _faults.fault(
+            "propagation.build_entry", _faults.FailOnEntry(7, attempts=(0, 1))
+        ):
+            index = PropagationIndex(graph, THETA, metrics=registry).build_all(
+                workers=1, max_retries=2, retry_backoff=0.0
+            )
+        assert index.last_build_stats.failed_nodes == ()
+        assert registry.counter_value("propagation.entry_retries") == 2
+        assert registry.counter_value("propagation.entries_built") == (
+            graph.n_nodes
+        )
+        assert registry.counter_value("propagation.entries_failed") == 0
+
+
 class TestWorkerCrashRetry:
     def test_hard_killed_worker_is_retried_on_fresh_pool(self, graph):
         """os._exit in a worker breaks the pool; a fresh pool finishes."""

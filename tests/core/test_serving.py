@@ -91,6 +91,91 @@ class TestByteLRUCache:
             ByteLRUCache(0)
 
 
+class TestByteLRUCacheEdgeCases:
+    """Accounting invariants under re-puts, oversize items, and clears."""
+
+    def test_repeated_reput_never_double_counts(self):
+        cache = ByteLRUCache(100)
+        for nbytes in (40, 10, 25, 40):
+            cache.put("a", nbytes, nbytes)
+        assert cache.memory_bytes() == 40
+        assert len(cache) == 1
+        # A growing re-put must evict against the *replaced* charge, not
+        # the stale one: 40 (a) + 50 (b) fits in 100 only because a's old
+        # charge was released first.
+        cache.put("b", 2, 50)
+        assert cache.memory_bytes() == 90
+        assert cache.evictions == 0
+
+    def test_reput_larger_than_budget_drops_the_key(self):
+        cache = ByteLRUCache(20)
+        cache.put("a", 1, 10)
+        cache.put("a", 2, 21)  # oversize replacement is rejected...
+        assert "a" not in cache  # ...and the stale value must not linger
+        assert cache.memory_bytes() == 0
+        # The cache is not wedged: normal inserts still work.
+        cache.put("b", 3, 10)
+        assert cache.get("b") == 3
+        assert cache.memory_bytes() == 10
+
+    def test_oversize_item_evicts_nothing_and_never_wedges(self):
+        cache = ByteLRUCache(30)
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        for _ in range(3):
+            cache.put("huge", object(), 31)
+        assert "huge" not in cache
+        assert "a" in cache and "b" in cache
+        assert cache.evictions == 0
+        assert cache.memory_bytes() == 20
+
+    def test_eviction_order_follows_get_refresh(self):
+        cache = ByteLRUCache(30)
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.put("c", 3, 10)
+        cache.get("a")
+        cache.get("b")  # recency is now c < a < b
+        cache.put("d", 4, 20)  # needs 20 bytes: evicts c, then a
+        assert "c" not in cache and "a" not in cache
+        assert "b" in cache and "d" in cache
+        assert cache.evictions == 2
+        assert cache.memory_bytes() == 30
+
+    def test_get_or_build_refreshes_recency_too(self):
+        cache = ByteLRUCache(20)
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.get_or_build("a", lambda: 99, lambda v: 10)  # hit: bump "a"
+        cache.put("c", 3, 10)
+        assert "b" not in cache
+        assert cache.get("a") == 1  # the cached value, not the builder's
+
+    def test_stats_deltas_stay_consistent_across_clear(self):
+        cache = ByteLRUCache(100, name="delta-check")
+        cache.put("a", 1, 5)
+        cache.get("a")
+        cache.get("gone")
+        before = cache.stats()
+        cache.clear()
+        cleared = cache.stats()
+        # Point-in-time fields reset; cumulative counters survive.
+        assert cleared.n_items == 0 and cleared.current_bytes == 0
+        assert cleared.hits == before.hits
+        assert cleared.misses == before.misses
+        assert cleared.evictions == before.evictions
+        # New activity produces exactly the expected counter deltas.
+        cache.get("a")  # miss: the payload is gone
+        cache.put("a", 2, 7)
+        cache.get("a")  # hit
+        after = cache.stats()
+        assert after.hits - cleared.hits == 1
+        assert after.misses - cleared.misses == 1
+        assert after.n_items == 1 and after.current_bytes == 7
+        assert after.lookups == after.hits + after.misses
+        assert after.hit_rate == pytest.approx(after.hits / after.lookups)
+
+
 @pytest.fixture
 def stack():
     """The small deterministic chain used by the search unit tests."""

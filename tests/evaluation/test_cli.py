@@ -116,6 +116,90 @@ class TestCommands:
         assert "cache propagation-entries:" in out
         assert "cache summary-arrays:" in out
 
+    def test_search_batch_metrics_out(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_metrics_json
+
+        workload = tmp_path / "workload.jsonl"
+        workload.write_text(
+            '{"user": 3, "query": "phone", "k": 3}\n'
+            '{"user": 5, "query": "music"}\n'
+        )
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "search", "--dataset", "data_2k", "--size", "200",
+            "--batch", str(workload), "--k", "2", "--seed", "3",
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        assert "metrics written to" in capsys.readouterr().out
+        payload = json.loads(metrics_path.read_text(encoding="utf-8"))
+        validate_metrics_json(payload)
+        assert payload["counters"]["search.requests"] == 2
+        latency = payload["histograms"]["search.latency_seconds"]
+        assert latency["count"] == 2
+        assert latency["p50"] is not None and latency["p99"] is not None
+        assert "cache.propagation-entries.hit_ratio" in payload["gauges"]
+        prom = metrics_path.with_suffix(".prom").read_text(encoding="utf-8")
+        assert "# TYPE repro_search_latency_seconds histogram" in prom
+
+    def test_build_index_metrics_out(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_metrics_json
+
+        metrics_path = tmp_path / "build-metrics.json"
+        code = main([
+            "build-index", "--dataset", "data_2k", "--size", "200",
+            "--seed", "3", "--output", str(tmp_path / "prop.npz"),
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        payload = json.loads(metrics_path.read_text(encoding="utf-8"))
+        validate_metrics_json(payload)
+        assert payload["counters"]["propagation.entries_built"] == 200
+        assert (
+            "phase.propagation.build_all.seconds" in payload["histograms"]
+        )
+        assert payload["gauges"]["propagation.entries_cached"] == 200
+
+    def test_stats_command_json(self, capsys):
+        import json
+
+        from repro.obs import validate_metrics_json
+
+        code = main([
+            "stats", "--dataset", "data_2k", "--size", "200",
+            "--queries", "2", "--users", "2", "--seed", "3",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_metrics_json(payload)
+        assert payload["counters"]["search.requests"] > 0
+        assert "search.latency_seconds" in payload["histograms"]
+
+    def test_stats_command_table(self, capsys):
+        code = main([
+            "stats", "--dataset", "data_2k", "--size", "200",
+            "--queries", "2", "--users", "2", "--seed", "3",
+            "--format", "table",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters & gauges" in out
+        assert "search.latency_seconds" in out
+
+    def test_stats_command_prom(self, capsys):
+        code = main([
+            "stats", "--dataset", "data_2k", "--size", "200",
+            "--queries", "2", "--users", "2", "--seed", "3",
+            "--format", "prom",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_search_requests counter" in out
+
     def test_search_batch_bad_record_exits_2(self, capsys, tmp_path):
         workload = tmp_path / "workload.jsonl"
         workload.write_text('{"query": "phone"}\n')

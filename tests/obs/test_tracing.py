@@ -1,0 +1,170 @@
+"""Unit tests for span-based phase tracing."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer, get_tracer, set_tracer, trace
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer()
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestSpanTree:
+    def test_nested_spans_reconstruct_the_tree(self, tracer, registry):
+        with tracer.trace("outer", registry=registry):
+            with tracer.trace("child_a", registry=registry):
+                with tracer.trace("grandchild", registry=registry):
+                    pass
+            with tracer.trace("child_b", registry=registry):
+                pass
+        by_name = {e.name: e for e in tracer.events}
+        outer = by_name["outer"]
+        assert outer.parent_id == -1
+        assert outer.depth == 0
+        assert by_name["child_a"].parent_id == outer.span_id
+        assert by_name["child_b"].parent_id == outer.span_id
+        assert by_name["child_a"].depth == 1
+        assert by_name["grandchild"].parent_id == by_name["child_a"].span_id
+        assert by_name["grandchild"].depth == 2
+        # Children close before their parents.
+        names = [e.name for e in tracer.events]
+        assert names == ["grandchild", "child_a", "child_b", "outer"]
+
+    def test_span_ids_are_unique(self, tracer, registry):
+        with tracer.trace("a", registry=registry):
+            with tracer.trace("b", registry=registry):
+                pass
+        with tracer.trace("c", registry=registry):
+            pass
+        ids = [e.span_id for e in tracer.events]
+        assert len(ids) == len(set(ids))
+
+    def test_sibling_roots_have_no_parent(self, tracer, registry):
+        with tracer.trace("first", registry=registry):
+            pass
+        with tracer.trace("second", registry=registry):
+            pass
+        assert all(e.parent_id == -1 for e in tracer.events)
+
+    def test_self_seconds_excludes_children(self, tracer, registry):
+        with tracer.trace("outer", registry=registry):
+            with tracer.trace("inner", registry=registry):
+                sum(range(2000))
+        by_name = {e.name: e for e in tracer.events}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert inner.self_seconds == inner.seconds  # leaf: all time is own
+        assert outer.self_seconds <= outer.seconds
+        assert outer.self_seconds == pytest.approx(
+            outer.seconds - inner.seconds, abs=1e-9
+        )
+
+    def test_attrs_and_as_dict(self, tracer, registry):
+        with tracer.trace("phase", registry=registry, node=7, tag="x"):
+            pass
+        event = tracer.events[0]
+        assert event.attrs == {"node": 7, "tag": "x"}
+        d = event.as_dict()
+        assert d["name"] == "phase"
+        assert d["attrs"] == {"node": 7, "tag": "x"}
+        assert set(d) == {
+            "name", "span_id", "parent_id", "start",
+            "seconds", "self_seconds", "depth", "attrs",
+        }
+
+    def test_event_recorded_on_exception(self, tracer, registry):
+        with pytest.raises(RuntimeError):
+            with tracer.trace("doomed", registry=registry):
+                raise RuntimeError("boom")
+        assert [e.name for e in tracer.events] == ["doomed"]
+
+
+class TestBoundedLog:
+    def test_events_beyond_cap_are_counted_not_stored(self, registry):
+        tracer = Tracer(max_events=2)
+        for i in range(5):
+            with tracer.trace(f"s{i}", registry=registry):
+                pass
+        assert len(tracer.events) == 2
+        assert tracer.n_dropped == 3
+        # Dropped spans still feed the phase histograms.
+        snapshot = registry.snapshot()
+        for i in range(5):
+            assert snapshot.histogram(f"phase.s{i}.seconds").count == 1
+
+    def test_zero_capacity_keeps_no_log(self, registry):
+        tracer = Tracer(max_events=0)
+        with tracer.trace("s", registry=registry):
+            pass
+        assert tracer.events == []
+        assert tracer.n_dropped == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=-1)
+
+    def test_clear_resets_log_and_drop_count(self, registry):
+        tracer = Tracer(max_events=1)
+        for _ in range(3):
+            with tracer.trace("s", registry=registry):
+                pass
+        tracer.clear()
+        assert tracer.events == []
+        assert tracer.n_dropped == 0
+
+
+class TestHistogramFeed:
+    def test_span_duration_lands_in_phase_histogram(self, tracer, registry):
+        with tracer.trace("propagation.build_entry", registry=registry):
+            pass
+        h = registry.snapshot().histogram("phase.propagation.build_entry.seconds")
+        assert h.count == 1
+        assert h.sum >= 0.0
+
+    def test_phase_totals_aggregate_by_name(self, tracer, registry):
+        for _ in range(3):
+            with tracer.trace("repeat", registry=registry):
+                pass
+        totals = tracer.phase_totals()
+        count, seconds, self_seconds = totals["repeat"]
+        assert count == 3
+        assert seconds >= self_seconds >= 0.0
+
+    def test_as_dicts_matches_events(self, tracer, registry):
+        with tracer.trace("a", registry=registry):
+            pass
+        assert tracer.as_dicts() == [tracer.events[0].as_dict()]
+
+
+class TestModuleLevelTrace:
+    def test_trace_uses_the_process_tracer_and_registry(self, registry):
+        from repro.obs.registry import use_registry
+
+        scoped = Tracer()
+        previous = set_tracer(scoped)
+        try:
+            assert get_tracer() is scoped
+            with use_registry(registry):
+                with trace("module.span", answer=42):
+                    pass
+        finally:
+            set_tracer(previous)
+        assert [e.name for e in scoped.events] == ["module.span"]
+        assert scoped.events[0].attrs == {"answer": 42}
+        assert registry.snapshot().histogram("phase.module.span.seconds").count == 1
+
+    def test_explicit_registry_bypasses_the_default(self, registry):
+        scoped = Tracer()
+        previous = set_tracer(scoped)
+        try:
+            with trace("routed", registry=registry):
+                pass
+        finally:
+            set_tracer(previous)
+        assert registry.snapshot().histogram("phase.routed.seconds").count == 1
