@@ -15,6 +15,12 @@ Injection points
 ``propagation.build_entry``
     In the serial build path, before building one entry. Context:
     ``node``, ``attempt``.
+``summarize.worker_chunk``
+    Inside a worker process, before summarizing a chunk of topics.
+    Context: ``chunk`` (index), ``attempt``, ``topics``.
+``summarize.build_topic``
+    In the serial summary-build path, before summarizing one topic.
+    Context: ``topic``, ``attempt``.
 ``artifact.pre_replace``
     After an artifact's bytes are written and fsynced to a same-directory
     temp file, immediately before ``os.replace`` publishes it. Context:
@@ -50,6 +56,8 @@ __all__ = [
     "FailOnChunk",
     "FailOnEntry",
     "InterruptOnEntry",
+    "FailOnTopic",
+    "InterruptOnTopic",
     "FailOnReplace",
     "FlipByte",
     "TruncateBytes",
@@ -60,6 +68,8 @@ Hook = Callable[..., Any]
 INJECTION_POINTS = frozenset({
     "propagation.worker_chunk",
     "propagation.build_entry",
+    "summarize.worker_chunk",
+    "summarize.build_topic",
     "artifact.pre_replace",
     "artifact.load_bytes",
 })
@@ -198,6 +208,35 @@ class InterruptOnEntry:
     def __call__(self, *, node: int, **_: Any) -> None:
         if node == self.node:
             raise KeyboardInterrupt(f"injected interrupt at entry {node}")
+
+
+class FailOnTopic:
+    """Raise ``RuntimeError`` in the serial summary build on matching topics."""
+
+    def __init__(self, topic: int, attempts: Sequence[int] = (0,)):
+        self.topic = int(topic)
+        self.attempts: Tuple[int, ...] = tuple(int(a) for a in attempts)
+
+    def __call__(self, *, topic: int, attempt: int, **_: Any) -> None:
+        if topic == self.topic and attempt in self.attempts:
+            raise RuntimeError(
+                f"injected fault: topic {topic} failed on attempt {attempt}"
+            )
+
+
+class InterruptOnTopic:
+    """Raise ``KeyboardInterrupt`` when the serial summary build reaches *topic*.
+
+    Simulates SIGINT mid-build; the build flushes its checkpoint and
+    re-raises, so a later run can resume.
+    """
+
+    def __init__(self, topic: int):
+        self.topic = int(topic)
+
+    def __call__(self, *, topic: int, **_: Any) -> None:
+        if topic == self.topic:
+            raise KeyboardInterrupt(f"injected interrupt at topic {topic}")
 
 
 class FailOnReplace:

@@ -26,6 +26,29 @@ def coerce_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def spawn_entropy(seed: SeedLike = None) -> int:
+    """Draw one 63-bit entropy value from *seed*.
+
+    Used to freeze a summarizer's randomness at construction time so that
+    per-topic generators can later be derived independently of the order
+    (or process) in which topics are summarized. Passing a shared
+    :class:`~numpy.random.Generator` advances it by exactly one draw.
+    """
+    return int(coerce_rng(seed).integers(0, 2**63))
+
+
+def derive_topic_rng(entropy: int, topic_id: int) -> np.random.Generator:
+    """A generator keyed on ``(entropy, topic_id)``.
+
+    Summarizing topic 7 consumes the same variates whether it runs first,
+    last, serially, or in a worker process - the property that makes
+    parallel multi-topic builds byte-identical to serial ones.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence([int(entropy), int(topic_id)])
+    )
+
+
 def require_positive(name: str, value: float) -> None:
     """Raise :class:`ConfigurationError` unless ``value > 0``."""
     if not value > 0:

@@ -13,6 +13,11 @@ Commands
     and persist it to an ``.npz`` for reuse by ``search --index``. The
     build checkpoints periodically (``--checkpoint-every``) and can pick
     up an interrupted run with ``--resume``; see ``docs/operations.md``.
+``build-summaries``
+    Pre-build the per-topic summaries (§3 RCL-A or §4 LRW-A), optionally
+    in parallel, and persist them as a checksummed JSON artifact for
+    audit or warm-start. Checkpoints and ``--resume`` work exactly like
+    ``build-index``; parallel builds are byte-identical to serial ones.
 ``stats``
     Run a small seeded demo workload end-to-end and emit its metrics
     snapshot - offline build phase timings, per-search latency
@@ -21,9 +26,9 @@ Commands
 ``experiment``
     Run one of the per-figure experiments and print its table.
 
-``search`` and ``build-index`` accept ``--metrics-out PATH`` to write
-the invocation's metrics snapshot as JSON at PATH plus Prometheus text
-at the ``.prom`` sibling.
+``search``, ``build-index``, and ``build-summaries`` accept
+``--metrics-out PATH`` to write the invocation's metrics snapshot as
+JSON at PATH plus Prometheus text at the ``.prom`` sibling.
 
 Library errors (:class:`~repro.exceptions.ReproError`) surface as a
 one-line ``pit-search: error: ...`` message on stderr with exit code 2,
@@ -39,6 +44,8 @@ Examples
     pit-search search --dataset data_2k --user 3 --query phone --k 5 \
         --index prop.npz
     pit-search search --dataset data_2k --batch workload.jsonl --k 5
+    pit-search build-summaries --dataset data_2k --summarizer rcl \
+        --workers 2 --output summaries.json --resume
     pit-search experiment --figure 5 --queries 2 --users 1
 """
 
@@ -147,6 +154,56 @@ def build_parser() -> argparse.ArgumentParser:
                                   "JSON at PATH (+ Prometheus text at the "
                                   ".prom sibling)")
     build_index.add_argument("--seed", type=int, default=42)
+
+    build_summaries = sub.add_parser(
+        "build-summaries",
+        help="pre-build and persist the per-topic summaries",
+    )
+    build_summaries.add_argument("--dataset", default="data_2k",
+                                 metavar="NAME",
+                                 help=f"one of {', '.join(DATASET_NAMES)}")
+    build_summaries.add_argument("--size", type=int, default=None)
+    build_summaries.add_argument("--summarizer", default="lrw",
+                                 choices=["lrw", "rcl"])
+    build_summaries.add_argument("--walk-length", type=int, default=5,
+                                 help="walk index L (also the BFS hop bound)")
+    build_summaries.add_argument("--samples-per-node", type=int, default=25,
+                                 help="walk index R")
+    build_summaries.add_argument("--rep-fraction", type=float, default=0.1,
+                                 help="representatives per topic as a "
+                                      "fraction of |V_t|")
+    build_summaries.add_argument("--sample-rate", type=float, default=0.05,
+                                 help="RCL-A node sampling rate (ignored "
+                                      "for lrw)")
+    build_summaries.add_argument("--workers", type=int, default=1,
+                                 help="worker processes (0 = all CPUs)")
+    build_summaries.add_argument("--output", required=True, metavar="PATH",
+                                 help="destination .json artifact")
+    build_summaries.add_argument("--checkpoint", default=None, metavar="PATH",
+                                 help="checkpoint file (default: <output "
+                                      "stem>.ckpt.json next to --output)")
+    build_summaries.add_argument("--checkpoint-every", type=int, default=16,
+                                 metavar="N",
+                                 help="flush completed summaries to the "
+                                      "checkpoint every N topics (0 = only "
+                                      "on exit)")
+    build_summaries.add_argument("--resume", action="store_true",
+                                 help="resume from an existing checkpoint "
+                                      "instead of rebuilding from scratch")
+    build_summaries.add_argument("--max-retries", type=int, default=2,
+                                 metavar="N",
+                                 help="fresh-process retries for crashed "
+                                      "workers")
+    build_summaries.add_argument("--keep-going", action="store_true",
+                                 help="record topics that still fail after "
+                                      "the retries and continue instead of "
+                                      "aborting")
+    build_summaries.add_argument("--metrics-out", default=None,
+                                 metavar="PATH",
+                                 help="write the build's metrics snapshot "
+                                      "as JSON at PATH (+ Prometheus text "
+                                      "at the .prom sibling)")
+    build_summaries.add_argument("--seed", type=int, default=42)
 
     diagnose = sub.add_parser(
         "diagnose", help="print summary diagnostics for a query's topics"
@@ -372,10 +429,10 @@ def _run_search(args) -> int:
     return 0
 
 
-def _default_checkpoint(output: str) -> Path:
+def _default_checkpoint(output: str, suffix: str = ".npz") -> Path:
     path = Path(output)
-    stem = path.name[: -len(".npz")] if path.name.endswith(".npz") else path.name
-    return path.with_name(stem + ".ckpt.npz")
+    stem = path.name[: -len(suffix)] if path.name.endswith(suffix) else path.name
+    return path.with_name(stem + ".ckpt" + suffix)
 
 
 def _run_build_index(args) -> int:
@@ -419,6 +476,59 @@ def _run_build_index(args) -> int:
     if metrics is not None:
         metrics.set_gauge("propagation.entries_cached", index.n_cached)
         metrics.set_gauge("propagation.index_bytes", index.memory_bytes())
+        _emit_metrics(metrics.snapshot(), args.metrics_out)
+    # The finished artifact is saved; the checkpoint is now redundant.
+    checkpoint.unlink(missing_ok=True)
+    return 0
+
+
+def _run_build_summaries(args) -> int:
+    from .core import PITEngine, save_summaries
+
+    bundle = _load_bundle(args)
+    print(bundle.describe())
+    workers = None if args.workers == 0 else args.workers
+    checkpoint = (
+        Path(args.checkpoint) if args.checkpoint
+        else _default_checkpoint(args.output, ".json")
+    )
+    metrics = None
+    if args.metrics_out is not None:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    engine = PITEngine.from_dataset(
+        bundle,
+        summarizer=args.summarizer,
+        walk_length=args.walk_length,
+        samples_per_node=args.samples_per_node,
+        rep_fraction=args.rep_fraction,
+        sample_rate=args.sample_rate,
+        seed=args.seed,
+        metrics=metrics,
+    )
+    engine.build_summaries(
+        workers=workers,
+        checkpoint=checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        max_retries=args.max_retries,
+        strict=not args.keep_going,
+    )
+    save_summaries(engine.summaries, bundle.graph, args.output)
+    stats = engine.last_summary_build_stats
+    if stats.n_resumed:
+        print(f"resumed {stats.n_resumed} summaries from {checkpoint}")
+    print(f"built {stats.n_built} summaries in {stats.wall_seconds:.2f}s "
+          f"({stats.topics_per_second:.1f} topics/s, "
+          f"{stats.workers} worker(s), "
+          f"{engine.n_summaries} total) -> {args.output}")
+    if stats.failed_topics:
+        print(f"warning: {stats.n_failed} summaries failed to build and "
+              f"were skipped: {list(stats.failed_topics)[:10]}",
+              file=sys.stderr)
+    if metrics is not None:
+        metrics.set_gauge("summaries.cached", engine.n_summaries)
         _emit_metrics(metrics.snapshot(), args.metrics_out)
     # The finished artifact is saved; the checkpoint is now redundant.
     checkpoint.unlink(missing_ok=True)
@@ -515,6 +625,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": _run_datasets,
         "search": _run_search,
         "build-index": _run_build_index,
+        "build-summaries": _run_build_summaries,
         "diagnose": _run_diagnose,
         "stats": _run_stats,
         "experiment": _run_experiment,

@@ -12,6 +12,7 @@ from ._scalar_search import ScalarReferenceSearcher
 from .diagnostics import (
     CacheStats,
     PropagationBuildStats,
+    SummaryBuildStats,
     SummaryDiagnostics,
     diagnose_summary,
     diagnostics_table,
@@ -63,6 +64,7 @@ __all__ = [
     "PropagationEntry",
     "GammaView",
     "PropagationBuildStats",
+    "SummaryBuildStats",
     "CacheStats",
     "ByteLRUCache",
     "PersonalizedSearcher",

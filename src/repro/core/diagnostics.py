@@ -34,6 +34,7 @@ from .summarization import TopicSummary, summarization_error
 __all__ = [
     "CacheStats",
     "PropagationBuildStats",
+    "SummaryBuildStats",
     "SummaryDiagnostics",
     "diagnose_summary",
     "diagnostics_table",
@@ -200,6 +201,84 @@ class PropagationBuildStats:
         payload["n_failed"] = self.n_failed
         payload["entries_per_second"] = self.entries_per_second
         payload["branches_per_second"] = self.branches_per_second
+        return payload
+
+
+@dataclass(frozen=True)
+class SummaryBuildStats:
+    """Throughput counters for one ``PITEngine.build_summaries`` call.
+
+    Attributes
+    ----------
+    n_summaries:
+        Topic summaries cached on the engine after the call.
+    n_built:
+        Summaries built by this call (resumed/cached topics are skipped).
+    wall_seconds:
+        Wall-clock build time.
+    workers:
+        Worker processes used (1 = serial in-process build).
+    failed_topics:
+        Topics whose summaries could not be built after the configured
+        retries (populated only when the build degrades gracefully
+        instead of raising :class:`~repro.exceptions.BuildFailedError`).
+    n_resumed:
+        Summaries absorbed from a checkpoint before building started.
+    """
+
+    n_summaries: int
+    n_built: int
+    wall_seconds: float
+    workers: int
+    failed_topics: Tuple[int, ...] = ()
+    n_resumed: int = 0
+
+    @classmethod
+    def from_metrics(
+        cls,
+        delta: "MetricsSnapshot",
+        *,
+        n_summaries: int,
+        workers: int,
+        failed_topics: Tuple[int, ...] = (),
+        n_resumed: int = 0,
+    ) -> "SummaryBuildStats":
+        """View one build's stats out of a registry delta snapshot.
+
+        *delta* is ``registry.snapshot().delta(before)`` taken around one
+        :meth:`~repro.core.engine.PITEngine.build_summaries` call; the
+        ``summarize.topics_built`` counter and the
+        ``phase.summarize.build_all.seconds`` histogram it carries are
+        the single source of truth for throughput accounting.
+        """
+        phase = delta.histogram("phase.summarize.build_all.seconds")
+        return cls(
+            n_summaries=int(n_summaries),
+            n_built=int(delta.counter("summarize.topics_built")),
+            wall_seconds=phase.sum if phase is not None else 0.0,
+            workers=int(workers),
+            failed_topics=tuple(failed_topics),
+            n_resumed=int(n_resumed),
+        )
+
+    @property
+    def n_failed(self) -> int:
+        """Number of topics whose summaries could not be built."""
+        return len(self.failed_topics)
+
+    @property
+    def topics_per_second(self) -> float:
+        """Build throughput (0 when the call was instantaneous)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.n_built / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready payload including the derived rates."""
+        payload = asdict(self)
+        payload["failed_topics"] = list(self.failed_topics)
+        payload["n_failed"] = self.n_failed
+        payload["topics_per_second"] = self.topics_per_second
         return payload
 
 

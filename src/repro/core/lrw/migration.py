@@ -13,6 +13,12 @@ it. Closeness is estimated from the pre-sampled random walks:
 * ``M`` is row-normalized into a closeness distribution ``M'`` per topic
   node, and representative ``j``'s weight is ``(1/m) Σ_i M'(i, j)``.
 
+Each pass stacks every relevant walk into one padded int path matrix,
+finds absorption positions with vectorized membership masks, and scatters
+the closeness kernel into ``M`` with an unbuffered ``np.maximum.at`` - no
+per-walk Python loop. The historical per-record loop is retained in
+:mod:`repro.core._scalar_summarize` as the parity baseline.
+
 DESIGN.md note: Algorithm 8's pseudocode tests "``p`` contains a
 representative" for *every* representative on the path, while §4.3's prose
 says the *first* one absorbs the walk. ``absorb_first`` (default True)
@@ -22,46 +28,88 @@ measurable only when multiple representatives share a walk.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..._utils import normalize_rows
 from ...exceptions import ConfigurationError
-from ...walks import WalkIndex, first_absorption
+from ...obs.registry import MetricsRegistry, get_registry
+from ...walks import WalkIndex
 from ..summarization import TopicSummary
 
 __all__ = ["migration_matrix", "migrate_influence"]
 
 
-def _record_hits(
-    records,
-    absorbers: Set[int],
-    row: int,
-    column_of: Dict[int, int],
+def _padded_paths(walk_index: WalkIndex, sources: Sequence[int]):
+    """Stack the walks of all *sources* into one padded path matrix.
+
+    Returns ``(paths, row_of)``: *paths* is ``(n_walks, width)`` int64
+    padded with ``-1`` (column 0 is the walk's start node), *row_of* maps
+    each walk back to the index of its source in *sources*. The rows are
+    sliced out of the walk index's cached global padded matrix
+    (:meth:`~repro.walks.WalkIndex.padded_paths`), so assembling a
+    topic's walks is one fancy-index instead of a per-record loop.
+    """
+    source_ids = np.asarray(list(sources), dtype=np.int64)
+    if source_ids.size == 0:
+        return np.empty((0, 1), dtype=np.int64), np.empty(0, dtype=np.int64)
+    padded = walk_index.padded_paths()
+    samples = walk_index.samples_per_node
+    rows = (
+        source_ids[:, None] * samples + np.arange(samples, dtype=np.int64)
+    ).ravel()
+    row_of = np.repeat(
+        np.arange(source_ids.size, dtype=np.int64), samples
+    )
+    return padded[rows], row_of
+
+
+def _scatter_hits(
+    walk_index: WalkIndex,
+    sources: Sequence[int],
+    column_of: np.ndarray,
     matrix: np.ndarray,
     *,
     absorb_first: bool,
     transpose: bool,
-) -> None:
-    """Update ``M`` with the absorption events of one node's walks."""
-    for record in records:
-        if absorb_first:
-            hit = first_absorption(record, absorbers)
-            hits = [hit] if hit is not None else []
-        else:
-            path = record.path
-            hits = [
-                (int(path[pos]), pos)
-                for pos in range(1, path.size)
-                if int(path[pos]) in absorbers
-            ]
-        for node, distance in hits:
-            closeness = 1.0 / (distance + 1.0)
-            column = column_of[node]
-            i, j = (column, row) if transpose else (row, column)
-            if matrix[i, j] < closeness:
-                matrix[i, j] = closeness
+) -> int:
+    """Record the absorption events of all *sources*' walks into ``M``.
+
+    *column_of* is a dense ``n_nodes + 1``-long map holding each
+    absorber's matrix column, ``-1`` elsewhere - including the trailing
+    sentinel slot, which the padding value ``-1`` indexes, so one gather
+    translates the whole path matrix with no validity mask. Returns the
+    number of absorption events recorded. ``np.maximum.at`` is
+    unbuffered, so walks hitting the same cell keep the closest (max
+    ``1/(D+1)``) observation - identical to the scalar per-record
+    comparison.
+    """
+    paths, row_of = _padded_paths(walk_index, sources)
+    if paths.shape[1] <= 1:
+        return 0
+    body = paths[:, 1:]  # positions 1..; position 0 is the source itself
+    columns = column_of[body]
+    hit = columns >= 0
+    if absorb_first:
+        absorbed = hit.any(axis=1)
+        first = np.argmax(hit, axis=1)
+        walk_ids = np.flatnonzero(absorbed)
+        positions = first[walk_ids] + 1  # D: true position within the path
+        col_idx = columns[walk_ids, first[walk_ids]]
+    else:
+        walk_ids, body_pos = np.nonzero(hit)
+        positions = body_pos + 1
+        col_idx = columns[walk_ids, body_pos]
+    if walk_ids.size == 0:
+        return 0
+    row_idx = row_of[walk_ids]
+    closeness = 1.0 / (positions + 1.0)
+    if transpose:
+        np.maximum.at(matrix, (col_idx, row_idx), closeness)
+    else:
+        np.maximum.at(matrix, (row_idx, col_idx), closeness)
+    return int(walk_ids.size)
 
 
 def migration_matrix(
@@ -70,6 +118,7 @@ def migration_matrix(
     representatives: Sequence[int],
     *,
     absorb_first: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> np.ndarray:
     """The raw association matrix ``M`` of Algorithm 8 (lines 2-12).
 
@@ -88,39 +137,41 @@ def migration_matrix(
     if len(set(reps)) != len(reps):
         raise ConfigurationError("representatives contain duplicates")
 
+    registry = metrics if metrics is not None else get_registry()
     matrix = np.zeros((len(topics), len(reps)), dtype=np.float64)
-    rep_set = set(reps)
-    topic_set = set(topics)
-    rep_column = {node: j for j, node in enumerate(reps)}
-    topic_row = {node: i for i, node in enumerate(topics)}
+    n_nodes = walk_index.graph.n_nodes
+    # One extra slot: the padding value -1 indexes it and reads -1, so
+    # _scatter_hits can translate padded paths with a single gather.
+    rep_column = np.full(n_nodes + 1, -1, dtype=np.int64)
+    rep_column[reps] = np.arange(len(reps), dtype=np.int64)
+    topic_row = np.full(n_nodes + 1, -1, dtype=np.int64)
+    topic_row[topics] = np.arange(len(topics), dtype=np.int64)
 
     # Forward: topic-node walks absorbed by representatives (lines 3-7).
-    for i, topic_node in enumerate(topics):
-        _record_hits(
-            walk_index.walks_from(topic_node),
-            rep_set,
-            i,
-            rep_column,
-            matrix,
-            absorb_first=absorb_first,
-            transpose=False,
-        )
+    absorptions = _scatter_hits(
+        walk_index,
+        topics,
+        rep_column,
+        matrix,
+        absorb_first=absorb_first,
+        transpose=False,
+    )
     # Backward: representative walks absorbing topic nodes (lines 8-12).
-    for j, rep in enumerate(reps):
-        _record_hits(
-            walk_index.walks_from(rep),
-            topic_set,
-            j,
-            topic_row,
-            matrix,
-            absorb_first=absorb_first,
-            transpose=True,
-        )
+    absorptions += _scatter_hits(
+        walk_index,
+        reps,
+        topic_row,
+        matrix,
+        absorb_first=absorb_first,
+        transpose=True,
+    )
+    registry.inc("summarize.migration.absorptions", absorptions)
     # A representative that *is* a topic node absorbs itself at distance 0.
-    for node in rep_set & topic_set:
-        matrix[topic_row[node], rep_column[node]] = max(
-            matrix[topic_row[node], rep_column[node]], 1.0
-        )
+    shared = np.flatnonzero((rep_column >= 0) & (topic_row >= 0))
+    if shared.size:
+        rows = topic_row[shared]
+        cols = rep_column[shared]
+        matrix[rows, cols] = np.maximum(matrix[rows, cols], 1.0)
     return matrix
 
 
@@ -131,6 +182,7 @@ def migrate_influence(
     representatives: Sequence[int],
     *,
     absorb_first: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> TopicSummary:
     """Algorithm 8: weighted representative set for one topic.
 
@@ -141,7 +193,11 @@ def migrate_influence(
     the online search accounts for via the remaining-weight bound.
     """
     matrix = migration_matrix(
-        walk_index, topic_nodes, representatives, absorb_first=absorb_first
+        walk_index,
+        topic_nodes,
+        representatives,
+        absorb_first=absorb_first,
+        metrics=metrics,
     )
     normalized = normalize_rows(matrix)
     m = normalized.shape[0]

@@ -147,6 +147,7 @@ class LRWSummarizer(Summarizer):
                 [int(v) for v in topic_nodes],
                 [int(v) for v in reps],
                 absorb_first=self._absorb_first,
+                metrics=registry,
             )
         registry.inc("summaries.built")
         return summary

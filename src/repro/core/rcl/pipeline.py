@@ -20,7 +20,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..._utils import SeedLike, coerce_rng, require_in_range, require_probability
+from ..._utils import (
+    SeedLike,
+    derive_topic_rng,
+    require_in_range,
+    require_probability,
+    spawn_entropy,
+)
 from ...exceptions import ConfigurationError
 from ...graph import SocialGraph, sample_nodes_by_degree, sample_rate_to_count
 from ...obs.registry import MetricsRegistry, get_registry
@@ -64,7 +70,12 @@ class RCLSummarizer(Summarizer):
         (Algorithm 2/3) instead of its greedy closed form. Exponential in
         the worst case; for tests and small topics.
     seed:
-        Seed or generator driving sampling and Rule 3 randomization.
+        Seed or generator driving sampling and Rule 3 randomization. One
+        entropy value is drawn at construction time and each topic derives
+        its own generator from ``(entropy, topic_id)``, so a topic's
+        summary does not depend on how many other topics were summarized
+        first - the property that lets parallel multi-topic builds match
+        the serial output byte for byte.
     metrics:
         Registry receiving the per-phase timings
         (``phase.summarize.rcl.*``); ``None`` uses the process default.
@@ -99,7 +110,7 @@ class RCLSummarizer(Summarizer):
         self._walk_index = walk_index
         self._policy = policy
         self._use_tree = bool(use_tree)
-        self._rng = coerce_rng(seed)
+        self._entropy = spawn_entropy(seed)
         self._metrics = metrics
 
     def set_metrics(self, registry: Optional[MetricsRegistry]) -> None:
@@ -137,11 +148,12 @@ class RCLSummarizer(Summarizer):
         if topic_nodes.size == 1:
             return [(int(topic_nodes[0]),)]
         registry = self._registry()
+        rng = derive_topic_rng(self._entropy, topic_id)
         with trace(
             "summarize.rcl.sampling", registry=registry, topic=topic_id
         ):
             sample_count = sample_rate_to_count(self._graph, self._sample_rate)
-            sample = sample_nodes_by_degree(self._graph, sample_count, self._rng)
+            sample = sample_nodes_by_degree(self._graph, sample_count, rng)
         with trace(
             "summarize.rcl.grouping", registry=registry, topic=topic_id
         ):
@@ -151,8 +163,9 @@ class RCLSummarizer(Summarizer):
                 sample,
                 max_hops=self._max_hops,
                 walk_index=self._walk_index,
+                metrics=registry,
             )
-            labels = label_pairs(gp_pos, gp_neg, seed=self._rng)
+            labels = label_pairs(gp_pos, gp_neg, seed=rng)
         n_clusters = self.n_clusters_for(topic_id)
         with trace(
             "summarize.rcl.no_overlap", registry=registry, topic=topic_id
@@ -184,6 +197,7 @@ class RCLSummarizer(Summarizer):
                     group,
                     max_hops=self._max_hops,
                     walk_index=self._walk_index,
+                    metrics=registry,
                 )
                 share = len(group) / total_nodes
                 # Two groups may elect the same centroid; their shares merge.

@@ -33,10 +33,13 @@ from .sampling import (
 from .traversal import (
     forward_reachable,
     hop_distance,
+    hop_distance_matrix,
     hop_distances,
     pairwise_hop_distances,
+    reachability_bitsets,
     reverse_hop_distances,
     reverse_reachable,
+    unpack_bitset,
 )
 
 __all__ = [
@@ -59,6 +62,9 @@ __all__ = [
     "reverse_hop_distances",
     "hop_distance",
     "pairwise_hop_distances",
+    "reachability_bitsets",
+    "hop_distance_matrix",
+    "unpack_bitset",
     "save_edge_list",
     "load_edge_list",
     "save_npz",

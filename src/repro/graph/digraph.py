@@ -143,6 +143,36 @@ class SocialGraph:
             raise NodeNotFoundError(node, self._n_nodes)
         return node
 
+    def validate_node(self, node: int) -> int:
+        """Return *node* as an ``int``, checking it is a valid node id.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If *node* is outside ``0 .. n_nodes-1``.
+        """
+        return self._check_node(node)
+
+    def validate_nodes(self, nodes: Iterable[int]) -> np.ndarray:
+        """Validate a batch of node ids in one vectorized range check.
+
+        Returns the ids as an ``int64`` array in input order (duplicates
+        preserved); raises :class:`~repro.exceptions.NodeNotFoundError`
+        naming the first offending id.
+        """
+        arr = np.asarray(
+            nodes if isinstance(nodes, np.ndarray) else list(nodes),
+            dtype=np.int64,
+        )
+        if arr.ndim != 1:
+            arr = arr.reshape(-1)
+        if arr.size:
+            out_of_range = (arr < 0) | (arr >= self._n_nodes)
+            if out_of_range.any():
+                bad = int(arr[int(np.argmax(out_of_range))])
+                raise NodeNotFoundError(bad, self._n_nodes)
+        return arr
+
     # ------------------------------------------------------------------
     # Adjacency access
     # ------------------------------------------------------------------

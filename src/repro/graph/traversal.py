@@ -5,11 +5,25 @@ RCL-A grouping (paper §3.1) and centroid selection (§3.2) repeatedly need
 between nodes. These are plain breadth-first searches; the functions here
 work directly on the CSR arrays of :class:`~repro.graph.digraph.SocialGraph`
 and return numpy structures.
+
+Two batched kernels serve the offline summarizers, which ask these
+questions for *many* targets at once:
+
+* :func:`reachability_bitsets` - one frontier-synchronous BFS over all
+  targets simultaneously, carrying a packed ``uint64`` bitset row per
+  graph node (bit ``j`` = "this node reaches target ``j``");
+* :func:`hop_distance_matrix` - the same propagation, additionally
+  recording the iteration at which each bit first sets, i.e. the hop
+  distance from every node to every target.
+
+Both do ``L`` passes of a single vectorized gather + segment-OR over the
+CSR arrays instead of one Python-level BFS per target, which is what makes
+RCL-A's grouping/voting/centrality array-native.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +36,9 @@ __all__ = [
     "hop_distances",
     "reverse_hop_distances",
     "hop_distance",
+    "reachability_bitsets",
+    "hop_distance_matrix",
+    "unpack_bitset",
 ]
 
 _UNREACHED = -1
@@ -111,3 +128,136 @@ def pairwise_hop_distances(
     Convenience used by closeness-centrality computations; one BFS per source.
     """
     return {int(s): hop_distances(graph, int(s), max_hops) for s in sources}
+
+
+# ---------------------------------------------------------------------------
+# Batched bitset kernels
+# ---------------------------------------------------------------------------
+
+_ONE = np.uint64(1)
+_SIX = np.uint64(6)
+_LOW6 = np.uint64(63)
+
+
+def _seed_bits(
+    graph: SocialGraph, targets, max_hops: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared validation + seeding for the bitset kernels.
+
+    Returns ``(targets, bits, words, shifts)`` where *bits* is the
+    ``(n_nodes, W)`` uint64 matrix with target ``j``'s own bit set, and
+    *words*/*shifts* locate bit ``j`` (column ``j >> 6``, shift ``j & 63``).
+    """
+    if max_hops < 0:
+        raise ConfigurationError(f"max_hops must be >= 0, got {max_hops}")
+    targets = graph.validate_nodes(targets)
+    if targets.size == 0:
+        raise ConfigurationError("target set is empty")
+    n_words = (targets.size + 63) // 64
+    bits = np.zeros((graph.n_nodes, n_words), dtype=np.uint64)
+    cols = np.arange(targets.size, dtype=np.uint64)
+    words = (cols >> _SIX).astype(np.int64)
+    shifts = cols & _LOW6
+    # bitwise_or.at: unbuffered, so duplicate targets both land.
+    np.bitwise_or.at(bits, (targets, words), _ONE << shifts)
+    return targets, bits, words, shifts
+
+
+def _propagate_once(
+    bits: np.ndarray, indptr: np.ndarray, neighbors: np.ndarray
+) -> np.ndarray:
+    """One frontier-synchronous level: OR each node's neighbours into it.
+
+    ``new[v] = bits[v] | OR_{(v,w) in E} bits[w]`` - after ``d`` rounds,
+    bit ``j`` of row ``v`` is set iff ``v`` reaches target ``j`` within
+    ``d`` hops.
+    """
+    if neighbors.size == 0:
+        return bits
+    gathered = bits[neighbors]
+    # reduceat needs in-bounds segment starts; empty trailing segments
+    # would index past the end, so clip and zero them afterwards.
+    starts = np.minimum(indptr[:-1], neighbors.size - 1)
+    aggregated = np.bitwise_or.reduceat(gathered, starts, axis=0)
+    empty = indptr[:-1] == indptr[1:]
+    if empty.any():
+        aggregated[empty] = 0
+    return bits | aggregated
+
+
+def reachability_bitsets(
+    graph: SocialGraph, targets, max_hops: int
+) -> np.ndarray:
+    """Packed multi-target reachability: who reaches which target in L hops.
+
+    Returns a ``(n_nodes, ceil(len(targets)/64))`` ``uint64`` matrix where
+    bit ``j`` of row ``v`` is set iff ``v`` can reach ``targets[j]`` within
+    *max_hops* forward hops along at least one directed path. Matching the
+    single-target :func:`reverse_reachable` (which pins the target at
+    distance 0), a target's own bit is always clear on its own row - even
+    when a cycle returns to it within the horizon.
+
+    One call replaces ``len(targets)`` reverse BFS runs: each of the
+    ``max_hops`` rounds is a single gather of all out-neighbour rows plus a
+    segment-OR over the CSR layout, with early exit once the bitsets stop
+    changing.
+    """
+    targets, bits, words, shifts = _seed_bits(graph, targets, max_hops)
+    indptr, neighbors = graph._out_indptr, graph._out_targets
+    for _ in range(max_hops):
+        new = _propagate_once(bits, indptr, neighbors)
+        if new is bits or np.array_equal(new, bits):
+            break
+        bits = new
+    # Clear each target's own seed bit (distance 0 is not "reaching").
+    np.bitwise_and.at(bits, (targets, words), ~(_ONE << shifts))
+    return bits
+
+
+def hop_distance_matrix(
+    graph: SocialGraph, targets, max_hops: int
+) -> np.ndarray:
+    """Forward hop distances from every node to every target, batched.
+
+    Returns an ``(n_nodes, len(targets))`` ``int64`` matrix whose entry
+    ``[v, j]`` is the minimum number of forward hops from ``v`` to
+    ``targets[j]`` - ``0`` on the target's own row, ``-1`` when
+    unreachable within *max_hops*. Equivalent to one
+    :func:`hop_distances` BFS per target read at the target column, but
+    computed as a single bitset propagation that records the round at
+    which each bit first sets.
+    """
+    targets, bits, words, shifts = _seed_bits(graph, targets, max_hops)
+    distance = np.full((graph.n_nodes, targets.size), -1, dtype=np.int64)
+    distance[targets, np.arange(targets.size)] = 0
+    indptr, neighbors = graph._out_indptr, graph._out_targets
+    for depth in range(1, max_hops + 1):
+        new = _propagate_once(bits, indptr, neighbors)
+        fresh = new & ~bits
+        if not fresh.any():
+            break
+        for j in range(targets.size):
+            column = (fresh[:, words[j]] >> shifts[j]) & _ONE
+            rows = np.flatnonzero(column)
+            if rows.size:
+                distance[rows, j] = depth
+        bits = new
+    return distance
+
+
+def unpack_bitset(bits: np.ndarray, n_bits: int) -> np.ndarray:
+    """Expand packed ``uint64`` bitset rows into a boolean matrix.
+
+    ``unpack_bitset(reachability_bitsets(g, targets, L), len(targets))``
+    is the dense ``(n_nodes, len(targets))`` reachability matrix.
+    """
+    if bits.ndim != 2:
+        raise ConfigurationError("bits must be a 2-D packed bitset matrix")
+    if n_bits > bits.shape[1] * 64:
+        raise ConfigurationError(
+            f"cannot unpack {n_bits} bits from {bits.shape[1]} words"
+        )
+    unpacked = np.unpackbits(
+        bits.view(np.uint8), axis=1, count=n_bits, bitorder="little"
+    )
+    return unpacked.astype(bool)

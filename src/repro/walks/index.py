@@ -78,6 +78,7 @@ class WalkIndex:
         self._walks: Optional[List[List[WalkRecord]]] = None
         self._hit_frequency: Optional[np.ndarray] = None
         self._reverse: Optional[List[Set[int]]] = None
+        self._padded: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -198,6 +199,27 @@ class WalkIndex:
         """The ``R`` walk records sampled from *node* (``I[.][node]``)."""
         self._require_built()
         return self._walks[self._graph._check_node(node)]
+
+    def padded_paths(self) -> np.ndarray:
+        """Every walk's first-visit path as one padded int matrix.
+
+        Shape ``(n_nodes * R, width)`` int64, padded with ``-1``: row
+        ``v * R + k`` is walk ``k`` of node ``v`` (column 0 the start
+        node), so a batch of source nodes maps to row blocks with pure
+        arithmetic - no per-record Python loop. Built lazily on first
+        call and cached; the array is read-only shared state, do not
+        mutate it.
+        """
+        self._require_built()
+        if self._padded is None:
+            records = [r for walks in self._walks for r in walks]
+            width = max(r.path.size for r in records)
+            padded = np.full((len(records), width), -1, dtype=np.int64)
+            for k, record in enumerate(records):
+                padded[k, : record.path.size] = record.path
+            padded.setflags(write=False)
+            self._padded = padded
+        return self._padded
 
     def hitting_frequency(self, step: int, node: int) -> float:
         """``H[step][node]`` - max per-walk visit frequency at walk step *step*.

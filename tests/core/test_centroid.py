@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.rcl import closeness_centrality, select_central, vote_candidates
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, NodeNotFoundError
 from repro.graph import GraphBuilder, SocialGraph
 
 
@@ -45,6 +45,18 @@ class TestClosenessCentrality:
             star_graph, 1, [2], max_hops=2, unreachable_distance=10
         )
         assert score == pytest.approx(1 / 10)
+
+    def test_out_of_range_member_raises_typed_error(self, star_graph):
+        # Bad ids surface as NodeNotFoundError via the graph's public
+        # validate_nodes, never as a raw IndexError from array indexing.
+        with pytest.raises(NodeNotFoundError):
+            closeness_centrality(star_graph, 0, [1, 99], max_hops=2)
+        with pytest.raises(NodeNotFoundError):
+            closeness_centrality(star_graph, 99, [1, 2], max_hops=2)
+        with pytest.raises(NodeNotFoundError):
+            vote_candidates(star_graph, [1, -3], max_hops=2)
+        with pytest.raises(NodeNotFoundError):
+            select_central(star_graph, [0, 6], max_hops=2)
 
 
 class TestVoteCandidates:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, NodeNotFoundError
 from repro.graph import (
     SocialGraph,
     forward_reachable,
@@ -11,7 +11,10 @@ from repro.graph import (
     hop_distances,
     pairwise_hop_distances,
     reverse_hop_distances,
+    hop_distance_matrix,
+    reachability_bitsets,
     reverse_reachable,
+    unpack_bitset,
 )
 
 
@@ -122,3 +125,130 @@ class TestLargerGraph:
                     queue.append(nxt)
         for node in range(n):
             assert dist[node] == ref.get(node, -1)
+
+
+def _random_graph(seed: int, n: int = 60, n_edges: int = 220) -> SocialGraph:
+    rng = np.random.default_rng(seed)
+    edges = set()
+    while len(edges) < n_edges:
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.add((int(u), int(v)))
+    return SocialGraph(n, [(u, v, 0.5) for u, v in edges])
+
+
+class TestReachabilityBitsets:
+    """The packed kernel agrees with per-target reverse BFS."""
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    @pytest.mark.parametrize("max_hops", [1, 3, 7])
+    def test_matches_reverse_reachable(self, seed, max_hops):
+        graph = _random_graph(seed)
+        rng = np.random.default_rng(seed + 1)
+        # > 64 targets so the matrix spans two uint64 words.
+        targets = rng.choice(graph.n_nodes, size=70, replace=True)
+        bits = reachability_bitsets(graph, targets, max_hops)
+        assert bits.shape == (graph.n_nodes, 2)
+        dense = unpack_bitset(bits, targets.size)
+        for j, target in enumerate(targets):
+            expected = reverse_reachable(graph, int(target), max_hops)
+            assert np.flatnonzero(dense[:, j]).tolist() == expected.tolist()
+
+    def test_target_self_bit_clear_even_on_cycle(self, triangle_graph):
+        # 0->1->2->0: node 0 reaches itself in 3 hops, but like
+        # reverse_reachable the kernel never reports "reaching" distance 0.
+        dense = unpack_bitset(
+            reachability_bitsets(triangle_graph, [0], 5), 1
+        )
+        assert not dense[0, 0]
+        assert dense[1, 0] and dense[2, 0]
+
+    def test_duplicate_targets_each_get_a_column(self, chain_graph):
+        dense = unpack_bitset(
+            reachability_bitsets(chain_graph, [3, 3], 2), 2
+        )
+        assert np.array_equal(dense[:, 0], dense[:, 1])
+        assert np.flatnonzero(dense[:, 0]).tolist() == [1, 2]
+
+    def test_zero_hops_reaches_nothing(self, chain_graph):
+        dense = unpack_bitset(
+            reachability_bitsets(chain_graph, [0, 4], 0), 2
+        )
+        assert not dense.any()
+
+    def test_empty_targets_rejected(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            reachability_bitsets(chain_graph, [], 2)
+
+    def test_negative_hops_rejected(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            reachability_bitsets(chain_graph, [0], -1)
+
+    def test_out_of_range_target_rejected(self, chain_graph):
+        with pytest.raises(NodeNotFoundError):
+            reachability_bitsets(chain_graph, [99], 2)
+
+
+class TestHopDistanceMatrix:
+    @pytest.mark.parametrize("seed", [3, 11])
+    @pytest.mark.parametrize("max_hops", [2, 5])
+    def test_matches_reverse_hop_distances(self, seed, max_hops):
+        graph = _random_graph(seed)
+        targets = list(range(0, graph.n_nodes, 7))
+        matrix = hop_distance_matrix(graph, targets, max_hops)
+        for j, target in enumerate(targets):
+            expected = reverse_hop_distances(graph, target, max_hops)
+            assert matrix[:, j].tolist() == expected.tolist()
+
+    def test_target_row_is_zero(self, chain_graph):
+        matrix = hop_distance_matrix(chain_graph, [2, 4], 3)
+        assert matrix[2, 0] == 0
+        assert matrix[4, 1] == 0
+
+    def test_unreached_is_minus_one(self, chain_graph):
+        matrix = hop_distance_matrix(chain_graph, [0], 3)
+        assert matrix[:, 0].tolist() == [0, -1, -1, -1, -1]
+
+
+class TestUnpackBitset:
+    def test_round_trip_beyond_one_word(self):
+        rng = np.random.default_rng(9)
+        dense = rng.random((5, 100)) < 0.4
+        packed = np.packbits(
+            np.pad(dense, ((0, 0), (0, 28))), axis=1, bitorder="little"
+        ).view(np.uint64)
+        assert np.array_equal(unpack_bitset(packed, 100), dense)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ConfigurationError):
+            unpack_bitset(np.zeros(3, dtype=np.uint64), 3)
+
+    def test_rejects_too_many_bits(self):
+        with pytest.raises(ConfigurationError):
+            unpack_bitset(np.zeros((2, 1), dtype=np.uint64), 65)
+
+
+class TestValidateNodes:
+    """Public vectorized node validation (used by the bitset kernels)."""
+
+    def test_valid_batch_passes_through(self, chain_graph):
+        out = chain_graph.validate_nodes([4, 0, 2, 0])
+        assert out.tolist() == [4, 0, 2, 0]
+        assert out.dtype == np.int64
+
+    def test_empty_batch_allowed(self, chain_graph):
+        assert chain_graph.validate_nodes([]).size == 0
+
+    def test_first_offender_named(self, chain_graph):
+        with pytest.raises(NodeNotFoundError) as excinfo:
+            chain_graph.validate_nodes([1, 7, 9])
+        assert "7" in str(excinfo.value)
+
+    def test_negative_rejected(self, chain_graph):
+        with pytest.raises(NodeNotFoundError):
+            chain_graph.validate_nodes([0, -1])
+
+    def test_scalar_helper(self, chain_graph):
+        assert chain_graph.validate_node(3) == 3
+        with pytest.raises(NodeNotFoundError):
+            chain_graph.validate_node(5)
