@@ -43,7 +43,7 @@ import os
 import struct
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Mapping, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -52,20 +52,28 @@ from .exceptions import ArtifactCorruptedError, ArtifactError
 
 __all__ = [
     "FORMAT_VERSION",
+    "MANIFEST_NAME",
     "atomic_write_bytes",
     "read_artifact_bytes",
     "array_digest",
     "json_digest",
+    "bytes_digest",
     "save_npz_payload",
     "load_npz_payload",
     "save_json_payload",
     "load_json_payload",
     "require_keys",
+    "ShardWriter",
+    "load_shard_manifest",
+    "verify_shard_file",
 ]
 
 PathLike = Union[str, Path]
 
 FORMAT_VERSION = 1
+
+#: File name of the manifest inside a sharded artifact directory.
+MANIFEST_NAME = "manifest.json"
 
 #: NPZ member names reserved for integrity metadata.
 CHECKSUM_KEY = "__checksum__"
@@ -129,6 +137,11 @@ def json_digest(payload: Mapping[str, Any]) -> str:
     """SHA-256 over the canonical (sorted, compact) JSON encoding."""
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def bytes_digest(data: bytes) -> str:
+    """SHA-256 hex digest of a raw byte string."""
+    return hashlib.sha256(data).hexdigest()
 
 
 # ---------------------------------------------------------------------------
@@ -246,6 +259,190 @@ def load_json_payload(path: PathLike, what: str = "artifact") -> Dict[str, Any]:
         if actual != checksum:
             raise ArtifactCorruptedError(path, expected=checksum, actual=actual)
     return payload
+
+
+# ---------------------------------------------------------------------------
+# Sharded artifact directories
+# ---------------------------------------------------------------------------
+#
+# A *sharded artifact* is a directory of independently written binary
+# shard files plus one checksummed JSON manifest. Every shard is
+# published atomically and fingerprinted (SHA-256 over its exact bytes),
+# and the manifest - itself an ordinary checksummed JSON payload - records
+# the shard inventory, the producer's parameters (``meta``), and whether
+# the artifact is complete. This generalizes the PR 2 checkpoint
+# machinery: a crashed producer leaves a loadable partial manifest, and a
+# resumed run verifies every already-published shard instead of
+# rebuilding it.
+
+
+class ShardWriter:
+    """Incremental writer for a sharded artifact directory.
+
+    Parameters
+    ----------
+    directory:
+        Destination directory (created on first write).
+    kind:
+        Artifact-kind tag stored in the manifest; loaders reject
+        manifests of the wrong kind.
+    meta:
+        Producer parameters (JSON-serializable). A resumed run must pass
+        the identical ``meta`` or :meth:`resume` raises - shards built
+        under different parameters must never be mixed.
+
+    The manifest is rewritten (atomically) after every shard, so the
+    directory is always in a loadable state: either ``complete`` with the
+    full inventory, or incomplete with exactly the shards written so far.
+    """
+
+    def __init__(self, directory: PathLike, kind: str, meta: Mapping[str, Any]):
+        self._dir = Path(directory)
+        self._kind = str(kind)
+        self._meta = dict(meta)
+        self._shards: list = []
+        self._complete = False
+
+    @property
+    def directory(self) -> Path:
+        """The artifact directory."""
+        return self._dir
+
+    @property
+    def shards(self) -> list:
+        """Records of the shards written (or resumed) so far."""
+        return list(self._shards)
+
+    def resume(self, what: str = "sharded artifact") -> list:
+        """Absorb a previous run's shards, verifying each one.
+
+        Returns the verified shard records (empty when no manifest
+        exists). The existing manifest's ``kind`` and ``meta`` must match
+        this writer's; each listed shard file is re-read and its SHA-256
+        compared against the manifest, so a truncated or corrupted shard
+        surfaces as :class:`ArtifactCorruptedError` *before* the resumed
+        build trusts it.
+        """
+        from .exceptions import ConfigurationError
+
+        if not (self._dir / MANIFEST_NAME).exists():
+            return []
+        manifest = load_shard_manifest(self._dir, kind=self._kind, what=what)
+        if manifest["meta"] != self._meta:
+            raise ConfigurationError(
+                f"{self._dir}: existing {what} was built with "
+                f"{manifest['meta']}, but this build uses {self._meta}"
+            )
+        for record in manifest["shards"]:
+            verify_shard_file(self._dir, record, what)
+        self._shards = list(manifest["shards"])
+        self._complete = bool(manifest["complete"])
+        return list(self._shards)
+
+    def write_shard(self, name: str, data: bytes, **extra: Any) -> dict:
+        """Atomically publish one shard and update the manifest.
+
+        Returns the shard's manifest record (name, byte count, SHA-256,
+        plus any *extra* fields).
+        """
+        self._dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(self._dir / name, data)
+        record = {
+            "name": str(name),
+            "nbytes": len(data),
+            "sha256": bytes_digest(data),
+            **extra,
+        }
+        self._shards.append(record)
+        self._flush_manifest(complete=False)
+        return record
+
+    def finalize(self, **extra: Any) -> dict:
+        """Publish the completed manifest (with any *extra* fields)."""
+        return self._flush_manifest(complete=True, **extra)
+
+    def _flush_manifest(self, complete: bool, **extra: Any) -> dict:
+        self._dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "kind": self._kind,
+            "meta": dict(self._meta),
+            "shards": list(self._shards),
+            "complete": bool(complete),
+            **extra,
+        }
+        save_json_payload(self._dir / MANIFEST_NAME, payload)
+        self._complete = bool(complete)
+        return payload
+
+
+def load_shard_manifest(
+    directory: PathLike,
+    *,
+    kind: Optional[str] = None,
+    what: str = "sharded artifact",
+) -> Dict[str, Any]:
+    """Read and validate a sharded artifact's manifest.
+
+    A missing directory raises :class:`ArtifactError`; a directory
+    without a manifest, or a manifest of the wrong kind or shape, raises
+    :class:`ArtifactCorruptedError`. The manifest's own JSON checksum is
+    verified by :func:`load_json_payload`.
+    """
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    if not directory.exists():
+        raise ArtifactError(f"{what} not found: {directory}")
+    if not path.exists():
+        raise ArtifactCorruptedError(
+            directory, reason=f"missing {MANIFEST_NAME}"
+        )
+    payload = load_json_payload(path, f"{what} manifest")
+    require_keys(payload, ("kind", "meta", "shards", "complete"), path)
+    if kind is not None and payload["kind"] != kind:
+        raise ArtifactCorruptedError(
+            path,
+            reason=f"manifest kind {payload['kind']!r} != expected {kind!r}",
+        )
+    if not isinstance(payload["shards"], list):
+        raise ArtifactCorruptedError(
+            path,
+            reason=f"malformed shard list ({type(payload['shards']).__name__})",
+        )
+    for record in payload["shards"]:
+        if not isinstance(record, dict) or not {
+            "name", "nbytes", "sha256"
+        } <= set(record):
+            raise ArtifactCorruptedError(
+                path, reason=f"malformed shard record {record!r}"
+            )
+    return payload
+
+
+def verify_shard_file(
+    directory: PathLike, record: Mapping[str, Any], what: str = "shard"
+) -> Path:
+    """Verify one shard file against its manifest record.
+
+    Checks existence, exact byte count, and the SHA-256 content digest
+    (reading through :func:`read_artifact_bytes`, so the
+    ``artifact.load_bytes`` fault hook applies). Returns the shard path.
+    """
+    path = Path(directory) / record["name"]
+    data = read_artifact_bytes(path, what)
+    if len(data) != int(record["nbytes"]):
+        raise ArtifactCorruptedError(
+            path,
+            reason=(
+                f"truncated shard: {len(data)} bytes on disk, manifest "
+                f"records {int(record['nbytes'])}"
+            ),
+        )
+    actual = bytes_digest(data)
+    if actual != record["sha256"]:
+        raise ArtifactCorruptedError(
+            path, expected=str(record["sha256"]), actual=actual
+        )
+    return path
 
 
 # ---------------------------------------------------------------------------

@@ -13,6 +13,9 @@ Commands
     and persist it to an ``.npz`` for reuse by ``search --index``. The
     build checkpoints periodically (``--checkpoint-every``) and can pick
     up an interrupted run with ``--resume``; see ``docs/operations.md``.
+    With ``--shard-nodes N``, ``--output`` names a *directory* instead:
+    the build streams completed node-range shards to disk (bounded RSS,
+    shard-granularity resume) for ``search --index-dir``.
 ``build-summaries``
     Pre-build the per-topic summaries (§3 RCL-A or §4 LRW-A), optionally
     in parallel, and persist them as a checksummed JSON artifact for
@@ -41,8 +44,12 @@ Examples
     pit-search datasets --size 800
     pit-search build-index --dataset data_2k --workers 4 --output prop.npz \
         --checkpoint-every 500 --resume
+    pit-search build-index --dataset data_2k --shard-nodes 4096 \
+        --output prop_shards/ --resume
     pit-search search --dataset data_2k --user 3 --query phone --k 5 \
         --index prop.npz
+    pit-search search --dataset data_2k --user 3 --query phone --k 5 \
+        --index-dir prop_shards/ --shard-cache-mb 64
     pit-search search --dataset data_2k --batch workload.jsonl --k 5
     pit-search build-summaries --dataset data_2k --summarizer rcl \
         --workers 2 --output summaries.json --resume
@@ -114,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--index", default=None, metavar="PATH",
                         help="reuse a propagation index built by build-index "
                              "(its theta overrides --theta)")
+    search.add_argument("--index-dir", default=None, metavar="DIR",
+                        help="serve from a sharded index directory built by "
+                             "build-index --shard-nodes (zero-copy mmap; its "
+                             "theta overrides --theta)")
+    search.add_argument("--shard-cache-mb", type=int, default=256,
+                        metavar="MB",
+                        help="paging budget for resident shard segments "
+                             "with --index-dir (default 256)")
     search.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write this invocation's metrics snapshot as "
                              "JSON at PATH (+ Prometheus text at the .prom "
@@ -132,7 +147,14 @@ def build_parser() -> argparse.ArgumentParser:
     build_index.add_argument("--workers", type=int, default=1,
                              help="worker processes (0 = all CPUs)")
     build_index.add_argument("--output", required=True, metavar="PATH",
-                             help="destination .npz file")
+                             help="destination .npz file (or directory "
+                                  "with --shard-nodes)")
+    build_index.add_argument("--shard-nodes", type=int, default=None,
+                             metavar="N",
+                             help="stream the index to --output as shards "
+                                  "of N contiguous nodes instead of one "
+                                  "NPZ: bounded RSS, per-shard checksums, "
+                                  "shard-granularity --resume")
     build_index.add_argument("--checkpoint", default=None, metavar="PATH",
                              help="checkpoint file (default: <output stem>"
                                   ".ckpt.npz next to --output)")
@@ -232,6 +254,14 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--k", type=int, default=5)
     stats.add_argument("--summarizer", default="lrw", choices=["lrw", "rcl"])
     stats.add_argument("--theta", type=float, default=0.002)
+    stats.add_argument("--index-dir", default=None, metavar="DIR",
+                       help="serve the demo from a sharded index directory "
+                            "(skips the in-process index build; surfaces "
+                            "the index.shard.* gauges)")
+    stats.add_argument("--shard-cache-mb", type=int, default=256,
+                       metavar="MB",
+                       help="paging budget for resident shard segments "
+                            "with --index-dir (default 256)")
     stats.add_argument("--format", default="json",
                        choices=["json", "prom", "table"],
                        help="stdout rendering of the snapshot")
@@ -374,12 +404,16 @@ def _emit_metrics(snapshot, path: str) -> None:
 
 
 def _run_search(args) -> int:
-    from .core import PITEngine, load_propagation_index
+    from .core import PITEngine, load_propagation_index, load_sharded_index
     from .exceptions import ConfigurationError
 
     if args.batch is None and (args.user is None or args.query is None):
         raise ConfigurationError(
             "search needs --user and --query (or --batch for a workload)"
+        )
+    if args.index is not None and args.index_dir is not None:
+        raise ConfigurationError(
+            "--index and --index-dir are mutually exclusive"
         )
     bundle = _load_bundle(args)
     print(bundle.describe())
@@ -408,6 +442,18 @@ def _run_search(args) -> int:
         engine.use_propagation_index(prebuilt)
         print(f"using prebuilt propagation index {args.index} "
               f"({prebuilt.n_cached} entries, theta={prebuilt.theta})")
+    elif args.index_dir is not None:
+        prebuilt = load_sharded_index(
+            args.index_dir, bundle.graph,
+            cache_bytes=args.shard_cache_mb << 20,
+        )
+        engine.use_propagation_index(prebuilt)
+        shards = prebuilt.shards
+        print(f"using sharded propagation index {args.index_dir} "
+              f"({prebuilt.n_cached} entries, {shards.n_shards} shards, "
+              f"{shards.mapped_bytes() / (1 << 20):.1f} MiB mapped, "
+              f"theta={prebuilt.theta}, "
+              f"cache budget {args.shard_cache_mb} MiB)")
     if args.batch is not None:
         code = _run_batch(args, engine)
         if args.metrics_out is not None:
@@ -454,6 +500,8 @@ def _run_build_index(args) -> int:
         bundle.graph, args.theta, max_branches=args.max_branches,
         metrics=metrics,
     )
+    if args.shard_nodes is not None:
+        return _finish_build_sharded(args, index, workers, metrics)
     index.build_all(
         workers=workers,
         checkpoint=checkpoint,
@@ -479,6 +527,41 @@ def _run_build_index(args) -> int:
         _emit_metrics(metrics.snapshot(), args.metrics_out)
     # The finished artifact is saved; the checkpoint is now redundant.
     checkpoint.unlink(missing_ok=True)
+    return 0
+
+
+def _finish_build_sharded(args, index, workers, metrics) -> int:
+    """The ``build-index --shard-nodes`` tail: stream shards to a directory.
+
+    The manifest doubles as the checkpoint (rewritten after every shard),
+    so the NPZ checkpoint flags do not apply and nothing needs deleting
+    on success.
+    """
+    index.build_sharded(
+        args.output,
+        shard_nodes=args.shard_nodes,
+        workers=workers,
+        resume=args.resume,
+        max_retries=args.max_retries,
+        strict=not args.keep_going,
+    )
+    stats = index.last_build_stats
+    if stats.n_resumed:
+        print(f"resumed {stats.n_resumed} entries "
+              f"(completed shards verified and kept)")
+    print(f"built {stats.n_built} entries in {stats.wall_seconds:.2f}s "
+          f"({stats.entries_per_second:.0f} entries/s, "
+          f"{stats.workers} worker(s), "
+          f"{stats.total_bytes / 1024:.1f} KiB in shards of "
+          f"{args.shard_nodes} nodes) -> {args.output}")
+    if stats.failed_nodes:
+        print(f"warning: {stats.n_failed} entries failed to build and were "
+              f"stored empty: {list(stats.failed_nodes)[:10]}",
+              file=sys.stderr)
+    if metrics is not None:
+        metrics.set_gauge("propagation.entries_cached", index.n_cached)
+        metrics.set_gauge("propagation.index_bytes", index.memory_bytes())
+        _emit_metrics(metrics.snapshot(), args.metrics_out)
     return 0
 
 
@@ -581,7 +664,16 @@ def _run_stats(args) -> int:
     # The demo exercises all three instrumented layers: an offline index
     # build, summarization on first use of each topic, and batched online
     # serving over a seeded workload.
-    engine.propagation_index.build_all(workers=1)
+    if args.index_dir is not None:
+        from .core import load_sharded_index
+
+        engine.use_propagation_index(load_sharded_index(
+            args.index_dir, bundle.graph,
+            cache_bytes=args.shard_cache_mb << 20,
+            metrics=registry,
+        ))
+    else:
+        engine.propagation_index.build_all(workers=1)
     workload = generate_workload(
         bundle, n_queries=args.queries, n_users=args.users, seed=args.seed
     )

@@ -41,10 +41,20 @@ from .influence import (
     topic_influence_vector,
 )
 from .lrw import LRWSummarizer
-from .propagation import GammaView, PropagationEntry, PropagationIndex
+from .propagation import (
+    GammaView,
+    InMemoryBackend,
+    PropagationEntry,
+    PropagationIndex,
+)
 from .rcl import RCLSummarizer
 from .search import PersonalizedSearcher, SearchResult, SearchStats
 from .serving import ByteLRUCache
+from .shards import (
+    MmapShardBackend,
+    load_sharded_index,
+    save_sharded_index,
+)
 from .summarization import (
     SummaryArrays,
     Summarizer,
@@ -63,6 +73,8 @@ __all__ = [
     "PropagationIndex",
     "PropagationEntry",
     "GammaView",
+    "InMemoryBackend",
+    "MmapShardBackend",
     "PropagationBuildStats",
     "SummaryBuildStats",
     "CacheStats",
@@ -88,6 +100,8 @@ __all__ = [
     "load_summaries",
     "save_propagation_index",
     "load_propagation_index",
+    "save_sharded_index",
+    "load_sharded_index",
     "save_walk_index",
     "load_walk_index",
 ]

@@ -698,6 +698,13 @@ class PITEngine:
         registry.set_gauge(
             "propagation.index_bytes", self.propagation_index.memory_bytes()
         )
+        registry.set_gauge(
+            "propagation.index_mapped_bytes",
+            self.propagation_index.mapped_bytes(),
+        )
+        shards = self.propagation_index.shards
+        if shards is not None:
+            shards.publish_gauges(registry)
         registry.set_gauge("summaries.cached", self.n_summaries)
         registry.set_gauge("engine.memory_bytes", self.memory_bytes())
         return registry.snapshot()
@@ -709,7 +716,10 @@ class PITEngine:
         cached topic summary (including its frozen array form, via
         :meth:`~repro.core.summarization.TopicSummary.memory_bytes`), and
         the online searcher's bounded serving caches and compiled query
-        plans.
+        plans. A memory-mapped shard backend is charged only at the bytes
+        its paging cache currently holds resident - the full on-disk
+        footprint is reported separately by the
+        ``propagation.index_mapped_bytes`` gauge.
         """
         total = self.propagation_index.memory_bytes()
         if self._walk_index is not None and self._walk_index.is_built:

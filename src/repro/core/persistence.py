@@ -23,7 +23,7 @@ graph.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
@@ -44,6 +44,8 @@ from .summarization import TopicSummary
 __all__ = [
     "save_summaries",
     "load_summaries",
+    "pack_entry_blocks",
+    "iter_entry_blocks",
     "save_propagation_index",
     "load_propagation_index",
     "save_walk_index",
@@ -120,18 +122,18 @@ _PROPAGATION_KEYS = (
 )
 
 
-def save_propagation_index(index: PropagationIndex, path: PathLike) -> None:
-    """Write every *cached* entry of a propagation index to NPZ.
+def pack_entry_blocks(
+    entries: Sequence[PropagationEntry],
+) -> Dict[str, np.ndarray]:
+    """Concatenate *entries* into flat CSR-style arrays.
 
-    Lazy entries that were never materialized are not persisted; loading
-    restores exactly the cached set (further entries rebuild lazily).
-    Entries already store Γ as sorted source/probability arrays, so the
-    flat payload is a straight concatenation - no per-entry dict walks.
-    The write is atomic and the payload checksummed; identical entry sets
-    produce byte-identical files, which is what lets a resumed build be
-    compared digest-for-digest against an uninterrupted one.
+    The shared serialization core of the legacy single-NPZ artifact and
+    the sharded binary format (:mod:`repro.core.shards`): entries already
+    store Γ as sorted source/probability arrays, so the flat payload is a
+    straight concatenation - no per-entry dict walks. Deterministic for a
+    given entry sequence, which is what keeps both artifact formats
+    byte-identical across resumed builds.
     """
-    entries = [index._entries[node] for node in sorted(index._entries)]
     nodes = np.fromiter(
         (e.node for e in entries), dtype=np.int64, count=len(entries)
     )
@@ -146,12 +148,7 @@ def save_propagation_index(index: PropagationIndex, path: PathLike) -> None:
     )
     empty_i = np.empty(0, dtype=np.int64)
     empty_f = np.empty(0, dtype=np.float64)
-    save_npz_payload(Path(path), {
-        "n_nodes": np.asarray([index.graph.n_nodes]),
-        "n_edges": np.asarray([index.graph.n_edges]),
-        "theta": np.asarray([index.theta]),
-        "max_branches": np.asarray([index.max_branches]),
-        "strict": np.asarray([int(index.strict)]),
+    return {
         "nodes": nodes,
         "offsets": offsets,
         "sources": np.concatenate([e.sources for e in entries] or [empty_i]),
@@ -165,6 +162,53 @@ def save_propagation_index(index: PropagationIndex, path: PathLike) -> None:
         "branch_counts": np.fromiter(
             (e.branches for e in entries), dtype=np.int64, count=len(entries)
         ),
+    }
+
+
+def iter_entry_blocks(payload: Dict[str, np.ndarray]):
+    """Yield zero-copy :class:`PropagationEntry` views from flat blocks.
+
+    Inverse of :func:`pack_entry_blocks`; raises ``IndexError`` /
+    ``ValueError`` on inconsistent offsets (callers wrap these in
+    :class:`~repro.exceptions.ArtifactCorruptedError`).
+    """
+    nodes = payload["nodes"]
+    offsets = payload["offsets"]
+    marked_offsets = payload["marked_offsets"]
+    sources = payload["sources"]
+    probabilities = payload["probabilities"]
+    marked_nodes = payload["marked_nodes"]
+    branch_counts = payload["branch_counts"]
+    for i, node in enumerate(nodes):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        mlo, mhi = int(marked_offsets[i]), int(marked_offsets[i + 1])
+        yield PropagationEntry.from_arrays(
+            int(node),
+            sources[lo:hi],
+            probabilities[lo:hi],
+            marked_nodes[mlo:mhi],
+            int(branch_counts[i]),
+        )
+
+
+def save_propagation_index(index: PropagationIndex, path: PathLike) -> None:
+    """Write every *cached* entry of a propagation index to NPZ.
+
+    Lazy entries that were never materialized are not persisted; loading
+    restores exactly the cached set (further entries rebuild lazily).
+    A thin adapter over :func:`pack_entry_blocks` + the shared artifact
+    layer: the write is atomic and the payload checksummed; identical
+    entry sets produce byte-identical files, which is what lets a resumed
+    build be compared digest-for-digest against an uninterrupted one.
+    """
+    entries = [index._entries[node] for node in sorted(index._entries)]
+    save_npz_payload(Path(path), {
+        "n_nodes": np.asarray([index.graph.n_nodes]),
+        "n_edges": np.asarray([index.graph.n_edges]),
+        "theta": np.asarray([index.theta]),
+        "max_branches": np.asarray([index.max_branches]),
+        "strict": np.asarray([int(index.strict)]),
+        **pack_entry_blocks(entries),
     })
 
 
@@ -189,24 +233,9 @@ def load_propagation_index(path: PathLike, graph: SocialGraph) -> PropagationInd
     if "strict" in payload:
         kwargs["strict"] = bool(payload["strict"][0])
     index = PropagationIndex(graph, float(payload["theta"][0]), **kwargs)
-    nodes = payload["nodes"]
-    offsets = payload["offsets"]
-    marked_offsets = payload["marked_offsets"]
-    sources = payload["sources"]
-    probabilities = payload["probabilities"]
-    marked_nodes = payload["marked_nodes"]
-    branch_counts = payload["branch_counts"]
     try:
-        for i, node in enumerate(nodes):
-            lo, hi = int(offsets[i]), int(offsets[i + 1])
-            mlo, mhi = int(marked_offsets[i]), int(marked_offsets[i + 1])
-            index._entries[int(node)] = PropagationEntry.from_arrays(
-                int(node),
-                sources[lo:hi],
-                probabilities[lo:hi],
-                marked_nodes[mlo:mhi],
-                int(branch_counts[i]),
-            )
+        for entry in iter_entry_blocks(payload):
+            index._entries[entry.node] = entry
     except (IndexError, ValueError) as exc:
         raise ArtifactCorruptedError(
             path, reason=f"inconsistent propagation payload ({exc})"

@@ -88,7 +88,12 @@ from ..graph import SocialGraph
 from ..obs.registry import MetricsRegistry, get_registry
 from ..obs.tracing import trace
 
-__all__ = ["GammaView", "PropagationEntry", "PropagationIndex"]
+__all__ = [
+    "GammaView",
+    "InMemoryBackend",
+    "PropagationEntry",
+    "PropagationIndex",
+]
 
 PathLike = Union[str, Path]
 
@@ -176,6 +181,7 @@ class PropagationEntry:
         "_marked_set",
         "_marked_pairs",
         "_gamma_view",
+        "_mapped",
     )
 
     def __init__(
@@ -204,6 +210,7 @@ class PropagationEntry:
         probabilities: np.ndarray,
         marked: np.ndarray,
         branches: int,
+        mapped: bool = False,
     ) -> None:
         self.node = int(node)
         self.branches = int(branches)
@@ -213,6 +220,7 @@ class PropagationEntry:
         self._marked_set: Optional[FrozenSet[int]] = None
         self._marked_pairs: Optional[Tuple[List[int], np.ndarray]] = None
         self._gamma_view: Optional[GammaView] = None
+        self._mapped = bool(mapped)
 
     @classmethod
     def from_arrays(
@@ -222,8 +230,17 @@ class PropagationEntry:
         probabilities: np.ndarray,
         marked: np.ndarray,
         branches: int,
+        *,
+        mapped: bool = False,
     ) -> "PropagationEntry":
-        """Zero-copy construction from pre-sorted CSR-style arrays."""
+        """Zero-copy construction from pre-sorted CSR-style arrays.
+
+        ``mapped=True`` declares the arrays as views into a memory-mapped
+        artifact: the entry reports zero :meth:`memory_bytes` (the pages
+        belong to the OS page cache and are reclaimable, not resident
+        Python heap) while :meth:`storage_bytes` still gives the logical
+        size.
+        """
         entry = cls.__new__(cls)
         entry._init_arrays(
             node,
@@ -231,6 +248,7 @@ class PropagationEntry:
             np.asarray(probabilities, dtype=np.float64),
             np.asarray(marked, dtype=np.int64),
             branches,
+            mapped=mapped,
         )
         return entry
 
@@ -307,13 +325,29 @@ class PropagationEntry:
         """``|Γ(v)|``."""
         return int(self._sources.size)
 
-    def memory_bytes(self) -> int:
-        """Exact resident size of the entry's storage arrays."""
+    @property
+    def is_mapped(self) -> bool:
+        """Whether the storage arrays are views into a memory-mapped file."""
+        return self._mapped
+
+    def storage_bytes(self) -> int:
+        """Logical size of the entry's storage arrays (resident or mapped)."""
         return int(
             self._sources.nbytes
             + self._probabilities.nbytes
             + self._marked_array.nbytes
         )
+
+    def memory_bytes(self) -> int:
+        """Resident heap size of the entry's storage arrays.
+
+        Zero for mapped entries: their bytes live in the OS page cache
+        and are reclaimed under pressure, so charging them as RAM would
+        over-report a mapped million-node index as resident.
+        """
+        if self._mapped:
+            return 0
+        return self.storage_bytes()
 
 
 # ---------------------------------------------------------------------------
@@ -422,6 +456,37 @@ class _CheckpointWriter:
         self._pending = 0
 
 
+class InMemoryBackend:
+    """Dict-backed entry storage - the default, fully resident backend.
+
+    The counterpart of :class:`~repro.core.shards.MmapShardBackend` on
+    the index's backend seam: entries built (or loaded from NPZ) are held
+    as ordinary heap arrays keyed by node. The index aliases
+    :attr:`entries` directly, so the backend adds no indirection to the
+    hot lookup path.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(
+        self, entries: Optional[Dict[int, PropagationEntry]] = None
+    ):
+        self.entries: Dict[int, PropagationEntry] = (
+            {} if entries is None else dict(entries)
+        )
+
+    def get(self, node: int) -> Optional[PropagationEntry]:
+        """The stored entry of *node*, or ``None``."""
+        return self.entries.get(node)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def memory_bytes(self) -> int:
+        """Exact resident size of all stored entries' arrays."""
+        return sum(e.memory_bytes() for e in self.entries.values())
+
+
 class PropagationIndex:
     """Lazy, cached per-node propagation entries over a graph.
 
@@ -463,7 +528,11 @@ class PropagationIndex:
         self._theta = float(theta)
         self._max_branches = int(max_branches)
         self._strict = bool(strict)
-        self._entries: Dict[int, PropagationEntry] = {}
+        self._backend = InMemoryBackend()
+        # Alias of the backend's dict: every internal code path keeps its
+        # plain-dict access while the seam stays swappable.
+        self._entries: Dict[int, PropagationEntry] = self._backend.entries
+        self._shards = None  # Optional[repro.core.shards.MmapShardBackend]
         self._csr: Optional[Tuple[List[int], List[int], List[float]]] = None
         self._mask: Optional[bytearray] = None
         self._metrics = metrics
@@ -472,6 +541,8 @@ class PropagationIndex:
     def set_metrics(self, registry: Optional[MetricsRegistry]) -> None:
         """Route build metrics to *registry* (None = process default)."""
         self._metrics = registry
+        if self._shards is not None:
+            self._shards.set_metrics(registry)
 
     def _registry(self) -> MetricsRegistry:
         metrics = self._metrics
@@ -500,14 +571,49 @@ class PropagationIndex:
 
     @property
     def n_cached(self) -> int:
-        """Number of entries materialized so far."""
+        """Number of entries materialized (or shard-covered) so far."""
+        if self._shards is not None:
+            return self._graph.n_nodes
         return len(self._entries)
+
+    @property
+    def backend(self) -> InMemoryBackend:
+        """The in-memory entry store (always present; may be empty)."""
+        return self._backend
+
+    @property
+    def shards(self):
+        """The attached :class:`~repro.core.shards.MmapShardBackend`, if any."""
+        return self._shards
+
+    def attach_shards(self, backend) -> "PropagationIndex":
+        """Serve entries from a mapped shard *backend* (zero-copy).
+
+        The backend must cover this index's graph and carry the same
+        ``theta``/``max_branches`` (shards built under different
+        parameters would silently change Γ). In-memory entries, when
+        present, take precedence; every other node is served from the
+        mapped shards without ever touching this index's heap.
+        """
+        if (backend.theta != self._theta
+                or backend.max_branches != self._max_branches):
+            raise ConfigurationError(
+                f"sharded index was built with theta={backend.theta}, "
+                f"max_branches={backend.max_branches}; this index uses "
+                f"theta={self._theta}, max_branches={self._max_branches}"
+            )
+        self._shards = backend
+        if self._metrics is not None:
+            backend.set_metrics(self._metrics)
+        return self
 
     def entry(self, node: int) -> PropagationEntry:
         """The propagation entry of *node*, building it if needed."""
         node = self._graph._check_node(node)
         cached = self._entries.get(node)
         if cached is None:
+            if self._shards is not None:
+                return self._shards.get(node)
             cached = self._build_entry(node)
             self._entries[node] = cached
         return cached
@@ -517,9 +623,15 @@ class PropagationIndex:
 
         Never triggers a build; lets externally bounded caches (the online
         serving layer) serve prebuilt entries for free while keeping
-        lazily built ones under their own byte budget.
+        lazily built ones under their own byte budget. Shard-backed
+        entries count as materialized - they are served from the mapped
+        artifact at zero build cost.
         """
-        return self._entries.get(self._graph._check_node(node))
+        node = self._graph._check_node(node)
+        cached = self._entries.get(node)
+        if cached is None and self._shards is not None:
+            return self._shards.get(node)
+        return cached
 
     def build_entry(self, node: int) -> PropagationEntry:
         """Build the entry of *node* WITHOUT inserting it into this index.
@@ -638,10 +750,13 @@ class PropagationIndex:
                     n_resumed = self.load_checkpoint(checkpoint)
             if n_resumed:
                 registry.inc("propagation.entries_resumed", n_resumed)
-            missing = [
-                node for node in range(self._graph.n_nodes)
-                if node not in self._entries
-            ]
+            if self._shards is not None:
+                missing = []  # every node is served from the mapped shards
+            else:
+                missing = [
+                    node for node in range(self._graph.n_nodes)
+                    if node not in self._entries
+                ]
             writer = _CheckpointWriter(
                 self, checkpoint, checkpoint_every, registry
             )
@@ -685,6 +800,136 @@ class PropagationIndex:
                 f"{len(failed)} propagation entries failed to build after "
                 f"{max_retries} retries and were skipped "
                 f"(see last_build_stats.failed_nodes)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return self
+
+    def build_sharded(
+        self,
+        directory: PathLike,
+        *,
+        shard_nodes: int = 4096,
+        workers: Optional[int] = 1,
+        resume: bool = True,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        strict: Optional[bool] = None,
+    ) -> "PropagationIndex":
+        """Materialize every node, streaming completed shards to disk.
+
+        The bounded-RSS counterpart of :meth:`build_all`: nodes are built
+        one contiguous ``shard_nodes`` range at a time, each finished
+        range is packed to a flat binary shard and published atomically
+        (with a per-shard SHA-256 in a checksummed manifest), and the
+        built entries are then **dropped from memory** - peak residency
+        is one shard range plus build scratch, independent of graph size.
+        Serve the result with
+        :func:`~repro.core.shards.load_sharded_index`.
+
+        Determinism, checkpointing, and retries carry over from
+        :meth:`build_all`:
+
+        * entries are deterministic, so shard files are byte-identical
+          across runs - an interrupted build resumed with ``resume=True``
+          (the default) verifies already-published shards (size +
+          digest), skips them, and finishes with a directory
+          digest-identical to an uninterrupted build's;
+        * the manifest is rewritten after every shard, so at most one
+          shard range of work is lost to a crash;
+        * per-node/per-chunk retries (``max_retries``, ``retry_backoff``)
+          behave exactly as in :meth:`build_all`; nodes that still fail
+          in keep-going mode are stored as empty shard slots and listed
+          under ``failed_nodes`` in the manifest (and on the build
+          stats), while ``strict`` raises
+          :class:`~repro.exceptions.BuildFailedError` with every
+          completed shard already safe on disk.
+
+        Records :class:`~repro.core.diagnostics.PropagationBuildStats` on
+        :attr:`last_build_stats`; shard progress is observable via the
+        ``propagation.shards_written`` / ``propagation.shards_resumed``
+        counters.
+        """
+        from .diagnostics import PropagationBuildStats
+        from .shards import PropagationShardWriter
+
+        require_in_range("shard_nodes", shard_nodes, 1)
+        require_in_range("max_retries", max_retries, 0)
+        require_non_negative("retry_backoff", retry_backoff)
+        if workers is None:
+            workers = getattr(os, "process_cpu_count", os.cpu_count)() or 1
+        workers = int(workers)
+        strict_build = self._strict if strict is None else bool(strict)
+        registry = self._registry()
+        if not registry.enabled:
+            registry = MetricsRegistry()
+        before = registry.snapshot()
+        n_nodes = self._graph.n_nodes
+        shard_nodes = int(shard_nodes)
+        writer = PropagationShardWriter(directory, self, shard_nodes)
+        null_checkpoint = _CheckpointWriter(self, None, 0)
+        failed_all: List[int] = []
+        n_resumed = 0
+        bytes_written = 0
+        with trace(
+            "propagation.build_sharded", registry=registry, workers=workers
+        ):
+            done = writer.resume() if resume else {}
+            for lo in range(0, n_nodes, shard_nodes):
+                hi = min(lo + shard_nodes, n_nodes)
+                record = done.get((lo, hi))
+                if record is not None:
+                    n_resumed += hi - lo
+                    bytes_written += int(record["nbytes"])
+                    registry.inc("propagation.shards_resumed")
+                    continue
+                missing = [
+                    node for node in range(lo, hi)
+                    if node not in self._entries
+                ]
+                if workers <= 1 or len(missing) <= 1:
+                    failed = self._build_serial(
+                        missing, max_retries, retry_backoff,
+                        null_checkpoint, registry,
+                    )
+                else:
+                    failed = self._build_parallel(
+                        missing, min(workers, len(missing)), max_retries,
+                        retry_backoff, null_checkpoint, registry,
+                    )
+                if failed and strict_build:
+                    registry.inc("propagation.entries_failed", len(failed))
+                    n_built = sum(
+                        1 for node in self._entries if lo <= node < hi
+                    )
+                    error = BuildFailedError(failed, n_built)
+                    error.partial_index = self
+                    raise error
+                record = writer.write_range(lo, hi, self._entries)
+                bytes_written += int(record["nbytes"])
+                registry.inc("propagation.shards_written")
+                failed_all.extend(failed)
+                # Streaming: the shard is safe on disk - free its entries
+                # so peak residency stays one shard range.
+                for node in range(lo, hi):
+                    self._entries.pop(node, None)
+            writer.finalize(failed_nodes=tuple(failed_all))
+        if failed_all:
+            registry.inc("propagation.entries_failed", len(failed_all))
+        delta = registry.snapshot().delta(before)
+        self.last_build_stats = PropagationBuildStats.from_metrics(
+            delta,
+            n_entries=n_nodes - len(failed_all),
+            workers=workers,
+            total_bytes=bytes_written,
+            failed_nodes=tuple(sorted(set(failed_all))),
+            n_resumed=n_resumed,
+        )
+        if failed_all:
+            warnings.warn(
+                f"{len(failed_all)} propagation entries failed to build "
+                f"after {max_retries} retries and were stored as empty "
+                f"shard slots (see last_build_stats.failed_nodes)",
                 RuntimeWarning,
                 stacklevel=2,
             )
@@ -821,8 +1066,22 @@ class PropagationIndex:
         return [node for _, chunk in pending for node in chunk]
 
     def memory_bytes(self) -> int:
-        """Exact resident size of all cached entries' storage arrays."""
-        return sum(e.memory_bytes() for e in self._entries.values())
+        """Exact resident size of the index (heap entries + paged shards).
+
+        Mapped shard segments are charged at the bytes their paging cache
+        currently holds, not their full on-disk size - see
+        :meth:`mapped_bytes` for the virtual footprint.
+        """
+        total = self._backend.memory_bytes()
+        if self._shards is not None:
+            total += self._shards.resident_bytes()
+        return total
+
+    def mapped_bytes(self) -> int:
+        """Total on-disk bytes of attached shard segments (0 if none)."""
+        if self._shards is None:
+            return 0
+        return self._shards.mapped_bytes()
 
     # ------------------------------------------------------------------
     def _csr_lists(self) -> Tuple[List[int], List[int], List[float], List[float]]:
