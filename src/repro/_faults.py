@@ -30,6 +30,21 @@ Injection points
     Raw bytes read from disk, before any parsing. The hook receives
     ``data`` and ``path`` and may return replacement bytes (bit flips,
     truncation); returning ``None`` keeps the original bytes.
+``serve.handle``
+    In the daemon (:mod:`repro.serve`), at the top of every parsed HTTP
+    request, before routing. Context: ``method``, ``path``. A hook that
+    raises here simulates a handler crash; the daemon must answer with a
+    typed 500, never a traceback, and keep serving.
+``serve.search_delay``
+    Inside the daemon's search executor, before a coalesced batch group
+    runs. Context: ``query``, ``k``, ``size``. A :class:`Delay` hook here
+    simulates a slow engine, which is how the tests provoke request
+    queueing (coalescing) and deadline expiry mid-search.
+``serve.reload.swap``
+    In the daemon's hot-reload path, after the replacement engine loaded
+    and validated but before it is swapped in. Context: ``generation``
+    (the generation being installed). A hook that raises here must leave
+    the old engine serving.
 
 Hooks registered in the parent process are shipped to build workers via
 the pool initializer, so they must be picklable: module-level functions
@@ -61,6 +76,7 @@ __all__ = [
     "FailOnReplace",
     "FlipByte",
     "TruncateBytes",
+    "Delay",
 ]
 
 Hook = Callable[..., Any]
@@ -72,6 +88,9 @@ INJECTION_POINTS = frozenset({
     "summarize.build_topic",
     "artifact.pre_replace",
     "artifact.load_bytes",
+    "serve.handle",
+    "serve.search_delay",
+    "serve.reload.swap",
 })
 
 _hooks: Dict[str, Hook] = {}
@@ -267,3 +286,25 @@ class TruncateBytes:
 
     def __call__(self, *, data: bytes, **_: Any) -> bytes:
         return data[: self.keep]
+
+
+class Delay:
+    """Sleep *seconds* at the injection point (slow-engine simulation).
+
+    With ``times`` set, only the first *times* invocations sleep; later
+    ones pass through, so a test can make the daemon slow just long
+    enough to queue requests behind a busy engine.
+    """
+
+    def __init__(self, seconds: float, times: Optional[int] = None):
+        self.seconds = float(seconds)
+        self.times = None if times is None else int(times)
+        self.calls = 0
+
+    def __call__(self, **_: Any) -> None:
+        self.calls += 1
+        if self.times is not None and self.calls > self.times:
+            return
+        import time
+
+        time.sleep(self.seconds)

@@ -21,6 +21,12 @@ Commands
     in parallel, and persist them as a checksummed JSON artifact for
     audit or warm-start. Checkpoints and ``--resume`` work exactly like
     ``build-index``; parallel builds are byte-identical to serial ones.
+``serve``
+    Run the resilient serving daemon over prebuilt artifacts: a
+    dependency-free asyncio HTTP/JSON server with admission control,
+    per-request deadlines, request coalescing, hot artifact reload
+    (``POST /admin/reload`` / SIGHUP), and graceful SIGTERM drain. See
+    ``docs/operations.md`` ("Serving").
 ``stats``
     Run a small seeded demo workload end-to-end and emit its metrics
     snapshot - offline build phase timings, per-search latency
@@ -35,7 +41,10 @@ JSON at PATH plus Prometheus text at the ``.prom`` sibling.
 
 Library errors (:class:`~repro.exceptions.ReproError`) surface as a
 one-line ``pit-search: error: ...`` message on stderr with exit code 2,
-never a traceback. An interrupt exits 130 after flushing any checkpoint.
+never a traceback. Interrupts follow the shell convention ``128 +
+signum`` after flushing any checkpoint: SIGINT exits 130, SIGTERM 143
+(both run the same cleanup path). The ``serve`` daemon overrides this
+with its graceful drain: SIGTERM drains and exits 0, SIGINT exits 130.
 
 Examples
 --------
@@ -238,6 +247,52 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--with-error", action="store_true",
                           help="also compute the Definition 1 L1 error")
     diagnose.add_argument("--seed", type=int, default=42)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSON serving daemon over prebuilt artifacts",
+    )
+    serve.add_argument("--dataset", default="data_2k", metavar="NAME",
+                       help=f"one of {', '.join(DATASET_NAMES)}")
+    serve.add_argument("--size", type=int, default=None)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--summaries", required=True, metavar="PATH",
+                       help="prebuilt summaries artifact (build-summaries)")
+    serve.add_argument("--index", default=None, metavar="PATH",
+                       help="prebuilt propagation index .npz (build-index)")
+    serve.add_argument("--index-dir", default=None, metavar="DIR",
+                       help="sharded propagation index directory "
+                            "(build-index --shard-nodes)")
+    serve.add_argument("--shard-cache-mb", type=int, default=256, metavar="MB",
+                       help="paging budget for resident shard segments "
+                            "with --index-dir (default 256)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 = pick a free port)")
+    serve.add_argument("--k", type=int, default=10,
+                       help="default k for requests that send none")
+    serve.add_argument("--theta", type=float, default=0.002,
+                       help="theta for lazy propagation when no --index[-dir] "
+                            "is given (a prebuilt index's theta governs)")
+    serve.add_argument("--max-queue", type=int, default=64, metavar="N",
+                       help="admission capacity; excess requests are shed "
+                            "with 429 (default 64)")
+    serve.add_argument("--max-batch", type=int, default=8, metavar="N",
+                       help="max requests coalesced per dispatch (default 8)")
+    serve.add_argument("--default-deadline-ms", type=int, default=5000,
+                       metavar="MS",
+                       help="per-request deadline when the caller sends no "
+                            "deadline_ms (default 5000)")
+    serve.add_argument("--drain-seconds", type=float, default=10.0,
+                       metavar="S",
+                       help="SIGTERM waits this long for in-flight requests "
+                            "before hard-cancelling (default 10)")
+    serve.add_argument("--max-body-kb", type=int, default=64, metavar="KB",
+                       help="request bodies above this are refused with 413")
+    serve.add_argument("--entry-cache-mb", type=int, default=64, metavar="MB",
+                       help="bounded propagation-entry cache (default 64)")
+    serve.add_argument("--summary-cache-mb", type=int, default=8, metavar="MB",
+                       help="bounded summary-array cache (default 8)")
 
     stats = sub.add_parser(
         "stats",
@@ -692,6 +747,73 @@ def _run_stats(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    import asyncio
+
+    from .core import ServingEngine
+    from .exceptions import ConfigurationError
+    from .obs import MetricsRegistry
+    from .serve import PITServer, ServeConfig
+
+    if args.index is not None and args.index_dir is not None:
+        raise ConfigurationError(
+            "--index and --index-dir are mutually exclusive"
+        )
+    bundle = _load_bundle(args)
+    print(bundle.describe(), flush=True)
+    registry = MetricsRegistry()
+    base = {"summaries": args.summaries}
+    if args.index is not None:
+        base["index"] = args.index
+    if args.index_dir is not None:
+        base["index_dir"] = args.index_dir
+
+    def loader(overrides):
+        paths = dict(base)
+        paths.update(overrides)
+        # An override that switches index format replaces, not joins,
+        # the configured one.
+        if "index" in overrides:
+            paths.pop("index_dir", None)
+        if "index_dir" in overrides:
+            paths.pop("index", None)
+        return ServingEngine.from_artifacts(
+            bundle.graph,
+            bundle.topic_index,
+            paths["summaries"],
+            index_path=paths.get("index"),
+            index_dir=paths.get("index_dir"),
+            shard_cache_bytes=args.shard_cache_mb << 20,
+            theta=args.theta,
+            entry_cache_bytes=args.entry_cache_mb << 20,
+            summary_cache_bytes=args.summary_cache_mb << 20,
+            metrics=registry,
+        )
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        default_deadline_s=args.default_deadline_ms / 1000.0,
+        drain_s=args.drain_seconds,
+        max_body_bytes=args.max_body_kb * 1024,
+        default_k=args.k,
+    )
+    server = PITServer(loader, config, metrics=registry)
+
+    def _ready() -> None:
+        engine = server.engines.current
+        print(f"listening on http://{config.host}:{server.port}", flush=True)
+        print(f"ready: generation {server.engines.generation}, "
+              f"{engine.n_summaries} summaries, theta={engine.theta}",
+              flush=True)
+
+    code = asyncio.run(server.run(ready_callback=_ready))
+    print(f"drained and stopped (exit {code})", flush=True)
+    return code
+
+
 def _run_experiment(args) -> int:
     suite = _suite(args, _sizes_for(args))
     method = getattr(suite, FIGURES[args.figure])
@@ -703,6 +825,23 @@ def _run_experiment(args) -> int:
     return 0
 
 
+#: Exit code for the current interrupt, shell-style ``128 + signum``.
+#: SIGINT's KeyboardInterrupt leaves the default 130; the SIGTERM
+#: handler overwrites it with 143 before raising.
+_SIGNAL_EXIT = {"code": 130}
+
+
+def _signal_to_interrupt(signum, frame) -> None:
+    """Route SIGTERM through the KeyboardInterrupt cleanup path.
+
+    Checkpointed builds flush in their ``finally`` blocks on
+    KeyboardInterrupt, so terminating a build politely (``kill`` / a
+    supervisor's SIGTERM) preserves exactly as much work as Ctrl-C.
+    """
+    _SIGNAL_EXIT["code"] = 128 + signum
+    raise KeyboardInterrupt
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -710,8 +849,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parameters, failed builds - anything deriving from
     :class:`~repro.exceptions.ReproError`) print a one-line message to
     stderr and exit 2 instead of leaking a traceback. Programming errors
-    still traceback, by design.
+    still traceback, by design. SIGINT/SIGTERM share one cleanup path
+    and exit ``128 + signum`` (130 / 143); the ``serve`` daemon installs
+    its own loop-level handlers for a graceful drain instead.
     """
+    import signal
+
     args = build_parser().parse_args(argv)
     handlers = {
         "datasets": _run_datasets,
@@ -719,9 +862,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "build-index": _run_build_index,
         "build-summaries": _run_build_summaries,
         "diagnose": _run_diagnose,
+        "serve": _run_serve,
         "stats": _run_stats,
         "experiment": _run_experiment,
     }
+    _SIGNAL_EXIT["code"] = 130
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _signal_to_interrupt)
+    except ValueError:  # not the main thread (embedded / test harness)
+        previous_sigterm = None
     try:
         return handlers[args.command](args)
     except ReproError as exc:
@@ -731,7 +880,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Checkpointed builds have already flushed in their finally block.
         print("pit-search: interrupted (checkpoint flushed if enabled)",
               file=sys.stderr)
-        return 130
+        return _SIGNAL_EXIT["code"]
     except BrokenPipeError:
         # Downstream closed the pipe (e.g. `pit-search ... | head`). Point
         # stdout at devnull so interpreter shutdown does not re-raise.
@@ -739,6 +888,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    finally:
+        if previous_sigterm is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_sigterm)
+            except ValueError:
+                pass
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -49,6 +49,7 @@ from .propagation import (
 )
 from .rcl import RCLSummarizer
 from .search import PersonalizedSearcher, SearchResult, SearchStats
+from .serve_facade import ServingEngine, publish_engine_gauges
 from .serving import ByteLRUCache
 from .shards import (
     MmapShardBackend,
@@ -64,6 +65,8 @@ from .summarization import (
 
 __all__ = [
     "PITEngine",
+    "ServingEngine",
+    "publish_engine_gauges",
     "RCLSummarizer",
     "LRWSummarizer",
     "Summarizer",

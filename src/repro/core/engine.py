@@ -688,25 +688,18 @@ class PITEngine:
         Gauges are published here (snapshot time) rather than per search,
         keeping the serving hot path to counter adds only.
         """
+        from .serve_facade import publish_engine_gauges
+
         registry = (
             self._metrics if self._metrics is not None else get_registry()
         )
-        self._searcher.publish_cache_gauges(registry)
-        registry.set_gauge(
-            "propagation.entries_cached", self.propagation_index.n_cached
+        publish_engine_gauges(
+            registry,
+            searcher=self._searcher,
+            propagation_index=self.propagation_index,
+            n_summaries=self.n_summaries,
+            memory_bytes=self.memory_bytes(),
         )
-        registry.set_gauge(
-            "propagation.index_bytes", self.propagation_index.memory_bytes()
-        )
-        registry.set_gauge(
-            "propagation.index_mapped_bytes",
-            self.propagation_index.mapped_bytes(),
-        )
-        shards = self.propagation_index.shards
-        if shards is not None:
-            shards.publish_gauges(registry)
-        registry.set_gauge("summaries.cached", self.n_summaries)
-        registry.set_gauge("engine.memory_bytes", self.memory_bytes())
         return registry.snapshot()
 
     def memory_bytes(self) -> int:

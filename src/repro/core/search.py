@@ -450,10 +450,11 @@ class PersonalizedSearcher:
     def _summary_arrays(self, topic_id: int) -> Tuple[np.ndarray, np.ndarray]:
         cache = self._summary_cache
         if cache is not None:
-            arrays = cache.get(topic_id)
-            if arrays is None:
-                arrays = self._summary(topic_id).arrays()
-                cache.put(topic_id, arrays, arrays.memory_bytes())
+            arrays = cache.get_or_put(
+                topic_id,
+                lambda: self._summary(topic_id).arrays(),
+                lambda a: a.memory_bytes(),
+            )
             return arrays.representatives, arrays.weights
         arrays = self._summary(topic_id).arrays()
         return arrays.representatives, arrays.weights
@@ -465,11 +466,11 @@ class PersonalizedSearcher:
         prebuilt = self._propagation.get_cached(node)
         if prebuilt is not None:
             return prebuilt
-        entry = cache.get(node)
-        if entry is None:
-            entry = self._propagation.build_entry(node)
-            cache.put(node, entry, entry.memory_bytes())
-        return entry
+        return cache.get_or_put(
+            node,
+            lambda: self._propagation.build_entry(node),
+            lambda e: e.memory_bytes(),
+        )
 
     def _plan(self, query: Union[str, KeywordQuery]) -> _QueryPlan:
         if isinstance(query, str):

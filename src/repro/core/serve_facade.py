@@ -1,0 +1,295 @@
+"""Serve-side engine facade (ROADMAP item 1's seam).
+
+:class:`~repro.core.engine.PITEngine` is the *build-side* facade: it owns
+a summarizer, a walk index, and the fault-tolerant offline build
+machinery. A serving daemon needs none of that - it answers queries
+against artifacts the offline stage already produced. This module is the
+other half of the split: :class:`ServingEngine` wraps a graph, a topic
+index, *prebuilt* summaries, and a (prebuilt or lazily materializing)
+propagation index around one :class:`~repro.core.search.PersonalizedSearcher`,
+and exposes exactly the online surface - ``search`` / ``search_batch`` /
+``cache_stats`` / ``metrics_snapshot`` - with bit-identical results to a
+``PITEngine`` holding the same data, because both drive the same searcher
+over the same arrays.
+
+Construction from disk goes through :meth:`ServingEngine.from_artifacts`,
+so every input passes the artifact layer's checksum + graph-signature
+validation (:mod:`repro._artifacts`); a corrupt or mismatched file raises
+the :class:`~repro.exceptions.ArtifactCorruptedError` /
+:class:`~repro.exceptions.ConfigurationError` taxonomy instead of
+serving wrong answers. Topics whose summary is *not* in the artifact
+surface as a per-request :class:`~repro.exceptions.ConfigurationError` -
+a serving engine never falls back to building summaries online.
+
+:func:`publish_engine_gauges` is the shared snapshot-time gauge publisher
+used by both facades, so ``/metrics`` scraped from the daemon and
+``--metrics-out`` written by the CLI agree on names and meaning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from ..graph import SocialGraph
+from ..obs.registry import MetricsRegistry, MetricsSnapshot, get_registry
+from ..topics import KeywordQuery, TopicIndex
+from .propagation import PropagationIndex
+from .search import PersonalizedSearcher
+from .summarization import TopicSummary
+
+__all__ = ["ServingEngine", "publish_engine_gauges"]
+
+
+def publish_engine_gauges(
+    registry: MetricsRegistry,
+    *,
+    searcher: PersonalizedSearcher,
+    propagation_index: PropagationIndex,
+    n_summaries: int,
+    memory_bytes: int,
+) -> None:
+    """Publish the snapshot-time engine gauges shared by both facades.
+
+    Cache hit ratios / occupancy, propagation-index size (resident and
+    mapped, plus the shard backend's gauges when one is attached), the
+    summary count, and the total engine footprint. Called at snapshot
+    time only - never on the per-search hot path.
+    """
+    searcher.publish_cache_gauges(registry)
+    registry.set_gauge(
+        "propagation.entries_cached", propagation_index.n_cached
+    )
+    registry.set_gauge(
+        "propagation.index_bytes", propagation_index.memory_bytes()
+    )
+    registry.set_gauge(
+        "propagation.index_mapped_bytes", propagation_index.mapped_bytes()
+    )
+    shards = propagation_index.shards
+    if shards is not None:
+        shards.publish_gauges(registry)
+    registry.set_gauge("summaries.cached", n_summaries)
+    registry.set_gauge("engine.memory_bytes", memory_bytes)
+
+
+class ServingEngine:
+    """Online-only PIT-Search over prebuilt artifacts.
+
+    Parameters
+    ----------
+    graph / topic_index:
+        The social network and its topic space (must agree on node count).
+    summaries:
+        Prebuilt ``topic_id -> TopicSummary`` mapping - typically loaded
+        from a ``build-summaries`` artifact. Queries touching a topic
+        absent from the mapping fail that request with
+        :class:`~repro.exceptions.ConfigurationError`.
+    propagation_index:
+        A prebuilt (NPZ or sharded) index, or ``None`` to materialize
+        entries lazily at ``theta``.
+    theta:
+        Path-probability threshold for a lazily materializing index
+        (ignored when *propagation_index* is given; the artifact's theta
+        governs).
+    entry_cache_bytes / summary_cache_bytes:
+        Bounded serving-cache budgets, exactly as on ``PITEngine``.
+    metrics:
+        Registry receiving per-search metrics; ``None`` uses the
+        process-wide default.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        topic_index: TopicIndex,
+        summaries: Dict[int, TopicSummary],
+        propagation_index: Optional[PropagationIndex] = None,
+        *,
+        theta: float = 0.002,
+        max_expand_rounds: int = 8,
+        entry_cache_bytes: Optional[int] = None,
+        summary_cache_bytes: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if graph.n_nodes != topic_index.n_nodes:
+            raise ConfigurationError(
+                f"graph has {graph.n_nodes} nodes but topic index covers "
+                f"{topic_index.n_nodes}"
+            )
+        self._graph = graph
+        self._topic_index = topic_index
+        self._summaries = dict(summaries)
+        self._metrics = metrics
+        if propagation_index is None:
+            propagation_index = PropagationIndex(graph, theta, metrics=metrics)
+        elif (
+            propagation_index.graph.n_nodes != graph.n_nodes
+            or propagation_index.graph.n_edges != graph.n_edges
+        ):
+            raise ConfigurationError(
+                f"propagation index covers a graph with "
+                f"{propagation_index.graph.n_nodes} nodes/"
+                f"{propagation_index.graph.n_edges} edges, but the serving "
+                f"graph has {graph.n_nodes} nodes/{graph.n_edges} edges"
+            )
+        self.propagation_index = propagation_index
+        if metrics is not None:
+            propagation_index.set_metrics(metrics)
+        self._searcher = PersonalizedSearcher(
+            topic_index,
+            self._summaries,
+            propagation_index,
+            max_expand_rounds=max_expand_rounds,
+            entry_cache_bytes=entry_cache_bytes,
+            summary_cache_bytes=summary_cache_bytes,
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_artifacts(
+        cls,
+        graph: SocialGraph,
+        topic_index: TopicIndex,
+        summaries_path,
+        *,
+        index_path=None,
+        index_dir=None,
+        shard_cache_bytes: Optional[int] = None,
+        verify_shards: bool = False,
+        theta: float = 0.002,
+        max_expand_rounds: int = 8,
+        entry_cache_bytes: Optional[int] = None,
+        summary_cache_bytes: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "ServingEngine":
+        """Open a serving engine over on-disk artifacts.
+
+        Loads the summaries artifact and, when given, the propagation
+        index (``index_path`` for the single-NPZ format, ``index_dir``
+        for the sharded mmap format - mutually exclusive). Every load
+        verifies checksums and the graph signature; a corrupt or
+        mismatched artifact raises and nothing is partially adopted,
+        which is what makes this the daemon's hot-reload primitive.
+        """
+        from .persistence import load_propagation_index, load_summaries
+
+        if index_path is not None and index_dir is not None:
+            raise ConfigurationError(
+                "index_path and index_dir are mutually exclusive"
+            )
+        summaries = load_summaries(summaries_path, graph)
+        index: Optional[PropagationIndex] = None
+        if index_path is not None:
+            index = load_propagation_index(index_path, graph)
+        elif index_dir is not None:
+            from .shards import DEFAULT_SHARD_CACHE_BYTES, load_sharded_index
+
+            index = load_sharded_index(
+                index_dir, graph,
+                cache_bytes=(
+                    DEFAULT_SHARD_CACHE_BYTES if shard_cache_bytes is None
+                    else shard_cache_bytes
+                ),
+                verify=verify_shards,
+                metrics=metrics,
+            )
+        return cls(
+            graph, topic_index, summaries, index,
+            theta=theta,
+            max_expand_rounds=max_expand_rounds,
+            entry_cache_bytes=entry_cache_bytes,
+            summary_cache_bytes=summary_cache_bytes,
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> SocialGraph:
+        """The social graph being served."""
+        return self._graph
+
+    @property
+    def topic_index(self) -> TopicIndex:
+        """The topic space being served."""
+        return self._topic_index
+
+    @property
+    def n_summaries(self) -> int:
+        """Number of prebuilt topic summaries loaded."""
+        return len(self._summaries)
+
+    @property
+    def theta(self) -> float:
+        """The propagation index's path-probability threshold."""
+        return self.propagation_index.theta
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        user: int,
+        query: Union[str, KeywordQuery],
+        k: int = 10,
+        *,
+        with_stats: bool = False,
+    ):
+        """Top-k personalized influential topics (Algorithm 10)."""
+        results, stats = self._searcher.search(user, query, k)
+        if with_stats:
+            return results, stats
+        return results
+
+    def search_batch(
+        self,
+        requests: Iterable[Tuple[int, Union[str, KeywordQuery]]],
+        k: int = 10,
+        *,
+        with_stats: bool = False,
+    ):
+        """Answer many ``(user, query)`` requests in one batched call."""
+        outcomes = self._searcher.search_many(requests, k)
+        if with_stats:
+            return outcomes
+        return [results for results, _ in outcomes]
+
+    def cache_stats(self):
+        """Snapshots of the searcher's bounded serving caches."""
+        return self._searcher.cache_stats()
+
+    def set_metrics(self, registry: Optional[MetricsRegistry]) -> "ServingEngine":
+        """Route every component's metrics to *registry*."""
+        self._metrics = registry
+        self.propagation_index.set_metrics(registry)
+        self._searcher.set_metrics(registry)
+        return self
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """A coherent snapshot of the engine's metrics registry."""
+        registry = (
+            self._metrics if self._metrics is not None else get_registry()
+        )
+        publish_engine_gauges(
+            registry,
+            searcher=self._searcher,
+            propagation_index=self.propagation_index,
+            n_summaries=self.n_summaries,
+            memory_bytes=self.memory_bytes(),
+        )
+        return registry.snapshot()
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the serving stack.
+
+        The propagation index (resident portion only, when mapped), the
+        loaded summaries (including frozen array forms), and the
+        searcher's bounded caches and compiled plans - with the summary
+        -array LRU's aliased bytes backed out, as on ``PITEngine``.
+        """
+        total = self.propagation_index.memory_bytes()
+        total += sum(s.memory_bytes() for s in self._summaries.values())
+        total += self._searcher.cache_memory_bytes()
+        summary_stats = self._searcher.summary_cache_stats()
+        if summary_stats is not None:
+            total -= summary_stats.current_bytes
+        return total

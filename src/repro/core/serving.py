@@ -94,6 +94,31 @@ class ByteLRUCache(Generic[K, V]):
             self.put(key, value, size_of(value))
         return value
 
+    def get_or_put(self, key: K, build: Callable[[], V],
+                   size_of: Callable[[V], int]) -> V:
+        """Atomic miss-then-insert helper for coalesced serving paths.
+
+        Like :meth:`get_or_build`, but safe when ``build()`` re-enters
+        the cache - e.g. a coalesced batch whose builder populates other
+        entries (possibly evicting its way past this key's slot) or, via
+        a recursive provider, inserts *key* itself. After ``build()``
+        returns, the cache is re-checked: a value that appeared for *key*
+        in the meantime wins (it is bumped to most-recent and returned,
+        with no extra hit/miss recorded - the initial miss already
+        accounted this lookup), so two interleaved builders never double
+        -charge the byte budget for one key.
+        """
+        value = self.get(key)
+        if value is not None:
+            return value
+        value = build()
+        raced = self._items.get(key)
+        if raced is not None:
+            self._items.move_to_end(key)
+            return raced[0]
+        self.put(key, value, size_of(value))
+        return value
+
     def clear(self) -> None:
         """Drop every item (counters are kept; they are cumulative)."""
         self._items.clear()

@@ -10,7 +10,12 @@ from .twitter import (
     data_350k,
     data_3m,
 )
-from .workload import Workload, generate_workload, rank_query_tokens
+from .workload import (
+    Workload,
+    generate_workload,
+    rank_query_tokens,
+    replay_requests,
+)
 
 __all__ = [
     "DatasetBundle",
@@ -24,6 +29,7 @@ __all__ = [
     "FILLER_WORDS",
     "Workload",
     "generate_workload",
+    "replay_requests",
     "rank_query_tokens",
     "ActivityStream",
 ]

@@ -20,7 +20,12 @@ from ..exceptions import ConfigurationError
 from ..topics import KeywordQuery, TopicIndex, tokenize
 from .twitter import DatasetBundle
 
-__all__ = ["Workload", "generate_workload", "rank_query_tokens"]
+__all__ = [
+    "Workload",
+    "generate_workload",
+    "rank_query_tokens",
+    "replay_requests",
+]
 
 
 @dataclass(frozen=True)
@@ -110,3 +115,45 @@ def generate_workload(
         )
     users = rng.choice(bundle.graph.n_nodes, size=n_users, replace=False)
     return Workload(queries=queries, users=tuple(int(u) for u in sorted(users)))
+
+
+def replay_requests(
+    workload: Workload,
+    *,
+    n_requests: int,
+    k: int = 10,
+    skew: float = 1.0,
+    seed: SeedLike = None,
+) -> List[Dict[str, object]]:
+    """Sample a Zipf-skewed request stream from a workload.
+
+    Real serving traffic is not uniform: a few (user, query) pairs
+    dominate. This draws *n_requests* pairs from ``workload.pairs()``
+    with probability proportional to ``rank ** -skew`` (rank 1 = most
+    popular; ``skew=0`` is uniform, larger = more head-heavy), which is
+    what makes request coalescing and caching measurable in the serving
+    benchmark: the head pairs repeat, so concurrent duplicates exist.
+
+    Returns JSONL-ready ``{"user", "query", "k"}`` dicts - the same
+    record format ``pit-search search --batch`` consumes and the daemon's
+    ``POST /search`` accepts, so one replay file drives both paths.
+    """
+    require_in_range("n_requests", n_requests, 1)
+    if skew < 0:
+        raise ConfigurationError(f"skew must be >= 0, got {skew}")
+    rng = coerce_rng(seed)
+    pairs = list(workload.pairs())
+    ranks = np.arange(1, len(pairs) + 1, dtype=np.float64)
+    weights = ranks ** -float(skew)
+    weights /= weights.sum()
+    # Shuffle once so popularity is not correlated with user id order.
+    order = rng.permutation(len(pairs))
+    picks = rng.choice(len(pairs), size=n_requests, p=weights)
+    return [
+        {
+            "user": int(pairs[order[i]][0]),
+            "query": pairs[order[i]][1].raw,
+            "k": int(k),
+        }
+        for i in picks
+    ]

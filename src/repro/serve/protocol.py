@@ -1,0 +1,315 @@
+"""Wire protocol for the serving daemon: HTTP/1.1 framing + typed JSON.
+
+Dependency-free by design (stdlib ``json`` only): the daemon speaks a
+minimal, strict subset of HTTP/1.1 - enough for load balancers, health
+checkers, Prometheus scrapers, and the replay load generator - and every
+body in either direction is JSON.
+
+Two invariants this module enforces for the whole daemon:
+
+* **Errors are typed JSON, never tracebacks.** Every failure becomes
+  ``{"error": {"type": ..., "message": ...}}`` with a meaningful status
+  code; :func:`error_for_exception` maps the library's
+  :class:`~repro.exceptions.ReproError` taxonomy onto statuses (client
+  mistakes -> 400, artifact rejection -> 409, everything unexpected ->
+  an opaque 500).
+* **Inputs are validated before they reach the engine.** Body size is
+  bounded before the body is read (413), JSON must parse to an object
+  (400 ``MalformedRequest``), and fields are type- and range-checked
+  (400 ``ValidationError``) - so the search executor only ever sees
+  well-formed requests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..exceptions import (
+    ArtifactError,
+    ConfigurationError,
+    NodeNotFoundError,
+    QueryError,
+    ReproError,
+    UnknownTopicError,
+)
+from ..topics import KeywordQuery
+
+__all__ = [
+    "HttpError",
+    "SearchRequest",
+    "encode_response",
+    "error_body",
+    "error_for_exception",
+    "parse_reload_request",
+    "parse_search_request",
+    "results_payload",
+]
+
+#: Reason phrases for every status the daemon emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Hard ceiling on requested k (a typo like k=10**9 must not allocate).
+MAX_K = 10_000
+
+
+class HttpError(Exception):
+    """A request failure with a definite HTTP status and error type.
+
+    Raised anywhere in the request path and rendered as the typed JSON
+    error body; ``retry_after`` adds a ``Retry-After`` header (shedding).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        *,
+        retry_after: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.status = int(status)
+        self.error_type = str(error_type)
+        self.message = str(message)
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One validated ``POST /search`` body.
+
+    ``deadline_s`` is the caller's *relative* deadline in seconds
+    (``None`` = use the server default); the server converts it to an
+    absolute monotonic deadline at admission time.
+    """
+
+    user: int
+    query: KeywordQuery
+    k: int
+    deadline_s: Optional[float]
+
+
+def _load_json_object(body: bytes) -> Dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise HttpError(
+            400, "MalformedRequest", f"body is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise HttpError(
+            400, "MalformedRequest",
+            f"body must be a JSON object, got {type(payload).__name__}",
+        )
+    return payload
+
+
+def _require_int(payload: Mapping, field: str, *, minimum: int,
+                 maximum: Optional[int] = None,
+                 default: Optional[int] = None) -> int:
+    value = payload.get(field, default)
+    if value is None:
+        raise HttpError(400, "ValidationError", f"missing field {field!r}")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise HttpError(
+            400, "ValidationError",
+            f"field {field!r} must be an integer, got {value!r}",
+        )
+    if value < minimum or (maximum is not None and value > maximum):
+        bound = f">= {minimum}" if maximum is None else f"in [{minimum}, {maximum}]"
+        raise HttpError(
+            400, "ValidationError", f"field {field!r} must be {bound}, got {value}"
+        )
+    return value
+
+
+def parse_search_request(
+    body: bytes, *, default_k: int
+) -> SearchRequest:
+    """Validate a ``POST /search`` body into a :class:`SearchRequest`.
+
+    Required: ``user`` (int >= 0), ``query`` (non-empty string).
+    Optional: ``k`` (int in [1, MAX_K], default *default_k*),
+    ``deadline_ms`` (number > 0). Unknown fields are ignored (forward
+    compatibility). The query is tokenized here, so an unusable query
+    fails with a typed 400 before any engine work.
+    """
+    payload = _load_json_object(body)
+    user = _require_int(payload, "user", minimum=0)
+    raw_query = payload.get("query")
+    if not isinstance(raw_query, str) or not raw_query:
+        raise HttpError(
+            400, "ValidationError",
+            f"field 'query' must be a non-empty string, got {raw_query!r}",
+        )
+    k = _require_int(payload, "k", minimum=1, maximum=MAX_K, default=default_k)
+    deadline_s: Optional[float] = None
+    if payload.get("deadline_ms") is not None:
+        deadline_ms = payload["deadline_ms"]
+        if isinstance(deadline_ms, bool) or not isinstance(
+            deadline_ms, (int, float)
+        ):
+            raise HttpError(
+                400, "ValidationError",
+                f"field 'deadline_ms' must be a number, got {deadline_ms!r}",
+            )
+        if deadline_ms <= 0:
+            raise HttpError(
+                400, "ValidationError",
+                f"field 'deadline_ms' must be > 0, got {deadline_ms}",
+            )
+        deadline_s = float(deadline_ms) / 1000.0
+    try:
+        query = KeywordQuery.parse(raw_query)
+    except QueryError as exc:
+        raise HttpError(400, "QueryError", str(exc)) from None
+    return SearchRequest(user=user, query=query, k=k, deadline_s=deadline_s)
+
+
+_RELOAD_KEYS = frozenset({"index", "index_dir", "summaries"})
+
+
+def parse_reload_request(body: bytes) -> Dict[str, str]:
+    """Validate a ``POST /admin/reload`` body into path overrides.
+
+    An empty body (or ``{}``) reloads the daemon's configured artifact
+    paths - the "a new file replaced the old one on disk" flow. Keys
+    ``index`` / ``index_dir`` / ``summaries`` override individual paths;
+    anything else is a typed 400.
+    """
+    if not body:
+        return {}
+    payload = _load_json_object(body)
+    unknown = set(payload) - _RELOAD_KEYS
+    if unknown:
+        raise HttpError(
+            400, "ValidationError",
+            f"unknown reload field(s) {sorted(unknown)}; "
+            f"allowed: {sorted(_RELOAD_KEYS)}",
+        )
+    overrides: Dict[str, str] = {}
+    for key, value in payload.items():
+        if not isinstance(value, str) or not value:
+            raise HttpError(
+                400, "ValidationError",
+                f"reload field {key!r} must be a non-empty path string",
+            )
+        overrides[key] = value
+    if "index" in overrides and "index_dir" in overrides:
+        raise HttpError(
+            400, "ValidationError",
+            "reload fields 'index' and 'index_dir' are mutually exclusive",
+        )
+    return overrides
+
+
+# ---------------------------------------------------------------------------
+# Response encoding
+# ---------------------------------------------------------------------------
+
+
+def error_body(error_type: str, message: str) -> Dict:
+    """The canonical typed-error JSON payload."""
+    return {"error": {"type": error_type, "message": message}}
+
+
+def error_for_exception(exc: BaseException) -> Tuple[int, Dict]:
+    """Map an exception to ``(status, error payload)`` - never a traceback.
+
+    :class:`HttpError` carries its own status; the library's
+    :class:`ReproError` subtypes map to client errors (bad user id,
+    unusable query, missing summary -> 400) or artifact rejection (409);
+    anything else is an opaque ``InternalError`` 500 (the message names
+    the exception class only, so internals never leak to clients).
+    """
+    if isinstance(exc, HttpError):
+        return exc.status, error_body(exc.error_type, exc.message)
+    if isinstance(exc, ArtifactError):
+        return 409, error_body(type(exc).__name__, str(exc))
+    if isinstance(
+        exc,
+        (ConfigurationError, QueryError, NodeNotFoundError, UnknownTopicError),
+    ):
+        return 400, error_body(type(exc).__name__, str(exc))
+    if isinstance(exc, ReproError):
+        return 400, error_body(type(exc).__name__, str(exc))
+    return 500, error_body(
+        "InternalError", f"unexpected {type(exc).__name__} while serving"
+    )
+
+
+def results_payload(request: SearchRequest, outcome, generation: int) -> Dict:
+    """The ``POST /search`` success body for one answered request.
+
+    *outcome* is the searcher's ``(results, stats)`` pair. Influence
+    floats pass through ``json`` unrounded (``repr`` round-trips the
+    exact double), which is what makes daemon responses bit-comparable
+    to direct :meth:`~repro.core.engine.PITEngine.search` calls.
+    """
+    results, stats = outcome
+    return {
+        "user": request.user,
+        "query": request.query.raw,
+        "k": request.k,
+        "results": [
+            {
+                "topic_id": r.topic_id,
+                "label": r.label,
+                "influence": r.influence,
+            }
+            for r in results
+        ],
+        "stats": {
+            "topics_considered": stats.topics_considered,
+            "topics_pruned": stats.topics_pruned,
+            "entries_probed": stats.entries_probed,
+            "expansion_rounds": stats.expansion_rounds,
+            "representatives_touched": stats.representatives_touched,
+        },
+        "generation": generation,
+    }
+
+
+def encode_response(
+    status: int,
+    payload,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    retry_after: Optional[int] = None,
+) -> bytes:
+    """Serialize one complete HTTP/1.1 response.
+
+    *payload* is a JSON-able object (dicts/lists) or pre-encoded
+    ``bytes``/``str`` (the ``/metrics`` text path).
+    """
+    if isinstance(payload, bytes):
+        body = payload
+    elif isinstance(payload, str):
+        body = payload.encode("utf-8")
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if retry_after is not None:
+        lines.append(f"Retry-After: {int(retry_after)}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body

@@ -1,0 +1,462 @@
+"""The serving daemon: asyncio HTTP/JSON front-end over one shared engine.
+
+Stdlib-only (``asyncio.start_server`` + hand-rolled HTTP/1.1 framing in
+:mod:`repro.serve.protocol`); no web framework, no extra dependencies.
+The moving parts and their contracts:
+
+* **One engine, one worker thread.** The engine is not thread-safe, so
+  every engine touch - searches *and* ``/metrics`` snapshots - runs on a
+  single-thread executor. The event loop only parses, validates,
+  admits, and frames bytes.
+* **Admission before work** (:mod:`repro.serve.admission`): a full queue
+  sheds with 429 instead of queueing unboundedly.
+* **Coalescing** (:mod:`repro.serve.coalescer`): concurrent same-query
+  requests execute as one vectorized ``search_batch``.
+* **Deadlines**: every request carries an absolute monotonic deadline
+  (caller's ``deadline_ms`` or the server default). The handler waits at
+  most that long; the dispatcher refuses to start or deliver expired
+  work. A 504 means the work was *abandoned*, not returned late.
+* **Hot reload** (:mod:`repro.serve.reload`): ``POST /admin/reload`` or
+  ``SIGHUP`` validates new artifacts off-loop and swaps atomically; a
+  corrupt artifact is a 409 and the old engine keeps serving.
+* **Lifecycle**: ``/healthz`` is process-alive; ``/readyz`` is
+  load-balancer truth (503 while warming, reloading, or draining).
+  SIGTERM stops the listener, drains in-flight work up to the drain
+  deadline, hard-cancels the rest, and exits 0; SIGINT exits 130.
+* **Errors are typed JSON** - a traceback never crosses the socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from .. import _faults
+from ..obs.export import render_prometheus
+from ..obs.registry import MetricsRegistry, NullRegistry
+from .admission import AdmissionController
+from .coalescer import Coalescer
+from .protocol import (
+    HttpError,
+    encode_response,
+    error_for_exception,
+    parse_reload_request,
+    parse_search_request,
+    results_payload,
+)
+from .reload import EngineManager
+
+__all__ = ["PITServer", "ServeConfig"]
+
+#: Largest request line / header line we accept (also the stream limit).
+_MAX_LINE = 16 * 1024
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one daemon instance (see docs/operations.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    #: Admission capacity: max admitted-but-unfinished /search requests.
+    max_queue: int = 64
+    #: Max requests drained into one dispatch round (coalescing bound).
+    max_batch: int = 8
+    #: Default per-request deadline when the caller sends none.
+    default_deadline_s: float = 5.0
+    #: How long SIGTERM waits for in-flight work before hard-cancel.
+    drain_s: float = 10.0
+    #: Request bodies above this are refused with 413 before reading.
+    max_body_bytes: int = 64 * 1024
+    #: Default k when the caller sends none.
+    default_k: int = 10
+
+
+class PITServer:
+    """The daemon. Construct with an engine loader, then :meth:`run`.
+
+    Parameters
+    ----------
+    loader:
+        ``loader(overrides) -> engine`` building a fully validated
+        serving engine (normally a closure over
+        :meth:`~repro.core.serve_facade.ServingEngine.from_artifacts`).
+        Called once at warm-up and once per reload, always off-loop.
+    config:
+        :class:`ServeConfig` tunables.
+    metrics:
+        Registry for ``serve.*`` metrics; pass the same registry the
+        engine publishes to so ``/metrics`` is one coherent exposition.
+    """
+
+    def __init__(
+        self,
+        loader: Callable[[Dict[str, str]], object],
+        config: Optional[ServeConfig] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config or ServeConfig()
+        self._metrics = metrics if metrics is not None else NullRegistry()
+        self.engines = EngineManager(loader, metrics=self._metrics)
+        self.admission = AdmissionController(
+            self.config.max_queue, metrics=self._metrics
+        )
+        # ONE worker thread: the engine's caches/plans are not thread-safe.
+        self._search_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="pit-search"
+        )
+        self.coalescer = Coalescer(
+            self.engines,
+            self._search_executor,
+            max_batch=self.config.max_batch,
+            metrics=self._metrics,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        #: Requests mid-handling, parse through response write: the drain
+        #: barrier. Admission alone is not enough - it releases before
+        #: the response bytes go out, and a hard-cancel in that gap
+        #: would eat a completed result.
+        self._active_requests = 0
+        self._state = "warming"  # warming -> ready -> draining
+        self._shutdown = asyncio.Event()
+        self._exit_code = 0
+        self._reload_task: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``warming`` | ``ready`` | ``draining``."""
+        return self._state
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` in tests)."""
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the listener, warm the engine, flip to ready.
+
+        The listener comes up *before* the engine loads so health
+        probes get answers during warm-up (``/readyz`` says 503).
+        """
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=_MAX_LINE,
+        )
+        self._dispatcher = asyncio.ensure_future(self.coalescer.run())
+        await self.engines.load_initial()
+        self._state = "ready"
+        self._metrics.set_gauge("serve.ready", 1)
+
+    def request_shutdown(self, exit_code: int = 0) -> None:
+        """Thread-safe :meth:`begin_drain` (test harnesses, embedders)."""
+        if self._loop is None:
+            raise RuntimeError("server not started")
+        self._loop.call_soon_threadsafe(self.begin_drain, exit_code)
+
+    def begin_drain(self, exit_code: int = 0) -> None:
+        """Request shutdown (signal handlers and tests call this)."""
+        if self._state != "draining":
+            self._state = "draining"
+            self._exit_code = exit_code
+            self._metrics.set_gauge("serve.ready", 0)
+            self._shutdown.set()
+
+    async def drain(self) -> None:
+        """Stop accepting, finish in-flight work, hard-cancel stragglers."""
+        self._state = "draining"
+        self._metrics.set_gauge("serve.ready", 0)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.drain_s
+        while self._active_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        if self._active_requests > 0:
+            self._metrics.inc("serve.drain_hard_cancels", self._active_requests)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._search_executor.shutdown(wait=True)
+
+    async def run(
+        self, *, ready_callback: Optional[Callable[[], None]] = None
+    ) -> int:
+        """Full daemon lifecycle; returns the process exit code.
+
+        Installs SIGTERM (drain, exit 0), SIGINT (drain, exit 130) and
+        SIGHUP (hot reload) handlers when the platform and thread allow
+        it (tests drive :meth:`begin_drain` directly instead).
+        """
+        import signal
+
+        await self.start()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for sig, code in ((signal.SIGTERM, 0), (signal.SIGINT, 130)):
+            try:
+                loop.add_signal_handler(sig, self.begin_drain, code)
+                installed.append(sig)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass
+        try:
+            loop.add_signal_handler(signal.SIGHUP, self._reload_on_signal)
+            installed.append(signal.SIGHUP)
+        except (NotImplementedError, ValueError, RuntimeError, AttributeError):
+            pass
+        try:
+            if ready_callback is not None:
+                ready_callback()
+            await self._shutdown.wait()
+            await self.drain()
+        finally:
+            for sig in installed:
+                try:
+                    loop.remove_signal_handler(sig)
+                except (NotImplementedError, ValueError, RuntimeError):
+                    pass
+        return self._exit_code
+
+    def _reload_on_signal(self) -> None:
+        if self._reload_task is not None and not self._reload_task.done():
+            return  # a reload is already running; SIGHUP is level, not queue
+        self._reload_task = asyncio.ensure_future(self._reload_quietly({}))
+
+    async def _reload_quietly(self, overrides: Dict[str, str]) -> None:
+        try:
+            await self.engines.reload(overrides)
+        except Exception:
+            pass  # counted in serve.reload_failures; old engine serves on
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._connection_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass  # hard-cancel at drain deadline: just drop the socket
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                parsed = await self._read_request(reader)
+            except HttpError as exc:
+                status, body = error_for_exception(exc)
+                writer.write(
+                    encode_response(
+                        status, body, keep_alive=False,
+                        retry_after=exc.retry_after,
+                    )
+                )
+                await writer.drain()
+                return
+            if parsed is None:  # clean EOF between requests
+                return
+            method, target, headers, body = parsed
+            self._active_requests += 1
+            try:
+                status, payload, extra = await self._route(method, target, body)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                writer.write(
+                    encode_response(
+                        status, payload, keep_alive=keep_alive, **extra
+                    )
+                )
+                await writer.drain()
+            finally:
+                self._active_requests -= 1
+            if not keep_alive:
+                return
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one request; None on clean EOF, HttpError on garbage."""
+        try:
+            line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise HttpError(400, "MalformedRequest", "request line too long")
+        if not line:
+            return None
+        parts = line.decode("latin-1", "replace").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise HttpError(400, "MalformedRequest", "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            try:
+                raw = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                raise HttpError(400, "MalformedRequest", "header line too long")
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1", "replace").partition(":")
+            if not sep:
+                raise HttpError(400, "MalformedRequest", "malformed header")
+            headers[name.strip().lower()] = value.strip()
+        length_raw = headers.get("content-length", "0")
+        try:
+            length = int(length_raw)
+        except ValueError:
+            raise HttpError(
+                400, "MalformedRequest",
+                f"invalid Content-Length {length_raw!r}",
+            )
+        if length < 0:
+            raise HttpError(
+                400, "MalformedRequest", f"negative Content-Length {length}"
+            )
+        if length > self.config.max_body_bytes:
+            # Refused before reading the body; connection must close.
+            raise HttpError(
+                413, "PayloadTooLarge",
+                f"body of {length} bytes exceeds limit "
+                f"{self.config.max_body_bytes}",
+            )
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(
+                    400, "MalformedRequest", "body shorter than Content-Length"
+                )
+        return method, target, headers, body
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, object, Dict]:
+        """Dispatch one request; returns (status, payload, header extras)."""
+        path = target.split("?", 1)[0]
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    raise HttpError(405, "MethodNotAllowed", "use GET")
+                return 200, {"status": "ok", "state": self._state}, {}
+            if path == "/readyz":
+                if method != "GET":
+                    raise HttpError(405, "MethodNotAllowed", "use GET")
+                return self._readyz()
+            if path == "/metrics":
+                if method != "GET":
+                    raise HttpError(405, "MethodNotAllowed", "use GET")
+                return await self._metrics_response()
+            if path == "/search":
+                if method != "POST":
+                    raise HttpError(405, "MethodNotAllowed", "use POST")
+                return await self._search(body)
+            if path == "/admin/reload":
+                if method != "POST":
+                    raise HttpError(405, "MethodNotAllowed", "use POST")
+                return await self._admin_reload(body)
+            raise HttpError(404, "NotFound", f"no route for {path}")
+        except Exception as exc:  # noqa: BLE001 - typed JSON, never a traceback
+            status, payload = error_for_exception(exc)
+            if status >= 500:
+                self._metrics.inc("serve.errors")
+            extra: Dict = {}
+            if isinstance(exc, HttpError) and exc.retry_after is not None:
+                extra["retry_after"] = exc.retry_after
+            return status, payload, extra
+
+    def _readyz(self) -> Tuple[int, object, Dict]:
+        ready = self._state == "ready" and not self.engines.reloading
+        if ready:
+            return 200, {"ready": True, "generation": self.engines.generation}, {}
+        return 503, {"ready": False, "state": self._state}, {}
+
+    async def _metrics_response(self) -> Tuple[int, object, Dict]:
+        engine = self.engines.current
+        if engine is None:
+            snapshot = self._metrics.snapshot()
+        else:
+            # Snapshot via the search executor: gauge publication walks
+            # engine caches, which must not race active searches.
+            loop = asyncio.get_running_loop()
+            snapshot = await loop.run_in_executor(
+                self._search_executor, engine.metrics_snapshot
+            )
+        text = render_prometheus(snapshot)
+        return 200, text, {"content_type": "text/plain; version=0.0.4"}
+
+    async def _search(self, body: bytes) -> Tuple[int, object, Dict]:
+        if self._state == "draining":
+            self._metrics.inc("serve.draining_rejects")
+            raise HttpError(503, "Draining", "server is shutting down")
+        if self._state != "ready":
+            raise HttpError(503, "NotReady", "server is warming up")
+        _faults.inject("serve.handle", path="/search")
+        request = parse_search_request(body, default_k=self.config.default_k)
+        self._metrics.inc("serve.requests")
+        start = time.monotonic()
+        timeout = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        self.admission.admit()
+        try:
+            future = self.coalescer.submit(request, start + timeout)
+            try:
+                outcome, generation = await asyncio.wait_for(future, timeout)
+            except asyncio.TimeoutError:
+                # wait_for cancelled the future: the dispatcher sees it
+                # done and abandons the result - never returned stale.
+                self._metrics.inc("serve.deadline_exceeded")
+                raise HttpError(
+                    504, "DeadlineExceeded",
+                    f"request exceeded its {timeout:.3f}s deadline",
+                ) from None
+        finally:
+            self.admission.release()
+        self._metrics.observe(
+            "serve.latency_seconds", time.monotonic() - start
+        )
+        self._metrics.inc("serve.responses_ok")
+        return 200, results_payload(request, outcome, generation), {}
+
+    async def _admin_reload(self, body: bytes) -> Tuple[int, object, Dict]:
+        overrides = parse_reload_request(body)
+        generation = await self.engines.reload(overrides)
+        return 200, {"status": "reloaded", "generation": generation}, {}

@@ -1,0 +1,147 @@
+"""ServingEngine: the online-only facade must match PITEngine bit for bit."""
+
+import pytest
+
+from repro.core import (
+    PITEngine,
+    ServingEngine,
+    save_propagation_index,
+    save_summaries,
+)
+from repro.datasets import data_2k
+from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def built():
+    """A fully built PITEngine over a small bundle (shared, read-only)."""
+    bundle = data_2k(seed=7, n_nodes=130, with_corpus=False)
+    engine = PITEngine.from_dataset(bundle, summarizer="rcl", seed=7)
+    engine.propagation_index.build_all(workers=1)
+    engine.build_summaries()
+    return bundle, engine
+
+
+QUERIES = [(3, "phone"), (11, "camera"), (40, "phone"), (3, "music")]
+
+
+class TestParity:
+    def test_search_matches_pitengine(self, built):
+        bundle, engine = built
+        serving = ServingEngine(
+            bundle.graph, bundle.topic_index, engine.summaries,
+            engine.propagation_index,
+        )
+        for user, query in QUERIES:
+            expect = engine.search(user, query, k=5, with_stats=True)
+            got = serving.search(user, query, k=5, with_stats=True)
+            assert got[0] == expect[0]
+            assert [r.influence for r in got[0]] == [
+                r.influence for r in expect[0]
+            ]
+
+    def test_search_batch_matches_pitengine(self, built):
+        bundle, engine = built
+        serving = ServingEngine(
+            bundle.graph, bundle.topic_index, engine.summaries,
+            engine.propagation_index,
+        )
+        expect = engine.search_batch(QUERIES, k=4)
+        got = serving.search_batch(QUERIES, k=4)
+        assert got == expect
+
+    def test_lazy_propagation_matches_prebuilt(self, built):
+        # No prebuilt index: the facade materializes entries at theta
+        # on demand, and the numbers must still agree exactly.
+        bundle, engine = built
+        serving = ServingEngine(
+            bundle.graph, bundle.topic_index, engine.summaries,
+            theta=engine.propagation_index.theta,
+        )
+        user, query = QUERIES[0]
+        assert serving.search(user, query, k=5) == engine.search(
+            user, query, k=5
+        )
+
+
+class TestFromArtifacts:
+    def test_round_trip_through_disk(self, built, tmp_path):
+        bundle, engine = built
+        index_path = tmp_path / "prop.npz"
+        sums_path = tmp_path / "sums.json"
+        save_propagation_index(engine.propagation_index, index_path)
+        save_summaries(engine.summaries, bundle.graph, sums_path)
+        serving = ServingEngine.from_artifacts(
+            bundle.graph, bundle.topic_index, sums_path,
+            index_path=index_path,
+        )
+        assert serving.n_summaries == engine.n_summaries
+        assert serving.theta == engine.propagation_index.theta
+        user, query = QUERIES[1]
+        assert serving.search(user, query, k=5) == engine.search(
+            user, query, k=5
+        )
+
+    def test_index_path_and_dir_are_exclusive(self, built, tmp_path):
+        bundle, engine = built
+        sums_path = tmp_path / "sums.json"
+        save_summaries(engine.summaries, bundle.graph, sums_path)
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            ServingEngine.from_artifacts(
+                bundle.graph, bundle.topic_index, sums_path,
+                index_path=tmp_path / "a.npz", index_dir=tmp_path,
+            )
+
+    def test_wrong_graph_rejected(self, built, tmp_path):
+        bundle, engine = built
+        sums_path = tmp_path / "sums.json"
+        save_summaries(engine.summaries, bundle.graph, sums_path)
+        other = data_2k(seed=8, n_nodes=130, with_corpus=False)
+        with pytest.raises(Exception):  # signature mismatch from loader
+            ServingEngine.from_artifacts(
+                other.graph, other.topic_index, sums_path,
+            )
+
+
+class TestValidation:
+    def test_node_count_mismatch_rejected(self, built):
+        bundle, engine = built
+        other = data_2k(seed=7, n_nodes=90, with_corpus=False)
+        with pytest.raises(ConfigurationError, match="nodes"):
+            ServingEngine(
+                other.graph, bundle.topic_index, engine.summaries,
+            )
+
+    def test_foreign_propagation_index_rejected(self, built):
+        bundle, engine = built
+        other = data_2k(seed=7, n_nodes=90, with_corpus=False)
+        other_engine = PITEngine.from_dataset(other, summarizer="rcl", seed=7)
+        with pytest.raises(ConfigurationError, match="propagation index"):
+            ServingEngine(
+                bundle.graph, bundle.topic_index, engine.summaries,
+                other_engine.propagation_index,
+            )
+
+
+class TestMetrics:
+    def test_snapshot_publishes_engine_gauges(self, built):
+        bundle, engine = built
+        registry = MetricsRegistry()
+        serving = ServingEngine(
+            bundle.graph, bundle.topic_index, engine.summaries,
+            engine.propagation_index, metrics=registry,
+        )
+        serving.search(3, "phone", k=3)
+        snapshot = serving.metrics_snapshot()
+        assert snapshot.gauges["summaries.cached"] == serving.n_summaries
+        assert snapshot.gauges["engine.memory_bytes"] > 0
+        assert "propagation.entries_cached" in snapshot.gauges
+
+    def test_memory_bytes_positive(self, built):
+        bundle, engine = built
+        serving = ServingEngine(
+            bundle.graph, bundle.topic_index, engine.summaries,
+            engine.propagation_index,
+        )
+        assert serving.memory_bytes() > 0

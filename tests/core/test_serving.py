@@ -91,6 +91,91 @@ class TestByteLRUCache:
             ByteLRUCache(0)
 
 
+class TestGetOrPut:
+    """The coalescing-safe miss-then-insert helper (serving daemon)."""
+
+    def test_hit_and_miss_round_trip(self):
+        cache = ByteLRUCache(100)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_put("k", build, lambda v: 5) == "value"
+        assert cache.get_or_put("k", build, lambda v: 5) == "value"
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_reentrant_build_inserting_same_key_wins(self):
+        # A builder that (via a recursive provider) inserts the key it
+        # was asked to build: the raced-in value must win, with no
+        # double charge against the byte budget.
+        cache = ByteLRUCache(100)
+
+        def build():
+            cache.put("k", "raced", 30)
+            return "mine"
+
+        assert cache.get_or_put("k", build, lambda v: 30) == "raced"
+        assert cache.memory_bytes() == 30
+        assert cache.get("k") == "raced"
+
+    def test_reentrant_build_populating_other_keys(self):
+        # A coalesced batch's builder fills sibling entries while this
+        # key is mid-build; the final insert must account correctly.
+        cache = ByteLRUCache(100)
+
+        def build():
+            for i in range(3):
+                cache.put(f"sibling{i}", i, 20)
+            return "mine"
+
+        assert cache.get_or_put("k", build, lambda v: 20) == "mine"
+        assert cache.memory_bytes() == 80
+        assert len(cache) == 4
+
+    def test_raced_value_refreshes_recency(self):
+        cache = ByteLRUCache(50)
+        cache.put("a", 1, 20)
+
+        def build():
+            cache.put("k", "raced", 20)
+            cache.get("a")  # "a" now more recent than the raced "k"...
+            return "mine"
+
+        # ...but get_or_put bumps "k" back to most-recent on return.
+        assert cache.get_or_put("k", build, lambda v: 20) == "raced"
+        cache.put("c", 3, 20)  # needs one eviction: "a" must go, not "k"
+        assert "k" in cache and "a" not in cache
+
+    def test_interleaved_hit_miss_deltas_stay_consistent(self):
+        # Simulates two coalesced callers for one key: the first misses
+        # and builds, the second (interleaved inside the first's build)
+        # also calls get_or_put. Total counters must stay coherent:
+        # every lookup is exactly one hit or one miss.
+        cache = ByteLRUCache(100)
+        order = []
+
+        def inner_build():
+            order.append("inner-build")
+            return "inner"
+
+        def outer_build():
+            order.append("outer-build")
+            value = cache.get_or_put("k", inner_build, lambda v: 10)
+            order.append(f"inner-got:{value}")
+            return "outer"
+
+        assert cache.get_or_put("k", outer_build, lambda v: 10) == "inner"
+        assert order == ["outer-build", "inner-build", "inner-got:inner"]
+        stats = cache.stats()
+        assert stats.hits + stats.misses == 2
+        assert stats.misses == 2  # both lookups ran before any insert
+        assert cache.memory_bytes() == 10  # one charge for one key
+
+
 class TestByteLRUCacheEdgeCases:
     """Accounting invariants under re-puts, oversize items, and clears."""
 

@@ -315,3 +315,72 @@ class TestErrorHandling:
         err = capsys.readouterr().err
         assert "pit-search: error:" in err
         assert str(artifact) in err
+
+
+class TestSignalContract:
+    """SIGINT and SIGTERM share one cleanup path and exit 128 + signum."""
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def interrupt(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_run_datasets", interrupt)
+        code = main(["datasets"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+
+    def test_sigterm_exits_143_through_same_path(self, capsys, monkeypatch):
+        import os
+        import signal
+        import time
+
+        import repro.cli as cli
+
+        def wait_for_term(args):
+            os.kill(os.getpid(), signal.SIGTERM)
+            time.sleep(10)  # the handler interrupts this sleep
+            return 0  # pragma: no cover - must not be reached
+
+        monkeypatch.setattr(cli, "_run_datasets", wait_for_term)
+        code = main(["datasets"])
+        assert code == 143
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+
+    def test_sigterm_handler_restored_after_main(self, monkeypatch):
+        import signal
+
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "_run_datasets", lambda args: 0)
+        before = signal.getsignal(signal.SIGTERM)
+        assert main(["datasets"]) == 0
+        assert signal.getsignal(signal.SIGTERM) is before
+
+
+class TestServeParser:
+    def test_serve_requires_summaries(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--summaries", "/tmp/s.json"]
+        )
+        assert args.port == 8080
+        assert args.max_queue == 64
+        assert args.max_batch == 8
+        assert args.default_deadline_ms == 5000
+        assert args.drain_seconds == 10.0
+
+    def test_serve_index_and_index_dir_exclusive(self, capsys):
+        code = main([
+            "serve", "--summaries", "/tmp/s.json",
+            "--index", "/tmp/a.npz", "--index-dir", "/tmp/b",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "mutually exclusive" in err

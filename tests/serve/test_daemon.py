@@ -1,0 +1,319 @@
+"""Integration tests for the serving daemon: differential correctness,
+failure modes, admission, coalescing, hot reload, and graceful drain."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import _faults
+from repro.datasets import generate_workload
+
+
+def expected_results(stack, user, query, k):
+    results, _ = stack.engine.search(user, query, k=k, with_stats=True)
+    return [
+        {"topic_id": r.topic_id, "label": r.label, "influence": r.influence}
+        for r in results
+    ]
+
+
+class TestDifferential:
+    """Daemon responses must be bit-exact vs direct engine calls."""
+
+    @pytest.mark.parametrize("seed", [7, 1234])
+    def test_bit_exact_over_workload_and_across_reload(
+        self, stacks, make_daemon, seed
+    ):
+        stack = stacks[seed]
+        daemon = make_daemon(use_stack=stack)
+        workload = generate_workload(
+            stack.bundle, n_queries=4, n_users=3, seed=seed
+        )
+        pairs = list(workload.pairs())
+        for user, query in pairs:
+            status, body, _ = daemon.search(user, query.raw, k=5)
+            assert status == 200, body
+            assert body["generation"] == 1
+            # JSON repr round-trips doubles exactly: == here is bit-exact.
+            assert body["results"] == expected_results(
+                stack, user, query.raw, 5
+            )
+        status, body, _ = daemon.request("POST", "/admin/reload", {})
+        assert status == 200 and body["generation"] == 2
+        for user, query in pairs[:4]:
+            status, body, _ = daemon.search(user, query.raw, k=5)
+            assert status == 200
+            assert body["generation"] == 2
+            assert body["results"] == expected_results(
+                stack, user, query.raw, 5
+            )
+
+    def test_coalesced_batch_is_bit_exact(self, stack, daemon):
+        # Hold the single worker busy so concurrent same-query requests
+        # pile up and dispatch as one coalesced batch.
+        users = [3, 11, 29, 47]
+        responses = {}
+        errors = []
+
+        def fire(user):
+            try:
+                responses[user] = daemon.search(user, "phone", k=5)
+            except Exception as exc:  # pragma: no cover - test plumbing
+                errors.append(exc)
+
+        with _faults.fault("serve.search_delay", _faults.Delay(0.3, times=1)):
+            first = threading.Thread(target=fire, args=(users[0],))
+            first.start()
+            time.sleep(0.1)  # worker is now sleeping inside the fault
+            rest = [
+                threading.Thread(target=fire, args=(u,)) for u in users[1:]
+            ]
+            for t in rest:
+                t.start()
+            first.join(30)
+            for t in rest:
+                t.join(30)
+        assert not errors
+        for user in users:
+            status, body, _ = responses[user]
+            assert status == 200, body
+            assert body["results"] == expected_results(stack, user, "phone", 5)
+        counters = daemon.registry.snapshot().counters
+        assert counters.get("serve.coalesced_batches", 0) >= 1
+
+
+class TestFailureModes:
+    def test_malformed_json_is_typed_400(self, daemon):
+        status, body, _ = daemon.request(
+            "POST", "/search", raw_body="this is not json"
+        )
+        assert status == 400
+        assert body["error"]["type"] == "MalformedRequest"
+
+    def test_missing_fields_are_typed_400(self, daemon):
+        status, body, _ = daemon.request("POST", "/search", {"user": 1})
+        assert status == 400
+        assert body["error"]["type"] == "ValidationError"
+
+    def test_unknown_user_is_typed_400(self, daemon):
+        status, body, _ = daemon.search(10**7, "phone")
+        assert status == 400
+        assert body["error"]["type"] == "NodeNotFoundError"
+
+    def test_oversized_body_is_413(self, daemon):
+        huge = json.dumps({"user": 1, "query": "x" * 70_000})
+        status, body, _ = daemon.request("POST", "/search", raw_body=huge)
+        assert status == 413
+        assert body["error"]["type"] == "PayloadTooLarge"
+
+    def test_unknown_route_is_404(self, daemon):
+        status, body, _ = daemon.request("GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, daemon):
+        status, body, _ = daemon.request("GET", "/search")
+        assert status == 405
+        status, body, _ = daemon.request("POST", "/healthz", {})
+        assert status == 405
+
+    def test_deadline_expiry_mid_search_is_504_then_recovers(
+        self, stack, daemon
+    ):
+        with _faults.fault("serve.search_delay", _faults.Delay(0.6, times=1)):
+            status, body, _ = daemon.search(3, "phone", deadline_ms=150)
+        assert status == 504
+        assert body["error"]["type"] == "DeadlineExceeded"
+        counters = daemon.registry.snapshot().counters
+        assert counters.get("serve.deadline_exceeded", 0) >= 1
+        # The abandoned result must not poison later requests.
+        status, body, _ = daemon.search(3, "phone", k=5)
+        assert status == 200
+        assert body["results"] == expected_results(stack, 3, "phone", 5)
+
+    def test_traceback_never_crosses_the_socket(self, daemon):
+        class Boom:
+            def __call__(self, **_):
+                raise RuntimeError("kaboom internal state")
+
+        with _faults.fault("serve.handle", Boom()):
+            status, body, _ = daemon.search(3, "phone")
+        assert status == 500
+        assert body["error"]["type"] == "InternalError"
+        assert "kaboom" not in json.dumps(body)
+
+
+class TestAdmission:
+    def test_sheds_with_429_at_capacity_then_recovers(self, make_daemon):
+        from repro.serve import ServeConfig
+
+        daemon = make_daemon(config=ServeConfig(port=0, max_queue=2))
+        done = {}
+
+        def slow(user):
+            done[user] = daemon.search(user, "phone")
+
+        with _faults.fault("serve.search_delay", _faults.Delay(0.5)):
+            threads = [threading.Thread(target=slow, args=(u,)) for u in (3, 11)]
+            threads[0].start()
+            time.sleep(0.1)
+            threads[1].start()
+            time.sleep(0.1)
+            status, body, headers = daemon.search(29, "phone")
+            assert status == 429
+            assert body["error"]["type"] == "Overloaded"
+            assert headers.get("Retry-After") == "1"
+            for t in threads:
+                t.join(30)
+        for user in (3, 11):
+            assert done[user][0] == 200
+        # Capacity reopens once the slow requests finish.
+        status, _, _ = daemon.search(29, "phone")
+        assert status == 200
+        counters = daemon.registry.snapshot().counters
+        assert counters.get("serve.shed", 0) >= 1
+
+
+class TestReload:
+    def test_corrupt_artifact_rejected_old_engine_serves(self, stack, daemon):
+        status, before, _ = daemon.search(3, "phone", k=5)
+        assert status == 200 and before["generation"] == 1
+        with _faults.fault("artifact.load_bytes", _faults.FlipByte(100)):
+            status, body, _ = daemon.request("POST", "/admin/reload", {})
+        assert status == 409
+        assert body["error"]["type"] == "ArtifactCorruptedError"
+        # Old engine still serving, same generation, same answers.
+        status, after, _ = daemon.search(3, "phone", k=5)
+        assert status == 200
+        assert after["generation"] == 1
+        assert after["results"] == before["results"]
+        counters = daemon.registry.snapshot().counters
+        assert counters.get("serve.reload_failures", 0) == 1
+        # A clean retry succeeds.
+        status, body, _ = daemon.request("POST", "/admin/reload", {})
+        assert status == 200 and body["generation"] == 2
+
+    def test_reload_under_traffic_drops_nothing(self, stack, daemon):
+        class SlowLoad:
+            def __call__(self, *, data, **_):
+                time.sleep(0.25)
+                return data
+
+        reload_result = {}
+
+        def do_reload():
+            reload_result["response"] = daemon.request(
+                "POST", "/admin/reload", {}
+            )
+
+        statuses = []
+        generations = set()
+        with _faults.fault("artifact.load_bytes", SlowLoad()):
+            reloader = threading.Thread(target=do_reload)
+            reloader.start()
+            time.sleep(0.05)
+            # While the new engine loads: not ready for new traffic per
+            # /readyz, but every in-flight/arriving request still answers.
+            saw_not_ready = False
+            deadline = time.monotonic() + 10
+            while reloader.is_alive() and time.monotonic() < deadline:
+                r_status, _, _ = daemon.request("GET", "/readyz")
+                saw_not_ready = saw_not_ready or r_status == 503
+                s_status, s_body, _ = daemon.search(3, "phone", k=3)
+                statuses.append(s_status)
+                generations.add(s_body.get("generation"))
+            reloader.join(30)
+        assert reload_result["response"][0] == 200
+        assert statuses and all(s == 200 for s in statuses)
+        assert saw_not_ready  # /readyz said "draining from LB" during load
+        # After the swap, traffic flows on the new generation.
+        status, body, _ = daemon.search(3, "phone", k=3)
+        assert status == 200 and body["generation"] == 2
+        generations.add(body["generation"])
+        assert generations <= {1, 2}
+        status, _, _ = daemon.request("GET", "/readyz")
+        assert status == 200
+
+
+class TestLifecycle:
+    def test_healthz_and_readyz_when_ready(self, daemon):
+        status, body, _ = daemon.request("GET", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        status, body, _ = daemon.request("GET", "/readyz")
+        assert status == 200 and body["ready"] is True
+
+    def test_metrics_endpoint_exposes_serve_series(self, daemon):
+        daemon.search(3, "phone")
+        status, text, headers = daemon.request("GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        exposition = (
+            text if isinstance(text, str) else text.decode("utf-8")
+        )
+        assert "serve_requests" in exposition
+        assert "serve_latency_seconds" in exposition
+        assert "engine_memory_bytes" in exposition
+
+    def test_drain_completes_inflight_then_exits_cleanly(self, make_daemon):
+        daemon = make_daemon()
+        result = {}
+
+        def slow_search():
+            result["response"] = daemon.search(3, "phone", k=5)
+
+        with _faults.fault("serve.search_delay", _faults.Delay(0.4, times=1)):
+            t = threading.Thread(target=slow_search)
+            t.start()
+            time.sleep(0.1)  # request is now in flight
+            code = daemon.stop(exit_code=0)
+            t.join(30)
+        assert code == 0
+        status, body, _ = result["response"]
+        assert status == 200  # the in-flight request finished, not 503
+        assert body["results"]
+
+
+@pytest.mark.slow
+class TestRealSignals:
+    def test_cli_serve_sigterm_drains_and_exits_zero(self, stack, tmp_path):
+        src_dir = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_dir)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--dataset", "data_2k", "--size", "140", "--seed", "7",
+                "--summaries", str(stack.sums_path),
+                "--index", str(stack.index_path),
+                "--port", "0", "--drain-seconds", "5",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            ready = False
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                if line.startswith("ready:"):
+                    ready = True
+                    break
+            assert ready, "daemon subprocess never reported ready"
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=30)
+            assert code == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)

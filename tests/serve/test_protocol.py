@@ -1,0 +1,218 @@
+"""Unit tests for the daemon's wire protocol and admission control."""
+
+import json
+
+import pytest
+
+from repro.exceptions import (
+    ArtifactCorruptedError,
+    NodeNotFoundError,
+    QueryError,
+)
+from repro.obs import MetricsRegistry
+from repro.serve import AdmissionController, HttpError
+from repro.serve.protocol import (
+    encode_response,
+    error_body,
+    error_for_exception,
+    parse_reload_request,
+    parse_search_request,
+)
+
+
+def _encode(payload) -> bytes:
+    return json.dumps(payload).encode()
+
+
+class TestParseSearchRequest:
+    def test_minimal_valid(self):
+        req = parse_search_request(
+            _encode({"user": 3, "query": "phone"}), default_k=10
+        )
+        assert req.user == 3
+        assert req.k == 10
+        assert req.deadline_s is None
+        assert req.query.raw == "phone"
+
+    def test_all_fields(self):
+        req = parse_search_request(
+            _encode({"user": 0, "query": "alpha beta", "k": 3, "deadline_ms": 250}),
+            default_k=10,
+        )
+        assert req.k == 3
+        assert req.deadline_s == pytest.approx(0.25)
+
+    def test_unknown_fields_ignored(self):
+        req = parse_search_request(
+            _encode({"user": 1, "query": "phone", "future_flag": True}),
+            default_k=5,
+        )
+        assert req.user == 1
+
+    @pytest.mark.parametrize("body", [
+        b"not json",
+        b"\xff\xfe binary",
+        _encode([1, 2, 3]),
+        _encode("just a string"),
+    ])
+    def test_malformed_bodies_are_400(self, body):
+        with pytest.raises(HttpError) as exc:
+            parse_search_request(body, default_k=10)
+        assert exc.value.status == 400
+        assert exc.value.error_type == "MalformedRequest"
+
+    @pytest.mark.parametrize("payload", [
+        {"query": "phone"},                       # missing user
+        {"user": "3", "query": "phone"},          # user not an int
+        {"user": True, "query": "phone"},         # bool is not an int here
+        {"user": -1, "query": "phone"},           # negative user
+        {"user": 1},                          # missing query
+        {"user": 1, "query": ""},             # empty query
+        {"user": 1, "query": 5},              # non-string query
+        {"user": 1, "query": "phone", "k": 0},    # k out of range
+        {"user": 1, "query": "phone", "k": 10**9},
+        {"user": 1, "query": "phone", "k": "5"},
+        {"user": 1, "query": "phone", "deadline_ms": 0},
+        {"user": 1, "query": "phone", "deadline_ms": -5},
+        {"user": 1, "query": "phone", "deadline_ms": "fast"},
+    ])
+    def test_invalid_fields_are_400(self, payload):
+        with pytest.raises(HttpError) as exc:
+            parse_search_request(_encode(payload), default_k=10)
+        assert exc.value.status == 400
+
+    def test_unusable_query_is_typed_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse_search_request(
+                _encode({"user": 1, "query": "&&& !!!"}), default_k=10
+            )
+        assert exc.value.status == 400
+        assert exc.value.error_type == "QueryError"
+
+
+class TestParseReloadRequest:
+    def test_empty_body_means_reload_configured_paths(self):
+        assert parse_reload_request(b"") == {}
+        assert parse_reload_request(_encode({})) == {}
+
+    def test_overrides_pass_through(self):
+        overrides = parse_reload_request(
+            _encode({"summaries": "/tmp/s.json", "index": "/tmp/p.npz"})
+        )
+        assert overrides == {"summaries": "/tmp/s.json", "index": "/tmp/p.npz"}
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(HttpError) as exc:
+            parse_reload_request(_encode({"indexdir": "/x"}))
+        assert exc.value.status == 400
+
+    def test_index_and_index_dir_exclusive(self):
+        with pytest.raises(HttpError, match="mutually exclusive"):
+            parse_reload_request(
+                _encode({"index": "/a", "index_dir": "/b"})
+            )
+
+    def test_non_string_path_rejected(self):
+        with pytest.raises(HttpError):
+            parse_reload_request(_encode({"index": 5}))
+
+
+class TestErrorMapping:
+    def test_http_error_keeps_status(self):
+        status, body = error_for_exception(
+            HttpError(429, "Overloaded", "busy")
+        )
+        assert status == 429
+        assert body["error"]["type"] == "Overloaded"
+
+    def test_artifact_corruption_is_409(self):
+        status, body = error_for_exception(
+            ArtifactCorruptedError("checksum mismatch")
+        )
+        assert status == 409
+        assert body["error"]["type"] == "ArtifactCorruptedError"
+
+    def test_client_errors_are_400(self):
+        for exc in (QueryError("bad"), NodeNotFoundError(9, 5)):
+            status, body = error_for_exception(exc)
+            assert status == 400
+            assert body["error"]["type"] == type(exc).__name__
+
+    def test_unexpected_exception_is_opaque_500(self):
+        status, body = error_for_exception(
+            ZeroDivisionError("secret internal detail")
+        )
+        assert status == 500
+        assert body["error"]["type"] == "InternalError"
+        assert "secret" not in body["error"]["message"]
+
+
+class TestEncodeResponse:
+    def _split(self, raw: bytes):
+        head, _, body = raw.partition(b"\r\n\r\n")
+        return head.decode().split("\r\n"), body
+
+    def test_json_framing(self):
+        lines, body = self._split(encode_response(200, {"a": 1}))
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert f"Content-Length: {len(body)}" in lines
+        assert "Connection: keep-alive" in lines
+        assert json.loads(body) == {"a": 1}
+
+    def test_text_payload_and_close(self):
+        lines, body = self._split(
+            encode_response(
+                200, "metric 1\n",
+                content_type="text/plain; version=0.0.4",
+                keep_alive=False,
+            )
+        )
+        assert "Content-Type: text/plain; version=0.0.4" in lines
+        assert "Connection: close" in lines
+        assert body == b"metric 1\n"
+
+    def test_retry_after_header(self):
+        lines, _ = self._split(
+            encode_response(
+                429, error_body("Overloaded", "x"), retry_after=1
+            )
+        )
+        assert "Retry-After: 1" in lines
+
+
+class TestAdmissionController:
+    def test_admits_up_to_capacity_then_sheds(self):
+        registry = MetricsRegistry()
+        control = AdmissionController(2, metrics=registry)
+        control.admit()
+        control.admit()
+        with pytest.raises(HttpError) as exc:
+            control.admit()
+        assert exc.value.status == 429
+        assert exc.value.retry_after == 1
+        assert registry.snapshot().counters["serve.shed"] == 1
+
+    def test_release_reopens_capacity(self):
+        control = AdmissionController(1)
+        control.admit()
+        control.release()
+        control.admit()  # must not raise
+        assert control.pending == 1
+
+    def test_queue_depth_gauge_tracks_pending(self):
+        registry = MetricsRegistry()
+        control = AdmissionController(3, metrics=registry)
+        control.admit()
+        control.admit()
+        assert registry.snapshot().gauges["serve.queue_depth"] == 2
+        control.release()
+        assert registry.snapshot().gauges["serve.queue_depth"] == 1
+
+    def test_unbalanced_release_is_a_bug(self):
+        control = AdmissionController(1)
+        with pytest.raises(RuntimeError):
+            control.release()
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
