@@ -94,24 +94,61 @@ class BenchDaemon:
         return self.exit_code
 
 
-def post_search(port: int, record: Dict, timeout: float = 30.0):
-    """One search request; returns (status, latency_s, generation|None)."""
-    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
-    try:
+class ReplayClient:
+    """Keep-alive replay client: one persistent connection per worker.
+
+    The previous replay client opened a fresh TCP connection per request,
+    so every latency sample paid connect/teardown cost the daemon's
+    keep-alive framing was built to avoid - and under overload the
+    accept backlog, not admission control, became the first bottleneck.
+    One ``HTTPConnection`` per worker thread reuses the socket across
+    requests (including 4xx responses, which the daemon answers without
+    closing). A request that trips over a stale connection - the daemon
+    closed it between requests - reconnects and retries once; a request
+    that was answered with ``Connection: close`` just reconnects lazily
+    on the next call.
+    """
+
+    def __init__(self, port: int, timeout: float = 30.0):
+        self._port = port
+        self._timeout = timeout
+        self._conn = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def post_search(self, record: Dict):
+        """One search; returns (status, latency_s, generation|None)."""
+        body = json.dumps(record)
         start = perf_counter()
-        conn.request(
-            "POST", "/search", body=json.dumps(record),
-            headers={"Content-Type": "application/json"},
-        )
-        response = conn.getresponse()
-        data = response.read()
-        latency = perf_counter() - start
-        generation = None
-        if response.status == 200:
-            generation = json.loads(data).get("generation")
-        return response.status, latency, generation
-    finally:
-        conn.close()
+        for attempt in (0, 1):
+            conn = self._conn
+            if conn is None:
+                conn = self._conn = http.client.HTTPConnection(
+                    "127.0.0.1", self._port, timeout=self._timeout
+                )
+            try:
+                conn.request(
+                    "POST", "/search", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                data = response.read()
+            except (http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+                continue
+            latency = perf_counter() - start
+            generation = None
+            if response.status == 200:
+                generation = json.loads(data).get("generation")
+            if response.will_close:
+                self.close()
+            return response.status, latency, generation
+        raise RuntimeError("unreachable")  # pragma: no cover
 
 
 def simple_get(port: int, path: str):
@@ -140,18 +177,22 @@ def run_phase(port: int, records: List[Dict], n_clients: int) -> Dict:
     generations = set()
 
     def worker():
-        while True:
-            with lock:
-                i = cursor["i"]
-                if i >= len(records):
-                    return
-                cursor["i"] = i + 1
-            status, latency, generation = post_search(port, records[i])
-            with lock:
-                statuses[status] = statuses.get(status, 0) + 1
-                if status == 200:
-                    latencies.append(latency)
-                    generations.add(generation)
+        client = ReplayClient(port)
+        try:
+            while True:
+                with lock:
+                    i = cursor["i"]
+                    if i >= len(records):
+                        return
+                    cursor["i"] = i + 1
+                status, latency, generation = client.post_search(records[i])
+                with lock:
+                    statuses[status] = statuses.get(status, 0) + 1
+                    if status == 200:
+                        latencies.append(latency)
+                        generations.add(generation)
+        finally:
+            client.close()
 
     threads = [threading.Thread(target=worker) for _ in range(n_clients)]
     start = monotonic()

@@ -293,6 +293,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bounded propagation-entry cache (default 64)")
     serve.add_argument("--summary-cache-mb", type=int, default=8, metavar="MB",
                        help="bounded summary-array cache (default 8)")
+    serve.add_argument("--answer-cache-mb", type=int, default=32, metavar="MB",
+                       help="answer-tier byte budget; 0 disables the tier "
+                            "(default 32)")
+    serve.add_argument("--plan-cache-mb", type=int, default=128, metavar="MB",
+                       help="compiled-plan tier byte budget (default 128)")
+    serve.add_argument("--precompute", default=None, metavar="PATH",
+                       help="precompute artifact (pit-search precompute) to "
+                            "warm the plan and answer tiers from, at startup "
+                            "and across reloads")
+
+    precompute = sub.add_parser(
+        "precompute",
+        help="mine a workload trace and precompute head-query plans and "
+             "heavy-hitter answers into a warm-load artifact",
+    )
+    precompute.add_argument("--dataset", default="data_2k", metavar="NAME",
+                            help=f"one of {', '.join(DATASET_NAMES)}")
+    precompute.add_argument("--size", type=int, default=None)
+    precompute.add_argument("--seed", type=int, default=42)
+    precompute.add_argument("--summaries", required=True, metavar="PATH",
+                            help="prebuilt summaries artifact the daemon "
+                                 "will serve")
+    precompute.add_argument("--index", default=None, metavar="PATH",
+                            help="prebuilt propagation index .npz")
+    precompute.add_argument("--index-dir", default=None, metavar="DIR",
+                            help="sharded propagation index directory")
+    precompute.add_argument("--shard-cache-mb", type=int, default=256,
+                            metavar="MB")
+    precompute.add_argument("--theta", type=float, default=0.002,
+                            help="theta for lazy propagation when no "
+                                 "--index[-dir] is given")
+    precompute.add_argument("--trace", required=True, metavar="PATH",
+                            help="JSONL workload trace "
+                                 "({'user','query','k'} records, the "
+                                 "search --batch / replay format)")
+    precompute.add_argument("--output", required=True, metavar="PATH",
+                            help="where to write the precompute artifact")
+    precompute.add_argument("--top-queries", type=int, default=64, metavar="N",
+                            help="head query plans to precompile (default 64)")
+    precompute.add_argument("--top-answers", type=int, default=256,
+                            metavar="N",
+                            help="heavy-hitter answers to precompute "
+                                 "(default 256)")
+    precompute.add_argument("--k", type=int, default=10,
+                            help="k for trace records that carry none")
+    precompute.add_argument("--metrics-out", default=None, metavar="PATH",
+                            help="write a metrics JSON snapshot (+ .prom "
+                                 "sibling) for the precompute run")
 
     stats = sub.add_parser(
         "stats",
@@ -767,6 +815,8 @@ def _run_serve(args) -> int:
         base["index"] = args.index
     if args.index_dir is not None:
         base["index_dir"] = args.index_dir
+    if args.precompute is not None:
+        base["precompute"] = args.precompute
 
     def loader(overrides):
         paths = dict(base)
@@ -787,6 +837,16 @@ def _run_serve(args) -> int:
             theta=args.theta,
             entry_cache_bytes=args.entry_cache_mb << 20,
             summary_cache_bytes=args.summary_cache_mb << 20,
+            answer_cache_bytes=(
+                None if args.answer_cache_mb == 0
+                else args.answer_cache_mb << 20
+            ),
+            plan_cache_bytes=args.plan_cache_mb << 20,
+            # A precompute built over different summaries/graph is refused
+            # (ConfigurationError -> failed reload, old engine keeps
+            # serving), so a reload that swaps summaries must swap the
+            # precompute path too - or drop it from the configured paths.
+            precompute_path=paths.get("precompute"),
             metrics=registry,
         )
 
@@ -812,6 +872,67 @@ def _run_serve(args) -> int:
     code = asyncio.run(server.run(ready_callback=_ready))
     print(f"drained and stopped (exit {code})", flush=True)
     return code
+
+
+def _run_precompute(args) -> int:
+    from time import perf_counter
+
+    from .core import ServingEngine
+    from .core.precompute import build_precompute, save_precompute
+    from .exceptions import ConfigurationError
+
+    if args.index is not None and args.index_dir is not None:
+        raise ConfigurationError(
+            "--index and --index-dir are mutually exclusive"
+        )
+    bundle = _load_bundle(args)
+    print(bundle.describe())
+    metrics = None
+    if args.metrics_out is not None:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    engine = ServingEngine.from_artifacts(
+        bundle.graph,
+        bundle.topic_index,
+        args.summaries,
+        index_path=args.index,
+        index_dir=args.index_dir,
+        shard_cache_bytes=args.shard_cache_mb << 20,
+        theta=args.theta,
+        metrics=metrics,
+    )
+    started = perf_counter()
+    artifact = build_precompute(
+        engine,
+        args.trace,
+        top_queries=args.top_queries,
+        top_answers=args.top_answers,
+        default_k=args.k,
+    )
+    save_precompute(artifact, args.output)
+    elapsed = perf_counter() - started
+    trace = artifact.trace
+    print(
+        f"mined {trace['n_records']} requests: "
+        f"{trace['n_distinct_queries']} distinct queries, "
+        f"{trace['n_distinct_triples']} distinct (user, query, k) triples"
+    )
+    print(
+        f"precomputed {len(artifact.plans)} head plans and "
+        f"{len(artifact.answers)} answers in {elapsed:.2f}s "
+        f"(~{artifact.memory_hint_bytes() / (1 << 20):.2f} MiB warm)"
+    )
+    print(f"artifact written to {args.output}")
+    if metrics is not None:
+        metrics.inc("precompute.trace_records", trace["n_records"])
+        metrics.set_gauge("precompute.plans", len(artifact.plans))
+        metrics.set_gauge("precompute.answers", len(artifact.answers))
+        metrics.set_gauge(
+            "precompute.warm_bytes", artifact.memory_hint_bytes()
+        )
+        _emit_metrics(engine.metrics_snapshot(), args.metrics_out)
+    return 0
 
 
 def _run_experiment(args) -> int:
@@ -863,6 +984,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "build-summaries": _run_build_summaries,
         "diagnose": _run_diagnose,
         "serve": _run_serve,
+        "precompute": _run_precompute,
         "stats": _run_stats,
         "experiment": _run_experiment,
     }

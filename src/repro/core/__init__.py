@@ -47,8 +47,19 @@ from .propagation import (
     PropagationEntry,
     PropagationIndex,
 )
+from .precompute import (
+    PrecomputeArtifact,
+    build_precompute,
+    load_precompute,
+    save_precompute,
+)
 from .rcl import RCLSummarizer
-from .search import PersonalizedSearcher, SearchResult, SearchStats
+from .search import (
+    PersonalizedSearcher,
+    SearchResult,
+    SearchStats,
+    normalized_query_key,
+)
 from .serve_facade import ServingEngine, publish_engine_gauges
 from .serving import ByteLRUCache
 from .shards import (
@@ -67,6 +78,11 @@ __all__ = [
     "PITEngine",
     "ServingEngine",
     "publish_engine_gauges",
+    "PrecomputeArtifact",
+    "build_precompute",
+    "save_precompute",
+    "load_precompute",
+    "normalized_query_key",
     "RCLSummarizer",
     "LRWSummarizer",
     "Summarizer",

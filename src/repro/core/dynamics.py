@@ -17,6 +17,25 @@ Both operations leave the walk index untouched; it is a Monte-Carlo sample
 whose staleness degrades gracefully, and the paper likewise rebuilds it
 only "after a period of time". :func:`refresh_walk_index` forces that
 rebuild when desired.
+
+**Answer-tier invalidation seam.** A serving deployment that applies
+deltas in place (rather than hot-swapping a new engine, which clears
+every tier structurally) must also invalidate the
+:class:`~repro.core.serve_facade.ServingEngine` answer tier, or cached
+top-k answers will outlive the data they were computed from. The
+contract:
+
+* a topic/summary change (:func:`apply_topic_update`) can move *any*
+  answer -> call ``engine.invalidate_answers()`` (full clear) alongside
+  the searcher's ``invalidate_query_caches``;
+* an edge change (:func:`invalidate_propagation`) only moves answers for
+  users whose Γ actually changed -> call
+  ``engine.invalidate_answers(users=changed_nodes)`` with the same node
+  set passed here (compiled plans are user-independent and survive).
+
+Wiring these calls into the delta path - so a streamed update batch
+invalidates exactly the affected answers - is ROADMAP item 3's
+vectorized-dynamics work; the hooks exist and are tested today.
 """
 
 from __future__ import annotations

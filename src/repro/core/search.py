@@ -67,12 +67,42 @@ from .propagation import PropagationEntry, PropagationIndex
 from .serving import ByteLRUCache
 from .summarization import TopicSummary
 
-__all__ = ["SearchResult", "SearchStats", "PersonalizedSearcher"]
+__all__ = [
+    "SearchResult",
+    "SearchStats",
+    "PersonalizedSearcher",
+    "normalized_query_key",
+]
 
 SummaryProvider = Union[Mapping[int, TopicSummary], Callable[[int], TopicSummary]]
 
 _EMPTY_F8 = np.empty(0, dtype=np.float64)
 _EMPTY_I8 = np.empty(0, dtype=np.int64)
+
+#: Default byte budget for the compiled-plan cache tier.
+DEFAULT_PLAN_CACHE_BYTES = 128 << 20
+
+
+def normalized_query_key(
+    query: Union[str, "KeywordQuery"],
+) -> Tuple[Tuple[str, ...], str]:
+    """The canonical cache key of a keyword query: equivalent queries share it.
+
+    Topic matching is set-based (:meth:`KeywordQuery.matches` compares
+    token *sets*), so keyword order, duplicates, and letter case do not
+    change which topics are q-related - but they used to produce distinct
+    plan-cache keys, compiling (and retaining) duplicate
+    :class:`_QueryPlan` objects for ``"phone music"`` vs ``"music
+    phone"``. The normalized key - case-folded, de-duplicated, sorted
+    keywords plus the match mode - collapses those spellings onto one
+    compiled plan, one answer-cache slot, and one coalescing group.
+    """
+    if isinstance(query, str):
+        query = KeywordQuery.parse(query)
+    return (
+        tuple(sorted({keyword.casefold() for keyword in query.keywords})),
+        query.mode,
+    )
 
 
 @dataclass(frozen=True)
@@ -325,6 +355,11 @@ class PersonalizedSearcher:
     plan_cache_size:
         Number of compiled :class:`_QueryPlan` objects retained across
         calls (keyed by normalized keyword query); 0 disables plan reuse.
+    plan_cache_bytes:
+        Byte budget of the compiled-plan tier (default
+        :data:`DEFAULT_PLAN_CACHE_BYTES`). Plans are charged their array
+        block at insert time; LRU plans are evicted past the budget even
+        when fewer than ``plan_cache_size`` are resident.
     metrics:
         Registry receiving per-search accounting (latency histogram plus
         the :class:`SearchStats` counters). ``None`` uses the
@@ -344,6 +379,7 @@ class PersonalizedSearcher:
         entry_cache_bytes: Optional[int] = None,
         summary_cache_bytes: Optional[int] = None,
         plan_cache_size: int = 256,
+        plan_cache_bytes: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
     ):
         require_in_range("max_expand_rounds", max_expand_rounds, 0)
@@ -361,7 +397,14 @@ class PersonalizedSearcher:
             else ByteLRUCache(summary_cache_bytes, name="summary-arrays")
         )
         self._plan_cache_size = int(plan_cache_size)
-        self._plans: "OrderedDict[Tuple, _QueryPlan]" = OrderedDict()
+        self._plans: Optional[ByteLRUCache] = (
+            None if plan_cache_size == 0
+            else ByteLRUCache(
+                plan_cache_bytes if plan_cache_bytes is not None
+                else DEFAULT_PLAN_CACHE_BYTES,
+                name="query-plans",
+            )
+        )
         self._metrics = metrics
 
     def set_metrics(self, registry: Optional[MetricsRegistry]) -> None:
@@ -386,8 +429,9 @@ class PersonalizedSearcher:
         self._propagation = index
         if self._entry_cache is not None:
             self._entry_cache.clear()
-        for plan in self._plans.values():
-            plan.probe_cache.clear()
+        if self._plans is not None:
+            for plan in self._plans.values():
+                plan.probe_cache.clear()
         return self
 
     def set_topic_index(self, topic_index: TopicIndex) -> "PersonalizedSearcher":
@@ -402,7 +446,8 @@ class PersonalizedSearcher:
         Call after topic summaries change (e.g. dynamic maintenance);
         propagation entries are unaffected.
         """
-        self._plans.clear()
+        if self._plans is not None:
+            self._plans.clear()
         if self._summary_cache is not None:
             self._summary_cache.clear()
 
@@ -418,6 +463,17 @@ class PersonalizedSearcher:
             return None
         return self._summary_cache.stats()
 
+    def plan_cache_stats(self) -> Optional[CacheStats]:
+        """Snapshot of the compiled-plan tier (None when disabled).
+
+        Kept out of :meth:`cache_stats` - that tuple enumerates the
+        *opt-in* byte-bounded caches and is empty in the default
+        configuration, a contract callers rely on.
+        """
+        if self._plans is None:
+            return None
+        return self._plans.stats()
+
     def cache_stats(self) -> Tuple[CacheStats, ...]:
         """Snapshots of every configured bounded cache."""
         return tuple(
@@ -426,8 +482,14 @@ class PersonalizedSearcher:
         )
 
     def cache_memory_bytes(self) -> int:
-        """Bytes held by the bounded serving caches and compiled plans."""
-        total = sum(plan.memory_bytes() for plan in self._plans.values())
+        """Bytes held by the bounded serving caches and compiled plans.
+
+        Plans are measured live (their probe caches grow after insert),
+        not at the insert-time charge the LRU budget works from.
+        """
+        total = 0
+        if self._plans is not None:
+            total += sum(plan.memory_bytes() for plan in self._plans.values())
         if self._entry_cache is not None:
             total += self._entry_cache.memory_bytes()
         if self._summary_cache is not None:
@@ -475,21 +537,73 @@ class PersonalizedSearcher:
     def _plan(self, query: Union[str, KeywordQuery]) -> _QueryPlan:
         if isinstance(query, str):
             query = KeywordQuery.parse(query)
-        key = (query.keywords, query.mode)
+        key = normalized_query_key(query)
         plans = self._plans
-        plan = plans.get(key)
-        if plan is not None:
-            plans.move_to_end(key)
-            return plan
+        if plans is not None:
+            plan = plans.get(key)
+            if plan is not None:
+                registry = self._registry()
+                if registry.enabled:
+                    registry.inc("cache.tier.plans.hits")
+                return plan
         topic_ids = self._topic_index.related_topics(query)
         labels = [self._topic_index.label(t) for t in topic_ids]
         rep_arrays = [self._summary_arrays(t) for t in topic_ids]
         plan = _QueryPlan(key, topic_ids, labels, rep_arrays)
-        if self._plan_cache_size > 0:
-            plans[key] = plan
-            while len(plans) > self._plan_cache_size:
-                plans.popitem(last=False)
+        if plans is not None:
+            registry = self._registry()
+            if registry.enabled:
+                registry.inc("cache.tier.plans.misses")
+            self._admit_plan(plan)
         return plan
+
+    def _admit_plan(self, plan: _QueryPlan) -> None:
+        plans = self._plans
+        assert plans is not None
+        plans.put(plan.key, plan, plan.memory_bytes())
+        while len(plans) > self._plan_cache_size:
+            plans.pop(plans.keys()[0])
+
+    def plan_for(self, query: Union[str, KeywordQuery]) -> _QueryPlan:
+        """Compile (or fetch from the plan tier) the plan for *query*.
+
+        The offline precompute stage uses this to materialize head-query
+        plans for the artifact; it is the same code path - and the same
+        cache - every search goes through.
+        """
+        return self._plan(query)
+
+    def touch_plan(self, key: Tuple) -> bool:
+        """Bump a resident plan to most-recent (the tier-demotion hook).
+
+        Called when a cached *answer* built from this plan is evicted:
+        keeping the plan warm means the head query costs one kernel pass
+        to re-answer, not a recompile. The plan is re-charged at its
+        current size (probe caches grow after insert), so the byte budget
+        tracks reality. No hit/miss accounting - this is maintenance.
+        """
+        plans = self._plans
+        if plans is None:
+            return False
+        plan = plans.pop(key)
+        if plan is None:
+            return False
+        plans.put(key, plan, plan.memory_bytes())
+        return True
+
+    def adopt_plan(self, plan: _QueryPlan) -> bool:
+        """Install a precompiled plan into the plan tier (warm load).
+
+        The plan must carry a :func:`normalized_query_key` in ``plan.key``
+        (plans deserialized by :mod:`repro.core.precompute` do). Returns
+        ``False`` when the plan tier is disabled or the key is already
+        resident - a warm load never displaces a live, probe-warmed plan.
+        """
+        plans = self._plans
+        if plans is None or plan.key in plans:
+            return False
+        self._admit_plan(plan)
+        return True
 
     def _cache_marks(self) -> Tuple[int, int, int, int]:
         entry, summary = self._entry_cache, self._summary_cache
@@ -604,7 +718,7 @@ class PersonalizedSearcher:
             parsed = (
                 KeywordQuery.parse(query) if isinstance(query, str) else query
             )
-            key = (parsed.keywords, parsed.mode)
+            key = normalized_query_key(parsed)
             bucket = groups.get(key)
             if bucket is None:
                 groups[key] = (parsed, [position])

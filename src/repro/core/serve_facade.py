@@ -24,21 +24,80 @@ a serving engine never falls back to building summaries online.
 :func:`publish_engine_gauges` is the shared snapshot-time gauge publisher
 used by both facades, so ``/metrics`` scraped from the daemon and
 ``--metrics-out`` written by the CLI agree on names and meaning.
+
+**Tiered lookup.** With ``answer_cache_bytes`` set, the engine fronts the
+searcher with a third tier: full ``(user, query, k)`` answers. A lookup
+then falls through **answers → compiled plans → entries/summaries**, each
+tier a :class:`~repro.core.serving.ByteLRUCache` with its own byte
+budget. An answer evicted by its budget is *demoted*, not discarded: the
+``on_evict`` hook bumps the query's compiled plan to most-recent in the
+plan tier, so the recompute costs one kernel pass instead of a full
+compile. Warm state for both upper tiers comes from a
+:mod:`repro.core.precompute` artifact (:meth:`ServingEngine.warm_from_precompute`).
+Invalidation is structural: caches live on the engine instance, every
+reload swap builds a fresh engine (empty tiers, re-warmed from the
+artifact), and the artifact itself is refused unless its graph signature,
+theta, and summaries fingerprint match - so a stale answer cannot survive
+a generation bump. :meth:`ServingEngine.invalidate_answers` is the
+targeted seam for :mod:`repro.core.dynamics` deltas.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple, Union
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..exceptions import ConfigurationError
 from ..graph import SocialGraph
 from ..obs.registry import MetricsRegistry, MetricsSnapshot, get_registry
 from ..topics import KeywordQuery, TopicIndex
+from .diagnostics import CacheStats
 from .propagation import PropagationIndex
-from .search import PersonalizedSearcher
+from .search import (
+    PersonalizedSearcher,
+    SearchResult,
+    SearchStats,
+    normalized_query_key,
+)
+from .serving import ByteLRUCache
 from .summarization import TopicSummary
 
 __all__ = ["ServingEngine", "publish_engine_gauges"]
+
+#: Answer-key type: (user, normalized query key, k).
+AnswerKey = Tuple[int, Tuple[Tuple[str, ...], str], int]
+
+#: Fixed per-answer overhead charged to the answer tier (key + tuples).
+_ANSWER_BASE_BYTES = 160
+#: Per-result overhead (SearchResult object + ints/floats), sans label.
+_ANSWER_RESULT_BYTES = 96
+
+
+def _answer_nbytes(results: Tuple[SearchResult, ...]) -> int:
+    return _ANSWER_BASE_BYTES + sum(
+        _ANSWER_RESULT_BYTES + len(r.label) for r in results
+    )
+
+
+def _stats_from_work(work: Tuple[int, int, int, int, int]) -> SearchStats:
+    """Rebuild the deterministic work stats stored with a cached answer.
+
+    The five work counters are a pure function of (user, query, k) over a
+    fixed engine state, so replaying them keeps cached responses
+    bit-exact with uncached ones; the cache-delta fields describe *this*
+    lookup and are zero on an answer hit (no tier below was touched).
+    """
+    return SearchStats(*work)
+
+
+def _work_of(stats: SearchStats) -> Tuple[int, int, int, int, int]:
+    return (
+        stats.topics_considered,
+        stats.topics_pruned,
+        stats.entries_probed,
+        stats.expansion_rounds,
+        stats.representatives_touched,
+    )
 
 
 def publish_engine_gauges(
@@ -94,6 +153,15 @@ class ServingEngine:
         governs).
     entry_cache_bytes / summary_cache_bytes:
         Bounded serving-cache budgets, exactly as on ``PITEngine``.
+    answer_cache_bytes:
+        When set, full top-k answers are cached per ``(user, normalized
+        query, k)`` in a bounded LRU of this many bytes - the top tier of
+        the answers → plans → entries/summaries fallthrough. ``None``
+        (default) disables the tier; results are then always computed by
+        the searcher.
+    plan_cache_bytes:
+        Byte budget of the searcher's compiled-plan tier (forwarded;
+        see :class:`~repro.core.search.PersonalizedSearcher`).
     metrics:
         Registry receiving per-search metrics; ``None`` uses the
         process-wide default.
@@ -110,6 +178,8 @@ class ServingEngine:
         max_expand_rounds: int = 8,
         entry_cache_bytes: Optional[int] = None,
         summary_cache_bytes: Optional[int] = None,
+        answer_cache_bytes: Optional[int] = None,
+        plan_cache_bytes: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
     ):
         if graph.n_nodes != topic_index.n_nodes:
@@ -143,8 +213,17 @@ class ServingEngine:
             max_expand_rounds=max_expand_rounds,
             entry_cache_bytes=entry_cache_bytes,
             summary_cache_bytes=summary_cache_bytes,
+            plan_cache_bytes=plan_cache_bytes,
             metrics=metrics,
         )
+        self._answers: Optional[ByteLRUCache] = (
+            None if answer_cache_bytes is None
+            else ByteLRUCache(
+                answer_cache_bytes, name="answers", on_evict=self._demote_answer
+            )
+        )
+        self._answer_demotions = 0
+        self._reload_generation = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -162,6 +241,9 @@ class ServingEngine:
         max_expand_rounds: int = 8,
         entry_cache_bytes: Optional[int] = None,
         summary_cache_bytes: Optional[int] = None,
+        answer_cache_bytes: Optional[int] = None,
+        plan_cache_bytes: Optional[int] = None,
+        precompute_path=None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> "ServingEngine":
         """Open a serving engine over on-disk artifacts.
@@ -172,6 +254,12 @@ class ServingEngine:
         verifies checksums and the graph signature; a corrupt or
         mismatched artifact raises and nothing is partially adopted,
         which is what makes this the daemon's hot-reload primitive.
+
+        ``precompute_path`` warm-loads a :mod:`repro.core.precompute`
+        artifact into the plan and answer tiers after construction (same
+        refuse-on-mismatch contract: a precompute built against a
+        different graph/theta/summaries raises and the engine is not
+        returned).
         """
         from .persistence import load_propagation_index, load_summaries
 
@@ -195,14 +283,19 @@ class ServingEngine:
                 verify=verify_shards,
                 metrics=metrics,
             )
-        return cls(
+        engine = cls(
             graph, topic_index, summaries, index,
             theta=theta,
             max_expand_rounds=max_expand_rounds,
             entry_cache_bytes=entry_cache_bytes,
             summary_cache_bytes=summary_cache_bytes,
+            answer_cache_bytes=answer_cache_bytes,
+            plan_cache_bytes=plan_cache_bytes,
             metrics=metrics,
         )
+        if precompute_path is not None:
+            engine.warm_from_precompute(precompute_path)
+        return engine
 
     # ------------------------------------------------------------------
     @property
@@ -226,6 +319,44 @@ class ServingEngine:
         return self.propagation_index.theta
 
     # ------------------------------------------------------------------
+    # Answer tier
+    # ------------------------------------------------------------------
+    def _registry(self) -> MetricsRegistry:
+        metrics = self._metrics
+        return metrics if metrics is not None else get_registry()
+
+    @staticmethod
+    def _answer_key(
+        user: int, query: Union[str, KeywordQuery], k: int
+    ) -> AnswerKey:
+        return (int(user), normalized_query_key(query), int(k))
+
+    def _demote_answer(self, key: AnswerKey, _value) -> None:
+        # Tier demotion: the evicted answer's compiled plan is bumped to
+        # most-recent (and re-charged at its current size), so the head
+        # query stays one kernel pass - not one compile - from answered.
+        self._answer_demotions += 1
+        self._searcher.touch_plan(key[1])
+
+    def _answer_hit(
+        self, cached, started: Optional[float]
+    ) -> Tuple[List[SearchResult], SearchStats]:
+        results, work = cached
+        if started is not None:
+            registry = self._registry()
+            registry.inc("cache.tier.answers.hits")
+            registry.observe(
+                "cache.tier.answers.hit_latency_seconds",
+                perf_counter() - started,
+            )
+        return list(results), _stats_from_work(work)
+
+    def _store_answer(
+        self, key: AnswerKey, results: List[SearchResult], stats: SearchStats
+    ) -> None:
+        value = (tuple(results), _work_of(stats))
+        self._answers.put(key, value, _answer_nbytes(value[0]))
+
     def search(
         self,
         user: int,
@@ -234,8 +365,27 @@ class ServingEngine:
         *,
         with_stats: bool = False,
     ):
-        """Top-k personalized influential topics (Algorithm 10)."""
-        results, stats = self._searcher.search(user, query, k)
+        """Top-k personalized influential topics (Algorithm 10).
+
+        With the answer tier enabled, a resident ``(user, query, k)``
+        answer is returned without touching the searcher; a miss falls
+        through to the plan tier and writes the fresh answer back.
+        """
+        answers = self._answers
+        if answers is None:
+            results, stats = self._searcher.search(user, query, k)
+        else:
+            registry = self._registry()
+            started = perf_counter() if registry.enabled else None
+            key = self._answer_key(user, query, k)
+            cached = answers.get(key)
+            if cached is not None:
+                results, stats = self._answer_hit(cached, started)
+            else:
+                if started is not None:
+                    registry.inc("cache.tier.answers.misses")
+                results, stats = self._searcher.search(user, query, k)
+                self._store_answer(key, results, stats)
         if with_stats:
             return results, stats
         return results
@@ -247,15 +397,182 @@ class ServingEngine:
         *,
         with_stats: bool = False,
     ):
-        """Answer many ``(user, query)`` requests in one batched call."""
-        outcomes = self._searcher.search_many(requests, k)
+        """Answer many ``(user, query)`` requests in one batched call.
+
+        Answer-tier hits are satisfied in place; only the misses reach
+        :meth:`PersonalizedSearcher.search_many` (still grouped and
+        vectorized), and their answers are written back. Output stays
+        aligned with the input order.
+        """
+        if self._answers is None:
+            outcomes = self._searcher.search_many(requests, k)
+        else:
+            outcomes = self._batch_with_answers(list(requests), k)
         if with_stats:
             return outcomes
         return [results for results, _ in outcomes]
 
+    def _batch_with_answers(
+        self, requests: List[Tuple[int, Union[str, KeywordQuery]]], k: int
+    ) -> List[Tuple[List[SearchResult], SearchStats]]:
+        answers = self._answers
+        registry = self._registry()
+        enabled = registry.enabled
+        outcomes: List[Optional[Tuple[List[SearchResult], SearchStats]]] = (
+            [None] * len(requests)
+        )
+        miss_requests: List[Tuple[int, Union[str, KeywordQuery]]] = []
+        miss_slots: List[Tuple[int, AnswerKey]] = []
+        n_hits = 0
+        for position, (user, query) in enumerate(requests):
+            started = perf_counter() if enabled else None
+            key = self._answer_key(user, query, k)
+            cached = answers.get(key)
+            if cached is not None:
+                outcomes[position] = self._answer_hit(cached, started)
+                n_hits += 1
+            else:
+                miss_requests.append((user, query))
+                miss_slots.append((position, key))
+        if enabled and len(miss_slots):
+            registry.inc("cache.tier.answers.misses", len(miss_slots))
+        if miss_requests:
+            computed = self._searcher.search_many(miss_requests, k)
+            for (position, key), outcome in zip(miss_slots, computed):
+                outcomes[position] = outcome
+                self._store_answer(key, outcome[0], outcome[1])
+        return outcomes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Invalidation and warm load
+    # ------------------------------------------------------------------
+    def invalidate_answers(self, users: Optional[Iterable[int]] = None) -> int:
+        """Drop cached answers; the invalidation seam for graph dynamics.
+
+        ``users=None`` clears the whole answer tier (a topic/summary
+        change can move any answer). With an iterable of user ids, only
+        those users' answers are dropped - the right granularity for a
+        :mod:`repro.core.dynamics` delta whose Γ-changed node set is
+        known. Returns the number of answers removed. Plans survive
+        (they are user-independent); callers whose delta changes
+        summaries must also call the searcher's
+        ``invalidate_query_caches``.
+        """
+        answers = self._answers
+        if answers is None:
+            return 0
+        if users is None:
+            removed = len(answers)
+            answers.clear()
+            return removed
+        wanted = {int(u) for u in users}
+        removed = 0
+        for key in answers.keys():
+            if key[0] in wanted and answers.pop(key) is not None:
+                removed += 1
+        return removed
+
+    def set_reload_generation(self, generation: int) -> "ServingEngine":
+        """Record the daemon reload generation this engine serves.
+
+        Invalidation across generations is structural - every hot swap
+        builds a *new* engine whose tiers start empty (modulo artifact
+        warm-load), so nothing cached under an older generation can ever
+        be served. The recorded generation is exposed as the
+        ``cache.tier.generation`` gauge so dashboards can correlate
+        hit-ratio resets with swaps.
+        """
+        self._reload_generation = int(generation)
+        return self
+
+    @property
+    def reload_generation(self) -> int:
+        """The generation stamped by the reload manager (0 = initial)."""
+        return self._reload_generation
+
+    def warm_from_precompute(self, source) -> Dict[str, int]:
+        """Warm the plan and answer tiers from a precompute artifact.
+
+        *source* is a path or an already-loaded
+        :class:`~repro.core.precompute.PrecomputeArtifact`. The artifact
+        must match this engine's graph signature, theta, and summaries
+        fingerprint (:class:`~repro.exceptions.ConfigurationError`
+        otherwise - serving a precomputed answer over different data
+        would be silently wrong). Returns
+        ``{"plans": adopted, "answers": seeded}``; answers are skipped
+        when the answer tier is disabled, and neither kind displaces
+        state already resident (live traffic beats warm-up).
+        """
+        from .precompute import (
+            PrecomputeArtifact,
+            answer_entry,
+            load_precompute,
+            plan_from_record,
+            validate_precompute,
+        )
+
+        pack = (
+            source if isinstance(source, PrecomputeArtifact)
+            else load_precompute(source)
+        )
+        validate_precompute(pack, self._graph, self.theta, self._summaries)
+        adopted = 0
+        for record in pack.plans:
+            if self._searcher.adopt_plan(plan_from_record(record)):
+                adopted += 1
+        seeded = 0
+        answers = self._answers
+        if answers is not None:
+            for record in pack.answers:
+                key, value = answer_entry(record)
+                if key in answers:
+                    continue
+                answers.put(key, value, _answer_nbytes(value[0]))
+                seeded += 1
+        return {"plans": adopted, "answers": seeded}
+
+    # ------------------------------------------------------------------
+    def answer_cache_stats(self) -> Optional[CacheStats]:
+        """Snapshot of the answer tier (None when disabled)."""
+        if self._answers is None:
+            return None
+        return self._answers.stats()
+
     def cache_stats(self):
         """Snapshots of the searcher's bounded serving caches."""
         return self._searcher.cache_stats()
+
+    def tier_stats(self) -> Dict[str, CacheStats]:
+        """Per-tier snapshots of the answers → plans → entries/summaries
+        fallthrough (only the tiers that are configured)."""
+        tiers: Dict[str, CacheStats] = {}
+        pairs = (
+            ("answers", self.answer_cache_stats()),
+            ("plans", self._searcher.plan_cache_stats()),
+            ("entries", self._searcher.entry_cache_stats()),
+            ("summaries", self._searcher.summary_cache_stats()),
+        )
+        for name, stats in pairs:
+            if stats is not None:
+                tiers[name] = stats
+        return tiers
+
+    def publish_tier_gauges(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        """Publish the ``cache.tier.*`` gauge family (snapshot time only)."""
+        if registry is None:
+            registry = self._registry()
+        for name, stats in self.tier_stats().items():
+            prefix = f"cache.tier.{name}"
+            registry.set_gauge(f"{prefix}.bytes", stats.current_bytes)
+            registry.set_gauge(f"{prefix}.items", stats.n_items)
+            registry.set_gauge(f"{prefix}.hit_ratio", stats.hit_rate)
+            registry.set_gauge(f"{prefix}.evictions", stats.evictions)
+        registry.set_gauge(
+            "cache.tier.answers.demotions", self._answer_demotions
+        )
+        registry.set_gauge("cache.tier.generation", self._reload_generation)
 
     def set_metrics(self, registry: Optional[MetricsRegistry]) -> "ServingEngine":
         """Route every component's metrics to *registry*."""
@@ -266,9 +583,7 @@ class ServingEngine:
 
     def metrics_snapshot(self) -> MetricsSnapshot:
         """A coherent snapshot of the engine's metrics registry."""
-        registry = (
-            self._metrics if self._metrics is not None else get_registry()
-        )
+        registry = self._registry()
         publish_engine_gauges(
             registry,
             searcher=self._searcher,
@@ -276,6 +591,7 @@ class ServingEngine:
             n_summaries=self.n_summaries,
             memory_bytes=self.memory_bytes(),
         )
+        self.publish_tier_gauges(registry)
         return registry.snapshot()
 
     def memory_bytes(self) -> int:
@@ -289,6 +605,8 @@ class ServingEngine:
         total = self.propagation_index.memory_bytes()
         total += sum(s.memory_bytes() for s in self._summaries.values())
         total += self._searcher.cache_memory_bytes()
+        if self._answers is not None:
+            total += self._answers.memory_bytes()
         summary_stats = self._searcher.summary_cache_stats()
         if summary_stats is not None:
             total -= summary_stats.current_bytes

@@ -16,12 +16,18 @@ Eviction is least-recently-used under a byte budget (items are charged
 their exact array payload). Hit/miss/eviction counters snapshot into
 :class:`~repro.core.diagnostics.CacheStats` for the benchmarks and the
 engine's memory accounting.
+
+The cache also backs the tiered answer/plan caches of
+:class:`~repro.core.serve_facade.ServingEngine`; the optional
+``on_evict`` callback is the demotion seam between tiers (an answer
+displaced by the byte budget can be downgraded to its compiled plan
+rather than recomputed from scratch).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Generic, Hashable, Optional, TypeVar
+from typing import Callable, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
 
 from .._utils import require_in_range
 from .diagnostics import CacheStats
@@ -43,15 +49,29 @@ class ByteLRUCache(Generic[K, V]):
         not cached at all (it would displace everything and still thrash).
     name:
         Label used in the :class:`CacheStats` snapshot.
+    on_evict:
+        Optional ``callback(key, value)`` invoked for every item the
+        *byte budget* displaces (the tier-demotion hook). It fires only
+        for LRU evictions: not for :meth:`clear` (an intentional drop),
+        not when a re-``put`` replaces a key's value, and not for
+        oversize items that were never admitted. The callback runs after
+        the item has left the cache, so it may safely re-``put``.
     """
 
-    __slots__ = ("_name", "_max_bytes", "_items", "_bytes",
+    __slots__ = ("_name", "_max_bytes", "_items", "_bytes", "_on_evict",
                  "hits", "misses", "evictions")
 
-    def __init__(self, max_bytes: int, *, name: str = "cache"):
+    def __init__(
+        self,
+        max_bytes: int,
+        *,
+        name: str = "cache",
+        on_evict: Optional[Callable[[K, V], None]] = None,
+    ):
         require_in_range("max_bytes", max_bytes, 1)
         self._name = str(name)
         self._max_bytes = int(max_bytes)
+        self._on_evict = on_evict
         # key -> (value, nbytes); insertion end = most recently used.
         self._items: "OrderedDict[K, tuple]" = OrderedDict()
         self._bytes = 0
@@ -79,9 +99,13 @@ class ByteLRUCache(Generic[K, V]):
         if nbytes > self._max_bytes:
             return
         while self._bytes + nbytes > self._max_bytes and self._items:
-            _, (_, evicted_bytes) = self._items.popitem(last=False)
+            evicted_key, (evicted_value, evicted_bytes) = self._items.popitem(
+                last=False
+            )
             self._bytes -= evicted_bytes
             self.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(evicted_key, evicted_value)
         self._items[key] = (value, nbytes)
         self._bytes += nbytes
 
@@ -120,9 +144,25 @@ class ByteLRUCache(Generic[K, V]):
         return value
 
     def clear(self) -> None:
-        """Drop every item (counters are kept; they are cumulative)."""
+        """Drop every item (counters are kept; they are cumulative).
+
+        An intentional drop, not a capacity eviction: ``on_evict`` does
+        not fire (invalidation must not demote stale values anywhere).
+        """
         self._items.clear()
         self._bytes = 0
+
+    def pop(self, key: K) -> Optional[V]:
+        """Remove *key* and return its value (``None`` when absent).
+
+        Like :meth:`clear`, an intentional removal: no ``on_evict``, no
+        hit/miss accounting (this is maintenance, not a lookup).
+        """
+        item = self._items.pop(key, None)
+        if item is None:
+            return None
+        self._bytes -= item[1]
+        return item[0]
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -130,6 +170,15 @@ class ByteLRUCache(Generic[K, V]):
 
     def __contains__(self, key: K) -> bool:
         return key in self._items
+
+    def keys(self) -> Tuple[K, ...]:
+        """Resident keys, least-recently-used first (a stable copy)."""
+        return tuple(self._items.keys())
+
+    def values(self) -> Iterator[V]:
+        """Iterate resident values, least-recently-used first."""
+        for value, _ in self._items.values():
+            yield value
 
     @property
     def max_bytes(self) -> int:

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from .. import _faults
+from ..core.search import normalized_query_key
 from ..obs.registry import MetricsRegistry, NullRegistry
 from .protocol import HttpError, SearchRequest
 
@@ -51,11 +52,13 @@ class PendingSearch:
 def _group_key(pending: PendingSearch) -> Tuple:
     """Requests coalesce when the engine work is shareable.
 
-    Same keywords, same match mode, same k - users may differ, which is
-    exactly what ``search_batch`` vectorizes over.
+    Same *normalized* keywords, same match mode, same k - users may
+    differ, which is exactly what ``search_batch`` vectorizes over.
+    Normalizing here (not just in the plan cache) means ``"Phone Music"``
+    and ``"music phone"`` land in one batch and one answer-cache probe.
     """
-    query = pending.request.query
-    return (query.keywords, query.mode, pending.request.k)
+    keywords, mode = normalized_query_key(pending.request.query)
+    return (keywords, mode, pending.request.k)
 
 
 class Coalescer:

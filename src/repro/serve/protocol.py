@@ -179,7 +179,7 @@ def parse_search_request(
     return SearchRequest(user=user, query=query, k=k, deadline_s=deadline_s)
 
 
-_RELOAD_KEYS = frozenset({"index", "index_dir", "summaries"})
+_RELOAD_KEYS = frozenset({"index", "index_dir", "summaries", "precompute"})
 
 
 def parse_reload_request(body: bytes) -> Dict[str, str]:
@@ -187,8 +187,8 @@ def parse_reload_request(body: bytes) -> Dict[str, str]:
 
     An empty body (or ``{}``) reloads the daemon's configured artifact
     paths - the "a new file replaced the old one on disk" flow. Keys
-    ``index`` / ``index_dir`` / ``summaries`` override individual paths;
-    anything else is a typed 400.
+    ``index`` / ``index_dir`` / ``summaries`` / ``precompute`` override
+    individual paths; anything else is a typed 400.
     """
     if not body:
         return {}

@@ -18,6 +18,13 @@ observable (409 + ``serve.reload_failures``) but harmless.
 A generation counter stamps every response, which is how tests (and
 operators) prove which artifact answered: responses across a reload go
 ``generation: 1`` -> ``generation: 2`` with zero errors in between.
+
+The swap is also the answer-cache invalidation point: every generation is
+a *new* engine whose cache tiers start empty (then re-warm from the
+precompute artifact, when one is configured), so an answer computed under
+generation N can never be served under generation N+1. The manager stamps
+the new generation onto engines that expose ``set_reload_generation`` so
+the ``cache.tier.generation`` gauge tracks the swap.
 """
 
 from __future__ import annotations
@@ -112,6 +119,9 @@ class EngineManager:
                 )
                 self._engine = engine
                 self._generation += 1
+                stamp = getattr(engine, "set_reload_generation", None)
+                if stamp is not None:
+                    stamp(self._generation)
                 self._metrics.set_gauge("serve.generation", self._generation)
                 return self._generation
             finally:

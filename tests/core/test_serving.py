@@ -261,6 +261,95 @@ class TestByteLRUCacheEdgeCases:
         assert after.hit_rate == pytest.approx(after.hits / after.lookups)
 
 
+class TestOnEvict:
+    """The eviction callback: fires only for byte-budget LRU evictions."""
+
+    def test_fires_in_lru_order_with_key_and_value(self):
+        evicted = []
+        cache = ByteLRUCache(30, on_evict=lambda k, v: evicted.append((k, v)))
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.put("c", 3, 10)
+        cache.get("a")  # recency: b < c < a
+        cache.put("d", 4, 20)  # needs 20 bytes: evicts b, then c
+        assert evicted == [("b", 2), ("c", 3)]
+        assert "a" in cache and "d" in cache
+        assert cache.evictions == 2
+
+    def test_clear_does_not_fire(self):
+        evicted = []
+        cache = ByteLRUCache(30, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.clear()
+        assert evicted == []
+        assert len(cache) == 0
+
+    def test_reput_does_not_fire(self):
+        # Replacing a key's value is not an eviction - the key is still
+        # resident; demoting it (the answer tier's use) would be wrong.
+        evicted = []
+        cache = ByteLRUCache(100, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1, 40)
+        cache.put("a", 2, 10)
+        assert evicted == []
+        assert cache.get("a") == 2
+
+    def test_oversize_rejection_does_not_fire(self):
+        # An item too big to ever fit was never admitted, so nothing was
+        # evicted for it - and resident entries must not be disturbed.
+        evicted = []
+        cache = ByteLRUCache(20, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1, 10)
+        cache.put("big", 2, 21)
+        assert evicted == []
+        assert "a" in cache
+
+    def test_pop_does_not_fire(self):
+        # pop() is the explicit-removal path (invalidation, demotion
+        # bookkeeping); only *budget pressure* means demotion.
+        evicted = []
+        cache = ByteLRUCache(30, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1, 10)
+        assert cache.pop("a") == 1
+        assert evicted == []
+        assert cache.memory_bytes() == 0
+
+    def test_callback_runs_after_removal_and_may_reput(self):
+        # The answer tier's demotion hook re-puts state into another
+        # cache; re-putting into the *same* cache mid-eviction must not
+        # corrupt accounting either.
+        resurrections = []
+
+        def resurrect(key, value):
+            assert key not in cache  # removal happened first
+            resurrections.append(key)
+            if len(resurrections) == 1:
+                cache.put(f"{key}-demoted", value, 5)
+
+        cache = ByteLRUCache(30, on_evict=resurrect)
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.put("c", 3, 10)
+        cache.put("d", 4, 15)  # evicts a (re-put a-demoted@5), then b
+        assert resurrections == ["a", "b"]
+        assert "a-demoted" in cache
+        assert "d" in cache
+        assert cache.memory_bytes() <= 30
+
+    def test_clear_then_reput_round_trip(self):
+        evicted = []
+        cache = ByteLRUCache(30, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1, 10)
+        cache.clear()
+        cache.put("a", 2, 10)
+        cache.put("b", 3, 10)
+        cache.put("c", 4, 10)
+        cache.put("d", 5, 10)  # budget pressure again: "a" goes
+        assert evicted == ["a"]
+        assert cache.get("a") is None
+
+
 @pytest.fixture
 def stack():
     """The small deterministic chain used by the search unit tests."""

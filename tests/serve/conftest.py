@@ -63,9 +63,12 @@ def stack(stacks):
     return stacks[7]
 
 
-def make_loader(stack, registry):
+def make_loader(stack, registry, *, answer_cache_bytes=None,
+                precompute_path=None):
     """The same loader shape the CLI builds: paths + overrides -> engine."""
     base = {"summaries": str(stack.sums_path), "index": str(stack.index_path)}
+    if precompute_path is not None:
+        base["precompute"] = str(precompute_path)
 
     def loader(overrides):
         paths = dict(base)
@@ -78,6 +81,8 @@ def make_loader(stack, registry):
             paths["summaries"],
             index_path=paths.get("index"),
             index_dir=paths.get("index_dir"),
+            answer_cache_bytes=answer_cache_bytes,
+            precompute_path=paths.get("precompute"),
             metrics=registry,
         )
 
@@ -87,10 +92,15 @@ def make_loader(stack, registry):
 class DaemonHarness:
     """A PITServer on a real socket, driven from a background thread."""
 
-    def __init__(self, stack, config=None, registry=None):
+    def __init__(self, stack, config=None, registry=None,
+                 answer_cache_bytes=None, precompute_path=None):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.server = PITServer(
-            make_loader(stack, self.registry),
+            make_loader(
+                stack, self.registry,
+                answer_cache_bytes=answer_cache_bytes,
+                precompute_path=precompute_path,
+            ),
             config or ServeConfig(port=0),
             metrics=self.registry,
         )
@@ -153,11 +163,14 @@ def make_daemon(stack):
     """Factory for daemons over the default stack; all stopped at teardown."""
     daemons = []
 
-    def factory(config=None, registry=None, use_stack=None):
+    def factory(config=None, registry=None, use_stack=None,
+                answer_cache_bytes=None, precompute_path=None):
         daemon = DaemonHarness(
             use_stack if use_stack is not None else stack,
             config=config,
             registry=registry,
+            answer_cache_bytes=answer_cache_bytes,
+            precompute_path=precompute_path,
         )
         daemons.append(daemon)
         return daemon.start()

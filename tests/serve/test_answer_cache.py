@@ -1,0 +1,244 @@
+"""Answer tier behind real sockets: warm hits, hot swaps, no stale answers.
+
+The invalidation design is structural - every ``/admin/reload`` swap
+builds a *new* engine whose tiers start empty and re-warm from the
+precompute artifact - so the property under test is end-to-end: across a
+generation bump, every byte the daemon returns must equal what a fresh,
+cache-less engine computes from the artifacts on disk. A daemon that
+kept serving the old engine's answer tier after a swap would fail the
+moment the artifacts differ; here we prove the plumbing by swapping to a
+*different* (re-built) summaries artifact mid-session and requiring the
+responses to track the artifact, not the cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    PITEngine,
+    ServingEngine,
+    build_precompute,
+    save_precompute,
+    save_summaries,
+)
+from repro.datasets import generate_workload, replay_requests
+from repro.serve import ServeConfig
+
+from .conftest import DaemonHarness
+
+WORK_FIELDS = (
+    "topics_considered",
+    "topics_pruned",
+    "entries_probed",
+    "expansion_rounds",
+    "representatives_touched",
+)
+
+
+def fresh_engine(stack, sums_path=None):
+    """An uncached engine straight off the artifacts - the truth oracle."""
+    return ServingEngine.from_artifacts(
+        stack.bundle.graph,
+        stack.bundle.topic_index,
+        sums_path if sums_path is not None else stack.sums_path,
+        index_path=stack.index_path,
+    )
+
+
+def expected_payload(engine, record):
+    results, stats = engine.search(
+        record["user"], record["query"], record["k"], with_stats=True
+    )
+    return (
+        [
+            {"topic_id": r.topic_id, "label": r.label,
+             "influence": r.influence}
+            for r in results
+        ],
+        {f: getattr(stats, f) for f in WORK_FIELDS},
+    )
+
+
+@pytest.fixture(scope="module")
+def replay(stacks, tmp_path_factory):
+    """A Zipf replay + mined precompute artifact over the seed-7 stack."""
+    stack = stacks[7]
+    directory = tmp_path_factory.mktemp("answer_cache")
+    workload = generate_workload(
+        stack.bundle, n_queries=5, n_users=4, seed=7
+    )
+    records = replay_requests(
+        workload, n_requests=120, k=5, skew=1.1, seed=7
+    )
+    trace_path = directory / "trace.jsonl"
+    trace_path.write_text(
+        "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+    )
+    artifact = build_precompute(
+        fresh_engine(stack), trace_path, top_queries=4, top_answers=10,
+        default_k=5,
+    )
+    precompute_path = directory / "precompute.json"
+    save_precompute(artifact, precompute_path)
+    return {
+        "stack": stack,
+        "records": records,
+        "trace_path": trace_path,
+        "precompute_path": precompute_path,
+        "directory": directory,
+    }
+
+
+@pytest.fixture(scope="module")
+def alt_summaries(replay):
+    """A *different* summarization of the same graph + matching precompute.
+
+    Re-clustering with another seed moves representatives, so answers
+    cached over the original summaries are genuinely wrong against these
+    - which is what makes the staleness tests below meaningful.
+    """
+    stack = replay["stack"]
+    directory = replay["directory"]
+    engine2 = PITEngine.from_dataset(stack.bundle, summarizer="rcl", seed=99)
+    engine2.build_summaries()
+    sums2_path = directory / "sums2.json"
+    save_summaries(engine2.summaries, stack.bundle.graph, sums2_path)
+    oracle2 = fresh_engine(stack, sums2_path)
+    artifact2 = build_precompute(
+        oracle2, replay["trace_path"], top_queries=4, top_answers=10,
+        default_k=5,
+    )
+    precompute2_path = directory / "precompute2.json"
+    save_precompute(artifact2, precompute2_path)
+    return {"sums_path": sums2_path, "precompute_path": precompute2_path}
+
+
+class TestWarmServing:
+    def test_warm_daemon_hits_and_stays_bit_exact(self, replay):
+        stack = replay["stack"]
+        daemon = DaemonHarness(
+            stack,
+            config=ServeConfig(port=0),
+            answer_cache_bytes=8 << 20,
+            precompute_path=replay["precompute_path"],
+        ).start()
+        try:
+            oracle = fresh_engine(stack)
+            for record in replay["records"][:60]:
+                status, body, _ = daemon.search(
+                    record["user"], record["query"], k=record["k"]
+                )
+                assert status == 200
+                want_results, want_stats = expected_payload(oracle, record)
+                assert body["results"] == want_results
+                assert body["stats"] == want_stats
+            # Tier gauges are published at snapshot time; scraping
+            # /metrics (as an operator would) materializes them.
+            status, text, _ = daemon.request("GET", "/metrics")
+            assert status == 200
+            snapshot = daemon.registry.snapshot()
+            assert snapshot.counters.get("cache.tier.answers.hits", 0) > 0
+            assert snapshot.gauges.get("cache.tier.answers.items", 0) > 0
+            assert "repro_cache_tier_answers_hits" in str(text)
+        finally:
+            daemon.stop()
+
+
+class TestNoStaleAcrossSwap:
+    def test_generation_bump_never_serves_stale(self, replay, alt_summaries):
+        """Swap to *different* summaries mid-session: answers must track.
+
+        The second artifact is a re-summarization with another seed, so
+        cached generation-1 answers are genuinely wrong afterwards - any
+        tier leak across the swap produces a visible mismatch.
+        """
+        stack = replay["stack"]
+        sums2_path = alt_summaries["sums_path"]
+        precompute2_path = alt_summaries["precompute_path"]
+        oracle2 = fresh_engine(stack, sums2_path)
+
+        daemon = DaemonHarness(
+            stack,
+            config=ServeConfig(port=0),
+            answer_cache_bytes=8 << 20,
+            precompute_path=replay["precompute_path"],
+        ).start()
+        try:
+            oracle1 = fresh_engine(stack)
+            probes = replay["records"][:30]
+            for record in probes:
+                status, body, _ = daemon.search(
+                    record["user"], record["query"], k=record["k"]
+                )
+                assert status == 200
+                assert body["generation"] == 1
+                want_results, want_stats = expected_payload(oracle1, record)
+                assert body["results"] == want_results
+
+            status, body, _ = daemon.request(
+                "POST", "/admin/reload",
+                {"summaries": str(sums2_path),
+                 "precompute": str(precompute2_path)},
+            )
+            assert status == 200
+            assert body["generation"] == 2
+
+            changed = 0
+            for record in probes:
+                status, body, _ = daemon.search(
+                    record["user"], record["query"], k=record["k"]
+                )
+                assert status == 200
+                assert body["generation"] == 2
+                want_results, want_stats = expected_payload(oracle2, record)
+                assert body["results"] == want_results
+                assert body["stats"] == want_stats
+                old_results, _ = expected_payload(oracle1, record)
+                if old_results != want_results:
+                    changed += 1
+            # The swap must have been observable - otherwise this test
+            # proved nothing about staleness.
+            assert changed > 0
+            status, _, _ = daemon.request("GET", "/metrics")
+            assert status == 200
+            snapshot = daemon.registry.snapshot()
+            assert snapshot.gauges.get("cache.tier.generation") == 2
+        finally:
+            daemon.stop()
+
+    def test_mismatched_precompute_reload_refused(self, replay, alt_summaries):
+        """Swapping summaries without the precompute fails; old gen serves."""
+        stack = replay["stack"]
+        sums2_path = alt_summaries["sums_path"]
+
+        daemon = DaemonHarness(
+            stack,
+            config=ServeConfig(port=0),
+            answer_cache_bytes=8 << 20,
+            precompute_path=replay["precompute_path"],
+        ).start()
+        try:
+            record = replay["records"][0]
+            status, before, _ = daemon.search(
+                record["user"], record["query"], k=record["k"]
+            )
+            assert status == 200 and before["generation"] == 1
+
+            # New summaries + generation-1 precompute: fingerprints differ.
+            status, body, _ = daemon.request(
+                "POST", "/admin/reload", {"summaries": str(sums2_path)}
+            )
+            assert status == 400
+            assert "precompute" in body["error"]["message"]
+
+            status, after, _ = daemon.search(
+                record["user"], record["query"], k=record["k"]
+            )
+            assert status == 200
+            assert after["generation"] == 1
+            assert after["results"] == before["results"]
+        finally:
+            daemon.stop()
