@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Scenario-suite benchmark: every catalogued workload, graded and gated.
+
+Runs the full :mod:`repro.scenarios` catalogue through the engine-mode
+replay (deterministic: results digest, answer-cache trajectory, event
+outcomes), the two adversarial scenarios additionally through a live
+daemon on a loopback socket, and one scenario twice to prove run-to-run
+determinism. Writes ``BENCH_scenarios.json``.
+
+Gates:
+
+* ``all_scenarios_ok`` - every run's own gates passed (brute-force
+  oracle precision 1.0 with float-tolerance influence error, calibrated
+  summarized precision floor, reload/stale-precompute semantics,
+  answer-cache hits where the trace repeats itself);
+* ``deterministic_replay`` - two engine-mode runs of the same
+  (scenario, seed, profile) produce identical deterministic report
+  views, trace digest included;
+* ``daemon_zero_5xx`` - the adversarial daemon replays (flash-crowd
+  spike against a 16-slot admission queue, topic-churn storm of
+  mid-replay reloads) answered or shed every request; nothing 5xx'd.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke
+
+``--smoke`` switches every scenario to its "smoke" profile for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.scenarios import deterministic_view, list_scenarios, run_scenario
+
+#: The scenario replayed twice for the determinism gate (the cheapest).
+DETERMINISM_SCENARIO = "phone-recommendation"
+
+
+def _summarize(report: dict) -> dict:
+    """The per-run slice that lands in BENCH_scenarios.json."""
+    row = {
+        "scenario": report["scenario"],
+        "mode": report["mode"],
+        "seed": report["seed"],
+        "profile": report["profile"],
+        "adversarial": report["adversarial"],
+        "trace_digest": report["trace"]["digest"],
+        "n_requests": report["trace"]["n_requests"],
+        "n_events": report["trace"]["n_events"],
+        "quality": {
+            "exact_precision": report["quality"]["exact"]["precision"],
+            "max_influence_error": (
+                report["quality"]["exact"]["max_influence_error"]
+            ),
+            "summarized_precision": (
+                report["quality"]["summarized"]["precision"]
+            ),
+        },
+        "gates": report["gates"],
+        "ok": report["ok"],
+        "wall_seconds": report["timing"]["wall_seconds"],
+    }
+    if report["replay"] is not None:
+        row["results_digest"] = report["replay"]["results_digest"]
+        row["answer_cache"] = report["replay"]["answer_cache"]
+    if report["daemon"] is not None:
+        row["statuses"] = report["daemon"]["statuses"]
+        row["shed"] = report["daemon"]["shed"]
+        row["server_errors"] = report["daemon"]["server_errors"]
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run every scenario at its 'smoke' profile")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="result JSON path (default "
+                             "benchmarks/BENCH_scenarios.json)")
+    args = parser.parse_args(argv)
+    profile = "smoke" if args.smoke else "default"
+
+    runs = []
+    all_ok = True
+    for scenario in list_scenarios():
+        report = run_scenario(
+            scenario.name, profile=profile, mode="engine"
+        )
+        runs.append(_summarize(report))
+        all_ok &= report["ok"]
+        print(f"engine {scenario.name:24s} ok={report['ok']} "
+              f"wall={report['timing']['wall_seconds']}s", flush=True)
+
+    daemon_5xx = 0
+    for scenario in list_scenarios():
+        if not scenario.adversarial:
+            continue
+        report = run_scenario(
+            scenario.name, profile=profile, mode="daemon"
+        )
+        runs.append(_summarize(report))
+        all_ok &= report["ok"]
+        daemon_5xx += report["daemon"]["server_errors"]
+        print(f"daemon {scenario.name:24s} ok={report['ok']} "
+              f"statuses={report['daemon']['statuses']}", flush=True)
+
+    first = deterministic_view(
+        run_scenario(DETERMINISM_SCENARIO, profile=profile, mode="engine")
+    )
+    second = deterministic_view(
+        run_scenario(DETERMINISM_SCENARIO, profile=profile, mode="engine")
+    )
+    deterministic = json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+    print(f"determinism ({DETERMINISM_SCENARIO} twice): {deterministic}",
+          flush=True)
+
+    gates = {
+        "all_scenarios_ok": all_ok,
+        "deterministic_replay": deterministic,
+        "daemon_zero_5xx": daemon_5xx == 0,
+    }
+    payload = {
+        "schema": "repro.bench/scenarios/v1",
+        "profile": profile,
+        "runs": runs,
+        "gates": gates,
+        "ok": all(gates.values()),
+    }
+    output = Path(
+        args.output
+        if args.output
+        else Path(__file__).parent / "BENCH_scenarios.json"
+    )
+    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+
+    if not payload["ok"]:
+        failed = [name for name, ok in gates.items() if not ok]
+        print(f"GATES FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("all gates passed: every scenario oracle-gated, deterministic, "
+          "and daemon-survivable")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

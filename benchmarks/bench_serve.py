@@ -54,7 +54,12 @@ from repro.core import (
     save_propagation_index,
     save_summaries,
 )
-from repro.datasets import data_2k, generate_workload, replay_requests
+from repro.datasets import (
+    data_2k,
+    generate_workload,
+    replay_requests,
+    write_replay_jsonl,
+)
 from repro.obs import MetricsRegistry
 from repro.serve import PITServer, ServeConfig
 
@@ -283,9 +288,7 @@ def main(argv=None) -> int:
     records = replay_requests(
         workload, n_requests=total, k=args.k, skew=args.skew, seed=args.seed
     )
-    replay_path.write_text(
-        "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
-    )
+    write_replay_jsonl(records, replay_path)
     records = [
         json.loads(line) for line in replay_path.read_text().splitlines()
     ]

@@ -1,9 +1,12 @@
 #!/usr/bin/env python
 """Evolving network: incremental index maintenance (paper §4.4).
 
-"The offline pre-processing is updated after a period of time when the
-social network and topics have changed." This example simulates a day of
-activity - users pick up and drop topics - and shows that:
+A thin wrapper over the ``evolving-network`` scenario
+(:mod:`repro.scenarios`), which owns the dataset and the hot-topic
+update construction. "The offline pre-processing is updated after a
+period of time when the social network and topics have changed." This
+demo simulates a day of activity - users pick up and drop topics - and
+shows that:
 
 1. only the summaries of *changed* topics are invalidated (unchanged
    topics keep their cached summaries);
@@ -16,17 +19,14 @@ Run with: ``python examples/evolving_network.py``
 
 from __future__ import annotations
 
-from repro.core import (
-    PITEngine,
-    TopicUpdate,
-    apply_topic_update,
-    invalidate_propagation,
-)
-from repro.datasets import data_2k
+from repro.core import PITEngine, apply_topic_update, invalidate_propagation
+from repro.scenarios import get_scenario, hot_topic_update
 
 
 def main() -> None:
-    bundle = data_2k(seed=99, n_nodes=600, with_corpus=False)
+    # The scenario's "demo" profile is this example's historical scale.
+    scenario = get_scenario("evolving-network")
+    bundle = scenario.dataset(99, scenario.params("demo"))
     engine = PITEngine.from_dataset(bundle, summarizer="lrw", seed=99)
 
     user, query, k = 10, "music", 5
@@ -42,13 +42,10 @@ def main() -> None:
     print(f"\nSummaries cached before update: {warmed}")
 
     # A burst of activity: user 10's strongest influencers start talking
-    # about a brand-new topic, and a few users drop an old one.
+    # about a brand-new topic (the scenario's churn event, applied live).
     hot_label = "sold out festival music"
-    entry = engine.propagation_index.entry(user)
-    influencers = sorted(
-        entry.gamma, key=lambda v: -entry.gamma[v]
-    )[:8] or [1, 2, 3]
-    update = TopicUpdate(add={v: (hot_label,) for v in influencers})
+    update = hot_topic_update(engine, user, hot_label=hot_label)
+    influencers = sorted(update.add)
     stats = apply_topic_update(engine, update)
     print(f"Update applied: kept {stats['kept']} cached summaries, "
           f"invalidated {stats['invalidated']}, "
@@ -69,6 +66,10 @@ def main() -> None:
     # Next search rebuilds only what it needs.
     engine.search(user, query, k)
     print("Search after selective invalidation still works.")
+
+    print("\nReplay churn against the serving stack (invalidation + "
+          "reload mid-trace) with:\n"
+          "  pit-search scenario run evolving-network --profile demo")
 
 
 if __name__ == "__main__":

@@ -1,8 +1,10 @@
 #!/usr/bin/env python
 """The paper's Example 1: which phone should User 3 buy?
 
-Reconstructs the 15-user social network of Figure 1 with the influence
-weights of Figure 2, three phone topics (apple/samsung/htc), and shows:
+A thin wrapper over the ``phone-recommendation`` scenario
+(:mod:`repro.scenarios`), which owns the Figure 1 network - the 15-user
+graph with Figure 2's influence weights and the three phone topics
+(apple/samsung/htc). This demo shows:
 
 * the exact influence of each topic on User 3 (samsung wins, as in the
   paper);
@@ -16,40 +18,11 @@ from __future__ import annotations
 
 from repro.baselines import BaseMatrixRanker
 from repro.core import PITEngine, topic_influence_vector
-from repro.graph import GraphBuilder
-from repro.topics import TopicIndex
-
-#: Figure 1's edges with weights calibrated to reproduce Figure 2's path
-#: table (e.g. path 5 -> 3 carries 0.6 and 2 -> 1 -> 3 carries 0.06).
-EDGES = [
-    (2, 1, 0.1), (1, 3, 0.6), (5, 3, 0.6), (5, 7, 0.1), (7, 13, 0.4),
-    (13, 12, 0.8), (12, 10, 0.5), (10, 6, 0.4), (6, 3, 0.15), (9, 8, 0.3),
-    (8, 13, 0.14), (15, 9, 0.9), (1, 2, 0.3), (3, 4, 0.4), (4, 14, 0.5),
-    (11, 12, 0.3), (14, 11, 0.4), (6, 10, 0.3), (13, 7, 0.2),
-]
-
-#: Users who posted positively about each phone (user 13 mentions all
-#: three, as in the paper).
-TOPICS = {
-    "apple phone": [2, 5, 13, 9, 15],
-    "samsung phone": [1, 13, 12, 14],
-    "htc phone": [6, 13, 10],
-}
-
-
-def build_network():
-    builder = GraphBuilder(16)
-    builder.add_edges(EDGES)
-    graph = builder.build()
-    assignment = {}
-    for label, users in TOPICS.items():
-        for user in users:
-            assignment.setdefault(user, []).append(label)
-    return graph, TopicIndex(16, assignment)
+from repro.scenarios import TOPICS, build_phone_network
 
 
 def main() -> None:
-    graph, topic_index = build_network()
+    graph, topic_index = build_phone_network()
 
     print("Exact topic influence (walks up to length 6):")
     for user in (3, 7, 14):
@@ -79,6 +52,9 @@ def main() -> None:
     )
     for result in engine.search(3, "phone", k=3):
         print(f"  {result.label:16s} {result.influence:.4f}")
+
+    print("\nReplay Figure 1 as serving traffic (oracle-gated) with:\n"
+          "  pit-search scenario run phone-recommendation")
 
 
 if __name__ == "__main__":

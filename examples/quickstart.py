@@ -1,9 +1,11 @@
 #!/usr/bin/env python
 """Quickstart: build a PIT-Search engine and run personalized queries.
 
-Steps:
+A thin wrapper over the ``quickstart`` scenario
+(:mod:`repro.scenarios`), which owns the dataset and workload
+generation. Steps:
 
-1. generate a small synthetic Twitter-like dataset (graph + topic space);
+1. generate the scenario's dataset (graph + topic space);
 2. build the offline indexes lazily through :class:`repro.core.PITEngine`;
 3. run the same keyword query for two different users and see that the
    *personalized* rankings differ - the paper's core claim.
@@ -14,12 +16,15 @@ Run with: ``python examples/quickstart.py``
 from __future__ import annotations
 
 from repro.core import PITEngine
-from repro.datasets import data_2k
+from repro.scenarios import get_scenario
 
 
 def main() -> None:
-    # A 600-node slice of the data_2k bundle keeps the demo instant.
-    bundle = data_2k(seed=7, n_nodes=600, with_corpus=False)
+    # The scenario's "demo" profile is this example's historical scale:
+    # a 600-node slice of the data_2k bundle, instant to build.
+    scenario = get_scenario("quickstart")
+    data = scenario.generate(seed=7, profile="demo")
+    bundle = data.bundle
     print(bundle.describe())
 
     engine = PITEngine.from_dataset(bundle, summarizer="lrw", seed=7)
@@ -38,6 +43,10 @@ def main() -> None:
     first = [r.label for r in engine.search(users[0], query, k=5)]
     second = [r.label for r in engine.search(users[1], query, k=5)]
     print(f"\nRankings identical for both users? {first == second}")
+
+    print(f"\nThis demo is the {data.name!r} scenario; replay its full "
+          f"{len(data.records)}-request trace with:\n"
+          f"  pit-search scenario run quickstart --profile demo")
 
 
 if __name__ == "__main__":

@@ -1,7 +1,9 @@
 #!/usr/bin/env python
 """Summarization quality: Definition 1's objective, measured.
 
-Compares the two summarizers (RCL-A and LRW-A) on the paper's actual
+A thin wrapper over the ``quickstart`` scenario's corpus-carrying
+profile (:mod:`repro.scenarios` owns the dataset generation). Compares
+the two summarizers (RCL-A and LRW-A) on the paper's actual
 optimization target - the L1 gap between the true topic influence field
 ``I(t, .)`` and the summary-induced field ``I*(t, .)`` - and shows how the
 gap shrinks as the representative budget ``μ`` grows.
@@ -17,13 +19,14 @@ from __future__ import annotations
 from repro.core import summarization_error
 from repro.core.lrw import LRWSummarizer
 from repro.core.rcl import RCLSummarizer
-from repro.datasets import data_2k
+from repro.scenarios import get_scenario
 from repro.topics import TopicExtractor
 from repro.walks import WalkIndex
 
 
 def main() -> None:
-    bundle = data_2k(seed=13, n_nodes=600, with_corpus=True)
+    scenario = get_scenario("quickstart")
+    bundle = scenario.dataset(13, scenario.params("demo-corpus"))
     graph, topic_index = bundle.graph, bundle.topic_index
 
     # --- Part 1: the LDA extraction pipeline on real (synthetic) tweets.

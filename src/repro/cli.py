@@ -382,6 +382,47 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--size", type=int, default=None,
                             help="override node count for every dataset")
     experiment.add_argument("--seed", type=int, default=42)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="replayable, oracle-gated workload scenarios "
+             "(see docs/scenarios.md)",
+    )
+    scenario_sub = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scenario_sub.add_parser("list", help="print the scenario catalogue")
+    generate = scenario_sub.add_parser(
+        "generate",
+        help="emit a scenario's replay trace (the JSONL format "
+             "search --batch, serve, and precompute consume)",
+    )
+    generate.add_argument("name", help="scenario name (see: scenario list)")
+    generate.add_argument("--seed", type=int, default=None,
+                          help="override the scenario's default seed")
+    generate.add_argument("--profile", default="default",
+                          help="size profile (default / smoke / ...)")
+    generate.add_argument("--output", required=True, metavar="PATH",
+                          help="trace JSONL destination")
+    run = scenario_sub.add_parser(
+        "run",
+        help="generate, replay, and grade one scenario "
+             "(deterministic report in engine mode)",
+    )
+    run.add_argument("name", help="scenario name (see: scenario list)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the scenario's default seed")
+    run.add_argument("--profile", default="default",
+                     help="size profile (default / smoke / ...)")
+    run.add_argument("--mode", default="engine",
+                     choices=["engine", "daemon"],
+                     help="replay through ServingEngine in process "
+                          "(deterministic) or a live daemon on a "
+                          "loopback socket")
+    run.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write the full report JSON at PATH")
+    run.add_argument("--workdir", default=None, metavar="DIR",
+                     help="keep artifacts in DIR instead of a temp dir")
     return parser
 
 
@@ -946,6 +987,71 @@ def _run_experiment(args) -> int:
     return 0
 
 
+def _run_scenario(args) -> int:
+    """`pit-search scenario list | generate | run` (docs/scenarios.md)."""
+    import json
+
+    from .scenarios import get_scenario, list_scenarios, run_scenario
+
+    if args.scenario_command == "list":
+        for scenario in list_scenarios():
+            tags = []
+            if scenario.adversarial:
+                tags.append("adversarial")
+            if scenario.wants_precompute:
+                tags.append("precompute")
+            suffix = f"  [{', '.join(tags)}]" if tags else ""
+            profiles = "/".join(sorted(scenario.profiles))
+            print(f"{scenario.name:24s} {scenario.title}{suffix}")
+            print(f"{'':24s} seed={scenario.default_seed} "
+                  f"profiles={profiles}")
+        return 0
+
+    if args.scenario_command == "generate":
+        data = get_scenario(args.name).generate(args.seed, args.profile)
+        data.write_trace(args.output)
+        print(f"{args.name}: {len(data.records)} requests, "
+              f"{len(data.events)} events -> {args.output}")
+        print(f"trace digest: {data.trace_digest()}")
+        return 0
+
+    report = run_scenario(
+        args.name,
+        seed=args.seed,
+        profile=args.profile,
+        mode=args.mode,
+        workdir=args.workdir,
+    )
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    trace = report["trace"]
+    print(f"{report['scenario']} ({report['mode']}, seed {report['seed']}, "
+          f"profile {report['profile']}): {trace['n_requests']} requests "
+          f"in {trace['n_bursts']} bursts, {trace['n_events']} events")
+    print(f"trace digest: {trace['digest']}")
+    quality = report["quality"]
+    print(f"quality: exact precision {quality['exact']['precision']:.3f} "
+          f"(err {quality['exact']['max_influence_error']:.2e}), "
+          f"summarized precision {quality['summarized']['precision']:.3f}")
+    if report["replay"] is not None:
+        replay = report["replay"]
+        cache = replay["answer_cache"]
+        print(f"replay: digest {replay['results_digest'][:16]}..., "
+              f"answer hits {cache['answer_hits']}/"
+              f"{cache['answer_hits'] + cache['answer_misses']}, "
+              f"warm {replay['warm_answers']}")
+    if report["daemon"] is not None:
+        daemon = report["daemon"]
+        print(f"daemon: statuses {daemon['statuses']}, "
+              f"shed {daemon['shed']}, 5xx {daemon['server_errors']}")
+    for name, passed in report["gates"].items():
+        print(f"gate {name}: {'pass' if passed else 'FAIL'}")
+    print(f"ok: {report['ok']}")
+    return 0 if report["ok"] else 1
+
+
 #: Exit code for the current interrupt, shell-style ``128 + signum``.
 #: SIGINT's KeyboardInterrupt leaves the default 130; the SIGTERM
 #: handler overwrites it with 143 before raising.
@@ -987,6 +1093,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "precompute": _run_precompute,
         "stats": _run_stats,
         "experiment": _run_experiment,
+        "scenario": _run_scenario,
     }
     _SIGNAL_EXIT["code"] = 130
     try:

@@ -14,7 +14,9 @@ from .workload import (
     Workload,
     generate_workload,
     rank_query_tokens,
+    replay_jsonl,
     replay_requests,
+    write_replay_jsonl,
 )
 
 __all__ = [
@@ -30,6 +32,8 @@ __all__ = [
     "Workload",
     "generate_workload",
     "replay_requests",
+    "replay_jsonl",
+    "write_replay_jsonl",
     "rank_query_tokens",
     "ActivityStream",
 ]

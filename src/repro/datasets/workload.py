@@ -10,8 +10,10 @@ tokens, preferring tokens that match many topics) and a set of query users.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +27,8 @@ __all__ = [
     "generate_workload",
     "rank_query_tokens",
     "replay_requests",
+    "replay_jsonl",
+    "write_replay_jsonl",
 ]
 
 
@@ -157,3 +161,32 @@ def replay_requests(
         }
         for i in picks
     ]
+
+
+def replay_jsonl(records: Iterable[Dict[str, object]]) -> str:
+    """Canonical JSONL serialization of replay records.
+
+    Sorted keys, compact separators, one record per line: the same seed
+    always yields byte-identical output, which is what lets scenario
+    traces be digested (SHA-256 over these bytes) and compared across
+    runs. Every consumer of the record format - ``search --batch``, the
+    daemon's ``POST /search``, and ``pit-search precompute`` - ignores
+    unknown keys, so records may carry extras such as ``at_ms``.
+    """
+    return "".join(
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        for record in records
+    )
+
+
+def write_replay_jsonl(
+    records: Iterable[Dict[str, object]], path
+) -> Path:
+    """Write records to *path* in the canonical JSONL form.
+
+    The single emitter shared by the scenario suite and
+    ``benchmarks/bench_serve.py`` - one serialization, one digest.
+    """
+    path = Path(path)
+    path.write_text(replay_jsonl(records), encoding="utf-8")
+    return path

@@ -1,0 +1,66 @@
+"""Replayable, oracle-gated workload scenarios (ROADMAP item 5).
+
+Every scenario is a seeded, deterministic generator of a graph + topic
+space + timed request trace (the replay-JSONL format shared by ``search
+--batch``, the serving daemon, and ``pit-search precompute``), plus the
+quality gates to grade a replay: brute-force-oracle precision and
+influence error, answer-cache hit trajectory, shed/deadline rates.
+
+* :mod:`~repro.scenarios.catalog` - the six shipped scenarios
+* :mod:`~repro.scenarios.runner` - replay through ``ServingEngine`` or
+  the live daemon, producing the ``repro.scenarios/v1`` report
+* CLI: ``pit-search scenario list | generate | run``
+"""
+
+from .base import Scenario, ScenarioData, get_scenario, list_scenarios
+from .catalog import (
+    EDGES,
+    TOPICS,
+    build_phone_network,
+    campaign_audience,
+    campaign_topic,
+    hot_topic_update,
+)
+from .quality import (
+    OracleInstance,
+    evaluate_exact,
+    evaluate_summarized,
+    identity_summaries,
+    random_oracle_instance,
+)
+from .runner import REPORT_SCHEMA, deterministic_view, run_scenario
+from .trace import (
+    load_trace,
+    timestamped,
+    trace_bursts,
+    trace_digest,
+    validate_trace,
+    write_trace,
+)
+
+__all__ = [
+    "EDGES",
+    "OracleInstance",
+    "REPORT_SCHEMA",
+    "Scenario",
+    "ScenarioData",
+    "TOPICS",
+    "build_phone_network",
+    "campaign_audience",
+    "campaign_topic",
+    "deterministic_view",
+    "evaluate_exact",
+    "evaluate_summarized",
+    "get_scenario",
+    "hot_topic_update",
+    "identity_summaries",
+    "list_scenarios",
+    "load_trace",
+    "random_oracle_instance",
+    "run_scenario",
+    "timestamped",
+    "trace_bursts",
+    "trace_digest",
+    "validate_trace",
+    "write_trace",
+]

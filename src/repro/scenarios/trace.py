@@ -1,0 +1,180 @@
+"""Timed replay traces: the scenario suite's request wire format.
+
+A trace is a list of replay records - the ``{"user", "query", "k"}``
+dicts ``search --batch``, the daemon's ``POST /search``, and
+``pit-search precompute`` already consume - extended with an ``at_ms``
+arrival timestamp. Every existing consumer ignores unknown keys, so a
+scenario trace file drives all of them unchanged; only the scenario
+runner interprets ``at_ms``: records sharing a timestamp form a *burst*
+that is replayed together (one ``search_batch`` call in engine mode,
+concurrent requests in daemon mode).
+
+Validation here is the scenario boundary's contract: malformed records
+are refused with :class:`~repro.exceptions.ConfigurationError` (carrying
+the 1-based record number), unknown users with
+:class:`~repro.exceptions.NodeNotFoundError` - typed refusals, never a
+crash mid-replay. Out-of-order arrival times are tolerated and stably
+sorted; duplicate timestamps are meaningful (a burst), not an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..datasets.workload import replay_jsonl, write_replay_jsonl
+from ..exceptions import ConfigurationError
+from ..graph import SocialGraph
+
+__all__ = [
+    "load_trace",
+    "timestamped",
+    "trace_bursts",
+    "trace_digest",
+    "validate_trace",
+    "write_trace",
+]
+
+
+def timestamped(
+    records: Iterable[Dict[str, object]],
+    *,
+    burst: int = 1,
+    step_ms: int = 10,
+    start_ms: int = 0,
+) -> List[Dict[str, object]]:
+    """Stamp plain replay records with ``at_ms`` arrival times.
+
+    Consecutive groups of *burst* records share one timestamp (arriving
+    together), with *step_ms* between groups. This is how scenarios turn
+    :func:`~repro.datasets.replay_requests` output into a timed trace.
+    """
+    if burst < 1:
+        raise ConfigurationError(f"burst must be >= 1, got {burst}")
+    if step_ms < 1:
+        raise ConfigurationError(f"step_ms must be >= 1, got {step_ms}")
+    out: List[Dict[str, object]] = []
+    for i, record in enumerate(records):
+        stamped = dict(record)
+        stamped["at_ms"] = int(start_ms) + (i // burst) * int(step_ms)
+        out.append(stamped)
+    return out
+
+
+def _check_record(record: object, position: int) -> Dict[str, object]:
+    """Validate one record; *position* is 1-based for error messages."""
+    if not isinstance(record, dict):
+        raise ConfigurationError(
+            f"trace record {position} must be a JSON object, got "
+            f"{type(record).__name__}"
+        )
+    query = record.get("query")
+    if not isinstance(query, str) or not query.strip():
+        raise ConfigurationError(
+            f"trace record {position} has no usable 'query' field"
+        )
+    user = record.get("user")
+    if isinstance(user, bool) or not isinstance(user, int) or user < 0:
+        raise ConfigurationError(
+            f"trace record {position} has no usable 'user' field"
+        )
+    k = record.get("k", 10)
+    if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+        raise ConfigurationError(
+            f"trace record {position} has an invalid 'k' field"
+        )
+    at_ms = record.get("at_ms", 0)
+    if (
+        isinstance(at_ms, bool)
+        or not isinstance(at_ms, (int, float))
+        or at_ms < 0
+    ):
+        raise ConfigurationError(
+            f"trace record {position} has an invalid 'at_ms' field"
+        )
+    checked = dict(record)
+    checked["k"] = int(k)
+    checked["at_ms"] = int(at_ms)
+    return checked
+
+
+def validate_trace(
+    records: Iterable[Dict[str, object]],
+    *,
+    graph: Optional[SocialGraph] = None,
+) -> List[Dict[str, object]]:
+    """Validate records and normalize arrival order.
+
+    Refuses an empty trace and malformed records with
+    :class:`~repro.exceptions.ConfigurationError`; with *graph* given,
+    unknown users are refused with
+    :class:`~repro.exceptions.NodeNotFoundError` (via
+    :meth:`~repro.graph.SocialGraph.validate_node`). Records arriving
+    out of timestamp order are stably sorted - relative order within a
+    timestamp (a burst) is preserved.
+    """
+    checked = [
+        _check_record(record, i + 1) for i, record in enumerate(records)
+    ]
+    if not checked:
+        raise ConfigurationError(
+            "trace is empty: a scenario replay needs at least one record"
+        )
+    if graph is not None:
+        for record in checked:
+            graph.validate_node(record["user"])
+    checked.sort(key=lambda record: record["at_ms"])
+    return checked
+
+
+def load_trace(
+    source, *, graph: Optional[SocialGraph] = None
+) -> List[Dict[str, object]]:
+    """Load and validate a trace from a JSONL path or record iterable."""
+    if isinstance(source, (str, Path)):
+        records = []
+        with open(source, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise ConfigurationError(
+                        f"{source}: line {lineno} is not valid JSON ({exc})"
+                    ) from exc
+        return validate_trace(records, graph=graph)
+    return validate_trace(source, graph=graph)
+
+
+def trace_bursts(
+    records: Sequence[Dict[str, object]],
+) -> List[List[Dict[str, object]]]:
+    """Group a validated trace into bursts of equal ``at_ms``."""
+    bursts: List[List[Dict[str, object]]] = []
+    current_ms: Optional[int] = None
+    for record in records:
+        at_ms = int(record.get("at_ms", 0))
+        if current_ms is None or at_ms != current_ms:
+            bursts.append([])
+            current_ms = at_ms
+        bursts[-1].append(record)
+    return bursts
+
+
+def trace_digest(records: Iterable[Dict[str, object]]) -> str:
+    """SHA-256 over the canonical JSONL bytes of *records*.
+
+    Same seed, same scenario, same digest - the determinism gate the
+    CLI's ``scenario run`` acceptance check compares across runs.
+    """
+    payload = replay_jsonl(records).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def write_trace(records: Iterable[Dict[str, object]], path) -> Path:
+    """Write a trace using the shared canonical JSONL emitter."""
+    return write_replay_jsonl(records, path)

@@ -145,3 +145,129 @@ class TestMetrics:
             engine.propagation_index,
         )
         assert serving.memory_bytes() > 0
+
+
+class TestInvalidateAnswers:
+    """The PR 8 invalidation seam: per-user vs. full, bytes, warm load."""
+
+    K = 4
+
+    def _serving(self, built, **kwargs):
+        bundle, engine = built
+        return ServingEngine(
+            bundle.graph, bundle.topic_index, engine.summaries,
+            engine.propagation_index,
+            answer_cache_bytes=1 << 20, **kwargs,
+        )
+
+    def _fill(self, serving):
+        """Cache one answer per QUERIES entry; returns the user set."""
+        for user, query in QUERIES:
+            serving.search(user, query, k=self.K)
+        return {user for user, _ in QUERIES}
+
+    def test_disabled_answer_tier_is_a_noop(self, built):
+        bundle, engine = built
+        serving = ServingEngine(
+            bundle.graph, bundle.topic_index, engine.summaries,
+            engine.propagation_index,
+        )
+        assert serving.invalidate_answers() == 0
+        assert serving.invalidate_answers(users=[3]) == 0
+
+    def test_full_invalidation_clears_everything(self, built):
+        serving = self._serving(built)
+        self._fill(serving)
+        resident = serving.answer_cache_stats().n_items
+        assert resident == len(QUERIES)
+        assert serving.invalidate_answers() == resident
+        stats = serving.answer_cache_stats()
+        assert stats.n_items == 0
+        assert serving.invalidate_answers() == 0  # already empty
+
+    def test_per_user_invalidation_is_surgical(self, built):
+        serving = self._serving(built)
+        self._fill(serving)
+        # User 3 cached two answers (phone, music); user 11 and 40 one.
+        removed = serving.invalidate_answers(users=[3])
+        assert removed == 2
+        assert serving.answer_cache_stats().n_items == len(QUERIES) - 2
+
+        # The survivors still hit; user 3's queries miss and recompute.
+        before = serving.answer_cache_stats()
+        serving.search(11, "camera", k=self.K)
+        serving.search(40, "phone", k=self.K)
+        mid = serving.answer_cache_stats()
+        assert mid.hits == before.hits + 2
+        assert mid.misses == before.misses
+        serving.search(3, "phone", k=self.K)
+        after = serving.answer_cache_stats()
+        assert after.misses == mid.misses + 1
+
+    def test_unknown_user_invalidates_nothing(self, built):
+        serving = self._serving(built)
+        self._fill(serving)
+        assert serving.invalidate_answers(users=[10_000]) == 0
+        assert serving.answer_cache_stats().n_items == len(QUERIES)
+
+    def test_byte_accounting_tracks_invalidation(self, built):
+        serving = self._serving(built)
+        self._fill(serving)
+        full = serving.answer_cache_stats()
+        assert full.current_bytes > 0
+
+        serving.invalidate_answers(users=[3])
+        partial = serving.answer_cache_stats()
+        assert 0 < partial.current_bytes < full.current_bytes
+
+        serving.invalidate_answers()
+        empty = serving.answer_cache_stats()
+        assert empty.current_bytes == 0
+        assert empty.n_items == 0
+
+        # Recomputing after a full clear restores the exact footprint:
+        # invalidation never leaks byte accounting.
+        self._fill(serving)
+        again = serving.answer_cache_stats()
+        assert again.current_bytes == full.current_bytes
+        assert again.n_items == full.n_items
+
+    def test_invalidation_evicts_warm_precompute_answers(self, built):
+        from repro.core.precompute import build_precompute
+
+        trace = [
+            {"user": user, "query": query, "k": self.K}
+            for user, query in QUERIES
+        ] * 3
+        donor = self._serving(built)
+        artifact = build_precompute(
+            donor, trace, top_queries=4, top_answers=8
+        )
+        assert artifact.answers
+
+        serving = self._serving(built)
+        warm = serving.warm_from_precompute(artifact)
+        assert warm["answers"] == len(artifact.answers)
+        warmed = serving.answer_cache_stats()
+        assert warmed.n_items == warm["answers"]
+
+        # A warm answer serves without touching the searcher...
+        serving.search(3, "phone", k=self.K)
+        assert serving.answer_cache_stats().hits == warmed.hits + 1
+
+        # ...until its user is invalidated: the warm entries go too.
+        removed = serving.invalidate_answers(users=[3])
+        assert removed == 2
+        stats = serving.answer_cache_stats()
+        assert stats.n_items == warmed.n_items - 2
+        before_misses = stats.misses
+        serving.search(3, "phone", k=self.K)
+        assert serving.answer_cache_stats().misses == before_misses + 1
+
+        # Re-warming after invalidation re-seeds only the still-missing
+        # key ((3, "phone") was just recomputed and is resident again).
+        again = serving.warm_from_precompute(artifact)
+        assert again["answers"] == 1
+        assert (
+            serving.answer_cache_stats().n_items == warmed.n_items
+        )

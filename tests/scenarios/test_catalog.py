@@ -1,0 +1,178 @@
+"""The scenario catalogue: registry, determinism, and per-scenario shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    TOPICS,
+    build_phone_network,
+    campaign_audience,
+    campaign_topic,
+    get_scenario,
+    list_scenarios,
+    trace_bursts,
+)
+
+EXPECTED_NAMES = {
+    "quickstart",
+    "targeted-advertising",
+    "phone-recommendation",
+    "evolving-network",
+    "flash-crowd",
+    "topic-churn",
+}
+
+
+class TestRegistry:
+    def test_catalogue_contents(self):
+        names = {s.name for s in list_scenarios()}
+        assert names == EXPECTED_NAMES
+
+    def test_unknown_scenario_refused(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+
+    def test_unknown_profile_refused(self):
+        with pytest.raises(ConfigurationError, match="no profile"):
+            get_scenario("quickstart").params("gigantic")
+
+    def test_every_scenario_has_smoke_and_default_profiles(self):
+        for scenario in list_scenarios():
+            assert "default" in scenario.profiles, scenario.name
+            assert "smoke" in scenario.profiles, scenario.name
+
+    def test_exactly_two_adversarial_scenarios(self):
+        adversarial = {
+            s.name for s in list_scenarios() if s.adversarial
+        }
+        assert adversarial == {"flash-crowd", "topic-churn"}
+
+    def test_metadata_is_complete(self):
+        for scenario in list_scenarios():
+            assert scenario.title, scenario.name
+            assert scenario.description, scenario.name
+            assert 0 < scenario.min_summarized_precision <= 1.0
+
+
+class TestDeterminism:
+    """Same (scenario, seed, profile) → byte-identical trace."""
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_generate_is_deterministic_per_seed(self, name):
+        scenario = get_scenario(name)
+        a = scenario.generate(profile="smoke")
+        b = scenario.generate(profile="smoke")
+        assert a.trace_digest() == b.trace_digest()
+        assert a.records == b.records
+        assert a.events == b.events
+        assert a.meta == b.meta
+
+    def test_different_seed_different_trace(self):
+        scenario = get_scenario("quickstart")
+        a = scenario.generate(seed=7, profile="smoke")
+        b = scenario.generate(seed=8, profile="smoke")
+        assert a.trace_digest() != b.trace_digest()
+
+    def test_records_carry_timestamps_and_validate(self):
+        data = get_scenario("quickstart").generate(profile="smoke")
+        assert all("at_ms" in r for r in data.records)
+        at = [r["at_ms"] for r in data.records]
+        assert at == sorted(at)
+
+    def test_written_trace_round_trips(self, tmp_path):
+        from repro.scenarios import load_trace, trace_digest
+
+        data = get_scenario("targeted-advertising").generate(
+            profile="smoke"
+        )
+        path = data.write_trace(tmp_path / "trace.jsonl")
+        loaded = load_trace(path, graph=data.bundle.graph)
+        assert trace_digest(loaded) == data.trace_digest()
+
+
+class TestPhoneNetwork:
+    def test_figure_1_shape(self):
+        graph, topic_index = build_phone_network()
+        assert graph.n_nodes == 16
+        assert topic_index.n_topics == len(TOPICS)
+        for label, users in TOPICS.items():
+            topic = next(
+                t
+                for t in range(topic_index.n_topics)
+                if topic_index.label(t) == label
+            )
+            assert sorted(topic_index.topic_nodes(topic)) == sorted(users)
+
+    def test_phone_recommendation_oracle_is_the_real_network(self):
+        scenario = get_scenario("phone-recommendation")
+        instance = scenario.oracle_instance(scenario.default_seed)
+        assert instance.graph.n_nodes == 16
+        labels = {
+            instance.topic_index.label(t)
+            for t in range(instance.topic_index.n_topics)
+        }
+        assert labels == set(TOPICS)
+
+
+class TestCampaignHelpers:
+    def test_campaign_audience_is_influence_ranked(self):
+        scenario = get_scenario("targeted-advertising")
+        bundle = scenario.dataset(21, scenario.params("smoke"))
+        topic = campaign_topic(bundle.topic_index)
+        audience = campaign_audience(bundle, topic, size=10)
+        assert len(audience) == 10
+        assert len(set(audience)) == 10
+        for user in audience:
+            bundle.graph.validate_node(user)
+
+
+class TestAdversarialShapes:
+    def test_flash_crowd_has_a_spike_burst(self):
+        scenario = get_scenario("flash-crowd")
+        data = scenario.generate(profile="smoke")
+        sizes = [len(b) for b in trace_bursts(data.records)]
+        # The spike bursts dwarf the trickle traffic around them.
+        assert max(sizes) >= 12
+        assert max(sizes) >= 4 * min(sizes)
+        # Small admission queue so the spike actually overruns it.
+        assert scenario.daemon_queue < max(sizes) * 2
+
+    def test_flash_crowd_spike_is_hub_dominated(self):
+        data = get_scenario("flash-crowd").generate(profile="smoke")
+        bursts = trace_bursts(data.records)
+        spike = max(bursts, key=len)
+        # The spike hammers one (user, query) pair - the coalescer's
+        # worst case (duplicates in flight) and admission's (all at once).
+        keys = {(r["user"], r["query"], r["k"]) for r in spike}
+        assert len(keys) == 1
+
+    def test_topic_churn_schedules_stale_reloads(self):
+        scenario = get_scenario("topic-churn")
+        assert scenario.wants_precompute
+        data = scenario.generate(profile="smoke")
+        reloads = [e for e in data.events if e["kind"] == "reload"]
+        assert len(reloads) == 3
+        assert all(e.get("stale_precompute") for e in reloads)
+        afters = [e["after"] for e in reloads]
+        assert afters == sorted(afters)
+        assert all(0 < a < len(data.records) for a in afters)
+
+    def test_evolving_network_mixes_event_kinds(self):
+        data = get_scenario("evolving-network").generate(profile="smoke")
+        kinds = [e["kind"] for e in data.events]
+        assert "invalidate_users" in kinds
+        assert "reload" in kinds
+
+
+class TestEventValidation:
+    def test_bad_event_offset_refused(self):
+        scenario = get_scenario("quickstart")
+
+        class Broken(type(scenario)):
+            def build_events(self, bundle, records, seed, params):
+                return [{"after": len(records) + 1, "kind": "reload"}]
+
+        with pytest.raises(ConfigurationError, match="after"):
+            Broken().generate(profile="smoke")

@@ -1,0 +1,111 @@
+"""Oracle instances: brute-force gates every scenario must clear."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph import preferential_attachment_graph
+from repro.scenarios import (
+    OracleInstance,
+    evaluate_exact,
+    evaluate_summarized,
+    get_scenario,
+    identity_summaries,
+    list_scenarios,
+    random_oracle_instance,
+)
+from repro.scenarios.quality import ORACLE_THETA
+
+
+class TestOracleInstance:
+    def test_refuses_non_brute_forceable_graphs(self):
+        small = random_oracle_instance(1, n_nodes=12)
+        with pytest.raises(ConfigurationError, match="max 16"):
+            OracleInstance(
+                graph=preferential_attachment_graph(20, 2, seed=1),
+                topic_index=small.topic_index,
+                queries=small.queries,
+            )
+
+    def test_refuses_empty_queries(self):
+        small = random_oracle_instance(1)
+        with pytest.raises(ConfigurationError, match="query"):
+            OracleInstance(
+                graph=small.graph,
+                topic_index=small.topic_index,
+                queries=(),
+            )
+
+    def test_seeded_instances_are_reproducible(self):
+        a = random_oracle_instance(9)
+        b = random_oracle_instance(9)
+        assert a.queries == b.queries
+        assert a.graph.n_edges == b.graph.n_edges
+        for t in range(a.topic_index.n_topics):
+            assert list(a.topic_index.topic_nodes(t)) == list(
+                b.topic_index.topic_nodes(t)
+            )
+
+    def test_identity_summaries_are_uniform(self):
+        instance = random_oracle_instance(3)
+        summaries = identity_summaries(instance.topic_index)
+        assert len(summaries) == instance.topic_index.n_topics
+        for topic_id, summary in summaries.items():
+            nodes = instance.topic_index.topic_nodes(topic_id)
+            for weight in summary.weights.values():
+                assert weight == pytest.approx(1.0 / nodes.size)
+
+
+class TestExactGate:
+    """Identity summaries at θ ~ 0 must reproduce Definition 1 exactly."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    def test_exact_search_matches_enumeration(self, seed):
+        report = evaluate_exact(random_oracle_instance(seed))
+        assert report["precision"] == 1.0
+        assert report["max_influence_error"] <= 1e-9
+        assert report["n_checked"] > 0
+
+    def test_oracle_theta_is_effectively_zero(self):
+        assert ORACLE_THETA < 1e-100
+
+
+class TestSummarizedGate:
+    def test_summarized_precision_is_bounded(self):
+        report = evaluate_summarized(
+            random_oracle_instance(5), summarizer="rcl", rep_fraction=0.5
+        )
+        assert 0.0 <= report["precision"] <= 1.0
+        assert report["n_checked"] > 0
+
+    def test_full_budget_lrw_is_near_exact(self):
+        # rep_fraction=1.0 keeps every node: the summary IS the topic,
+        # so at oracle θ the ranking should be (nearly) perfect.
+        report = evaluate_summarized(
+            random_oracle_instance(5), summarizer="lrw", rep_fraction=1.0
+        )
+        assert report["precision"] >= 0.9
+
+
+class TestScenarioOracles:
+    """Every catalogued scenario clears its own calibrated gates."""
+
+    @pytest.mark.parametrize(
+        "name", [s.name for s in list_scenarios()]
+    )
+    def test_scenario_oracle_clears_floors(self, name):
+        scenario = get_scenario(name)
+        instance = scenario.oracle_instance(scenario.default_seed)
+        exact = evaluate_exact(instance)
+        assert exact["precision"] == 1.0
+        assert exact["max_influence_error"] <= 1e-9
+        summarized = evaluate_summarized(
+            instance,
+            summarizer=scenario.summarizer,
+            rep_fraction=max(scenario.rep_fraction, 0.5),
+            seed=scenario.default_seed,
+        )
+        assert (
+            summarized["precision"] >= scenario.min_summarized_precision
+        )

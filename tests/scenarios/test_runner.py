@@ -1,0 +1,192 @@
+"""End-to-end scenario replays: engine mode, live daemon, and the CLI.
+
+These are the acceptance-path tests: a scenario generates, replays
+through the real serving stack (ServingEngine in-process; PITServer on a
+loopback socket for the adversarial pair), grades itself against the
+brute-force oracle, and produces a deterministic report.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    REPORT_SCHEMA,
+    deterministic_view,
+    run_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def quickstart_report():
+    return run_scenario("quickstart", profile="smoke", mode="engine")
+
+
+class TestEngineReplay:
+    def test_report_shape_and_gates(self, quickstart_report):
+        report = quickstart_report
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["mode"] == "engine"
+        assert report["ok"] is True
+        assert all(report["gates"].values()), report["gates"]
+        assert report["quality"]["exact"]["precision"] == 1.0
+        assert report["quality"]["exact"]["max_influence_error"] <= 1e-9
+        replay = report["replay"]
+        assert len(replay["results_digest"]) == 64
+        assert replay["answer_cache"]["answer_hits"] > 0
+        assert report["daemon"] is None
+
+    def test_hit_trajectory_is_windowed(self, quickstart_report):
+        windows = quickstart_report["replay"]["windows"]
+        assert len(windows) > 1
+        for window in windows:
+            assert 0.0 <= window["hit_ratio"] <= 1.0
+        # A Zipf-skewed trace warms up: the tail windows hit more than
+        # the first (cold) one.
+        assert windows[-1]["hit_ratio"] >= windows[0]["hit_ratio"]
+
+    def test_deterministic_view_is_reproducible(self, quickstart_report):
+        again = run_scenario("quickstart", profile="smoke", mode="engine")
+        assert json.dumps(
+            deterministic_view(quickstart_report), sort_keys=True
+        ) == json.dumps(deterministic_view(again), sort_keys=True)
+
+    def test_different_seed_changes_the_view(self, quickstart_report):
+        other = run_scenario(
+            "quickstart", seed=8, profile="smoke", mode="engine"
+        )
+        assert (
+            other["trace"]["digest"]
+            != quickstart_report["trace"]["digest"]
+        )
+        assert (
+            other["replay"]["results_digest"]
+            != quickstart_report["replay"]["results_digest"]
+        )
+
+    def test_unknown_mode_refused(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            run_scenario("quickstart", profile="smoke", mode="warp")
+
+
+class TestEventfulReplays:
+    def test_evolving_network_applies_both_event_kinds(self):
+        report = run_scenario(
+            "evolving-network", profile="smoke", mode="engine"
+        )
+        assert report["ok"] is True
+        events = report["replay"]["events"]
+        kinds = {e["kind"] for e in events}
+        assert kinds == {"invalidate_users", "reload"}
+        invalidation = next(
+            e for e in events if e["kind"] == "invalidate_users"
+        )
+        assert invalidation["invalidated"] > 0
+        reload_event = next(e for e in events if e["kind"] == "reload")
+        assert reload_event["applied"] is True
+        # One engine swap happened mid-replay.
+        assert report["replay"]["generations"] == 1
+
+    def test_topic_churn_refuses_stale_precompute(self):
+        report = run_scenario(
+            "topic-churn", profile="smoke", mode="engine"
+        )
+        assert report["ok"] is True
+        assert report["replay"]["warm_answers"] > 0
+        reloads = [
+            e
+            for e in report["replay"]["events"]
+            if e["kind"] == "reload"
+        ]
+        assert len(reloads) == 3
+        assert all(e["stale_precompute_refused"] for e in reloads)
+        assert all(e["applied"] for e in reloads)
+        # Three engine swaps, one per churn event.
+        assert report["replay"]["generations"] == 3
+
+
+@pytest.mark.slow
+class TestDaemonReplay:
+    """The adversarial pair against a real PITServer on a loopback port."""
+
+    def test_flash_crowd_sheds_without_5xx(self):
+        report = run_scenario(
+            "flash-crowd", profile="smoke", mode="daemon"
+        )
+        assert report["ok"] is True, report["gates"]
+        daemon = report["daemon"]
+        assert daemon["server_errors"] == 0
+        assert daemon["statuses"].get(200, daemon["statuses"].get("200", 0)) > 0
+        # Every request was answered or explicitly shed/timed out.
+        total = sum(daemon["statuses"].values())
+        assert total == report["trace"]["n_requests"]
+
+    def test_topic_churn_daemon_survives_reload_storm(self):
+        report = run_scenario(
+            "topic-churn", profile="smoke", mode="daemon"
+        )
+        assert report["ok"] is True, report["gates"]
+        daemon = report["daemon"]
+        assert daemon["server_errors"] == 0
+        reloads = [
+            e for e in daemon["events"] if e["kind"] == "reload"
+        ]
+        assert len(reloads) == 3
+        assert all(e["stale_status"] == 400 for e in reloads)
+        assert all(e["applied"] for e in reloads)
+
+
+class TestScenarioCLI:
+    def test_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "flash-crowd" in out
+        assert "topic-churn" in out
+        assert "adversarial" in out
+
+    def test_generate_writes_a_replayable_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "scenario", "generate", "quickstart",
+            "--profile", "smoke", "--output", str(trace),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "digest" in out
+        lines = trace.read_text(encoding="utf-8").splitlines()
+        assert lines
+        record = json.loads(lines[0])
+        assert {"user", "query", "k", "at_ms"} <= set(record)
+
+    def test_generate_same_seed_same_digest(self, tmp_path, capsys):
+        digests = []
+        for name in ("a.jsonl", "b.jsonl"):
+            main([
+                "scenario", "generate", "quickstart",
+                "--profile", "smoke", "--seed", "7",
+                "--output", str(tmp_path / name),
+            ])
+            out = capsys.readouterr().out
+            digests.append(
+                next(l for l in out.splitlines() if "digest" in l)
+            )
+        assert digests[0] == digests[1]
+
+    def test_run_writes_metrics(self, tmp_path, capsys):
+        metrics = tmp_path / "report.json"
+        code = main([
+            "scenario", "run", "quickstart", "--profile", "smoke",
+            "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        report = json.loads(metrics.read_text(encoding="utf-8"))
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["ok"] is True
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenario", "run", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err

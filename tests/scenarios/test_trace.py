@@ -1,0 +1,183 @@
+"""Trace wire format: shared emitter determinism and typed refusals.
+
+Covers the two trace-level satellites of the scenario suite:
+
+* the shared canonical JSONL emitter (``repro.datasets.replay_jsonl``)
+  produces byte-identical output for identical seeds, so scenario
+  traces, ``bench_serve`` replay files, and ``search --batch`` inputs
+  all share one deterministic serialization;
+* trace edge cases refuse with typed errors - empty traces, malformed
+  records, and unknown users never crash a replay mid-flight.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datasets import (
+    data_2k,
+    generate_workload,
+    replay_jsonl,
+    replay_requests,
+    write_replay_jsonl,
+)
+from repro.exceptions import ConfigurationError, NodeNotFoundError
+from repro.scenarios import (
+    build_phone_network,
+    load_trace,
+    timestamped,
+    trace_bursts,
+    trace_digest,
+    validate_trace,
+    write_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return data_2k(seed=5, n_nodes=120, with_corpus=False)
+
+
+def _records(bundle, seed: int):
+    workload = generate_workload(bundle, n_queries=4, n_users=5, seed=seed)
+    return replay_requests(
+        workload, n_requests=30, k=5, skew=0.8, seed=seed + 1
+    )
+
+
+class TestSharedEmitter:
+    """Satellite: one canonical JSONL emitter, byte-identical per seed."""
+
+    def test_same_seed_same_bytes(self, bundle, tmp_path):
+        first = write_replay_jsonl(
+            _records(bundle, 3), tmp_path / "a.jsonl"
+        ).read_bytes()
+        second = write_replay_jsonl(
+            _records(bundle, 3), tmp_path / "b.jsonl"
+        ).read_bytes()
+        assert first == second
+
+    def test_different_seed_different_bytes(self, bundle):
+        assert replay_jsonl(_records(bundle, 3)) != replay_jsonl(
+            _records(bundle, 4)
+        )
+
+    def test_canonical_form(self):
+        text = replay_jsonl(
+            [{"user": 1, "query": "phone", "k": 5, "at_ms": 0}]
+        )
+        # Sorted keys, compact separators, trailing newline: the exact
+        # bytes the trace digest is defined over.
+        assert text == '{"at_ms":0,"k":5,"query":"phone","user":1}\n'
+
+    def test_emitted_lines_are_batch_compatible(self, bundle):
+        for line in replay_jsonl(_records(bundle, 7)).splitlines():
+            record = json.loads(line)
+            assert isinstance(record["user"], int)
+            assert isinstance(record["query"], str)
+            assert record["k"] >= 1
+
+    def test_write_trace_uses_shared_emitter(self, bundle, tmp_path):
+        records = timestamped(_records(bundle, 9), burst=3)
+        path = write_trace(records, tmp_path / "trace.jsonl")
+        assert path.read_text(encoding="utf-8") == replay_jsonl(records)
+        assert trace_digest(records) == trace_digest(
+            load_trace(path, graph=bundle.graph)
+        )
+
+
+class TestTimestamping:
+    def test_bursts_share_a_timestamp(self):
+        records = [{"user": i, "query": "q", "k": 1} for i in range(7)]
+        stamped = timestamped(records, burst=3, step_ms=20, start_ms=5)
+        assert [r["at_ms"] for r in stamped] == [5, 5, 5, 25, 25, 25, 45]
+        bursts = trace_bursts(validate_trace(stamped))
+        assert [len(b) for b in bursts] == [3, 3, 1]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            timestamped([], burst=0)
+        with pytest.raises(ConfigurationError):
+            timestamped([], step_ms=0)
+
+
+class TestEdgeCases:
+    """Satellite: empty, duplicate-timestamp, out-of-order, unknown-user."""
+
+    def test_empty_trace_refused(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            validate_trace([])
+
+    def test_empty_file_refused(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="empty"):
+            load_trace(path)
+
+    def test_duplicate_timestamps_are_a_burst_not_an_error(self):
+        records = validate_trace(
+            [
+                {"user": 1, "query": "a", "k": 1, "at_ms": 10},
+                {"user": 2, "query": "b", "k": 1, "at_ms": 10},
+            ]
+        )
+        assert [len(b) for b in trace_bursts(records)] == [2]
+
+    def test_out_of_order_arrivals_stably_sorted(self):
+        records = validate_trace(
+            [
+                {"user": 1, "query": "late", "k": 1, "at_ms": 30},
+                {"user": 2, "query": "first", "k": 1, "at_ms": 0},
+                {"user": 3, "query": "also-late", "k": 1, "at_ms": 30},
+            ]
+        )
+        assert [r["at_ms"] for r in records] == [0, 30, 30]
+        # Stable: relative order within the at_ms=30 burst is preserved.
+        assert [r["query"] for r in records[1:]] == ["late", "also-late"]
+
+    def test_unknown_user_refused_with_typed_error(self):
+        graph, _ = build_phone_network()
+        with pytest.raises(NodeNotFoundError):
+            validate_trace(
+                [{"user": 99, "query": "phone", "k": 3}], graph=graph
+            )
+
+    def test_unknown_user_without_graph_passes_validation(self):
+        records = validate_trace([{"user": 99, "query": "phone", "k": 3}])
+        assert records[0]["user"] == 99
+
+    @pytest.mark.parametrize(
+        "record",
+        [
+            {"query": "phone", "k": 3},  # no user
+            {"user": -1, "query": "phone"},  # negative user
+            {"user": True, "query": "phone"},  # bool is not a user id
+            {"user": 1},  # no query
+            {"user": 1, "query": "   "},  # blank query
+            {"user": 1, "query": "phone", "k": 0},  # bad k
+            {"user": 1, "query": "phone", "k": True},  # bool k
+            {"user": 1, "query": "phone", "at_ms": -5},  # negative time
+            "not a dict",
+        ],
+    )
+    def test_malformed_record_refused(self, record):
+        with pytest.raises(ConfigurationError, match="record 2"):
+            validate_trace(
+                [{"user": 1, "query": "ok", "k": 1}, record]
+            )
+
+    def test_invalid_json_line_carries_line_number(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text(
+            '{"user": 1, "query": "ok", "k": 1}\n{not json\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(ConfigurationError, match="line 2"):
+            load_trace(path)
+
+    def test_defaults_are_normalized(self):
+        records = validate_trace([{"user": 4, "query": "phone"}])
+        assert records[0]["k"] == 10
+        assert records[0]["at_ms"] == 0
