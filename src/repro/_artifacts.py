@@ -357,6 +357,27 @@ class ShardWriter:
         self._flush_manifest(complete=False)
         return record
 
+    def adopt_shard(
+        self, record: Mapping[str, Any], *, verify: bool = True
+    ) -> dict:
+        """Carry an existing on-disk shard into this writer's manifest.
+
+        The seam behind in-place incremental refresh: a delta rewrite
+        that changes the manifest ``meta`` (e.g. a new edge count) cannot
+        :meth:`resume`, but most shard files are untouched by the delta -
+        adopting their records keeps the bytes on disk while the dirty
+        shards are rewritten through :meth:`write_shard`. With *verify*
+        (default) the file is re-read and checked against the record's
+        byte count and SHA-256 first, so a clean-looking manifest can
+        never adopt a corrupted file.
+        """
+        if verify:
+            verify_shard_file(self._dir, record, "adopted shard")
+        adopted = dict(record)
+        self._shards.append(adopted)
+        self._flush_manifest(complete=False)
+        return adopted
+
     def finalize(self, **extra: Any) -> dict:
         """Publish the completed manifest (with any *extra* fields)."""
         return self._flush_manifest(complete=True, **extra)

@@ -18,7 +18,12 @@ from .diagnostics import (
     diagnostics_table,
 )
 from .dynamics import (
+    DeltaApplication,
+    GraphDelta,
     TopicUpdate,
+    affected_nodes,
+    apply_delta_to_graph,
+    apply_graph_delta,
     apply_topic_update,
     invalidate_propagation,
     refresh_walk_index,
@@ -65,6 +70,7 @@ from .serving import ByteLRUCache
 from .shards import (
     MmapShardBackend,
     load_sharded_index,
+    refresh_sharded_index,
     save_sharded_index,
 )
 from .summarization import (
@@ -110,6 +116,11 @@ __all__ = [
     "SummaryDiagnostics",
     "diagnose_summary",
     "diagnostics_table",
+    "GraphDelta",
+    "DeltaApplication",
+    "apply_delta_to_graph",
+    "affected_nodes",
+    "apply_graph_delta",
     "TopicUpdate",
     "updated_topic_index",
     "apply_topic_update",
@@ -121,6 +132,7 @@ __all__ = [
     "load_propagation_index",
     "save_sharded_index",
     "load_sharded_index",
+    "refresh_sharded_index",
     "save_walk_index",
     "load_walk_index",
 ]

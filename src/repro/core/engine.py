@@ -332,6 +332,78 @@ class PITEngine:
             index.set_metrics(self._metrics)
         return self
 
+    def replace_topic_index(
+        self,
+        new_index: TopicIndex,
+        kept_summaries: Optional[Dict[int, TopicSummary]] = None,
+    ) -> "PITEngine":
+        """Swap in a new topic space, keeping the given summaries.
+
+        The public seam for dynamic maintenance
+        (:func:`~repro.core.dynamics.apply_topic_update`): installs
+        *new_index*, replaces the summary cache with *kept_summaries*
+        (already re-keyed to the new index's topic ids; every other
+        summary rebuilds lazily), drops the bound summarizer (it holds
+        the old index), and resets the searcher's topic-derived caches.
+        """
+        if new_index.n_nodes != self._graph.n_nodes:
+            raise ConfigurationError(
+                f"topic index covers {new_index.n_nodes} nodes but the "
+                f"engine's graph has {self._graph.n_nodes}"
+            )
+        kept = dict(kept_summaries) if kept_summaries else {}
+        for topic_id, summary in kept.items():
+            if summary.topic_id != topic_id:
+                raise ConfigurationError(
+                    f"kept summary keyed {topic_id} carries "
+                    f"topic_id={summary.topic_id}; re-key it first"
+                )
+        self._topic_index = new_index
+        self._summaries = kept
+        self._summarizer = None  # bound to the old index; rebuild lazily
+        # Also drops compiled query plans and cached summary arrays - both
+        # are keyed by (possibly re-numbered) topic ids of the old index.
+        self._searcher.set_topic_index(new_index)
+        return self
+
+    def replace_graph(
+        self,
+        new_graph: SocialGraph,
+        new_index: PropagationIndex,
+        *,
+        kept_summaries: Optional[Dict[int, TopicSummary]] = None,
+    ) -> "PITEngine":
+        """Swap in an edited graph with its partially rebuilt index.
+
+        The engine-level landing point of a
+        :class:`~repro.core.dynamics.GraphDelta`: installs the new graph
+        and propagation index, keeps only *kept_summaries* (topics whose
+        member and representative sets missed the affected region; the
+        rest rebuild lazily against the new graph), and drops the walk
+        index and bound summarizer, which sample the old graph.
+        """
+        if new_graph.n_nodes != self._graph.n_nodes:
+            raise ConfigurationError(
+                f"delta graphs must keep the node set: got "
+                f"{new_graph.n_nodes} nodes, engine has {self._graph.n_nodes}"
+            )
+        if new_index.graph is not new_graph:
+            raise ConfigurationError(
+                "the propagation index must be built over the new graph"
+            )
+        self._graph = new_graph
+        self._walk_index = None
+        self._summarizer = None
+        self._summaries = (
+            dict(kept_summaries) if kept_summaries is not None else {}
+        )
+        self.propagation_index = new_index
+        self._searcher.set_propagation_index(new_index)
+        self._searcher.invalidate_query_caches()
+        if self._metrics is not None:
+            new_index.set_metrics(self._metrics)
+        return self
+
     def build(self, topics: Optional[Iterable[Union[int, str]]] = None) -> "PITEngine":
         """Run the offline stage eagerly.
 

@@ -537,6 +537,9 @@ class PropagationIndex:
         self._mask: Optional[bytearray] = None
         self._metrics = metrics
         self.last_build_stats = None
+        #: Statistics of the partial rebuild that produced this index
+        #: (see :meth:`rebuilt_for`); ``None`` for directly built ones.
+        self.last_refresh_stats: Optional[Dict[str, int]] = None
 
     def set_metrics(self, registry: Optional[MetricsRegistry]) -> None:
         """Route build metrics to *registry* (None = process default)."""
@@ -606,6 +609,67 @@ class PropagationIndex:
         if self._metrics is not None:
             backend.set_metrics(self._metrics)
         return self
+
+    def rebuilt_for(
+        self, graph: SocialGraph, affected: np.ndarray
+    ) -> "PropagationIndex":
+        """A new index over *graph* reusing every unaffected cached entry.
+
+        The targeted partial rebuild behind the delta engine
+        (:mod:`repro.core.dynamics`): entries are graph-independent
+        sorted arrays, so nodes outside *affected* carry their entry
+        over untouched; affected nodes that were materialized are
+        rebuilt eagerly against the new graph's CSR (same deterministic
+        DFS, so a fully materialized index comes out byte-identical to
+        a from-scratch build); never-built nodes stay lazy. The result
+        records ``{"entries_rebuilt", "entries_copied"}`` in
+        :attr:`last_refresh_stats` and the ``dynamics.*`` counters.
+
+        Raises
+        ------
+        ConfigurationError
+            When this index serves from mapped shards (refresh those
+            with :func:`repro.core.shards.refresh_sharded_index`, which
+            rewrites only the dirty shard files) or when *graph* has a
+            different node count (deltas edit edges, never nodes).
+        """
+        if self._shards is not None:
+            raise ConfigurationError(
+                "rebuilt_for requires the in-memory backend; this index "
+                "serves from mapped shards - refresh them with "
+                "repro.core.shards.refresh_sharded_index instead"
+            )
+        if graph.n_nodes != self._graph.n_nodes:
+            raise ConfigurationError(
+                f"cannot rebuild for a graph with {graph.n_nodes} nodes; "
+                f"this index covers {self._graph.n_nodes}"
+            )
+        fresh = PropagationIndex(
+            graph,
+            self._theta,
+            max_branches=self._max_branches,
+            strict=self._strict,
+            metrics=self._metrics,
+        )
+        mask = np.zeros(graph.n_nodes, dtype=bool)
+        mask[np.asarray(affected, dtype=np.int64)] = True
+        rebuilt = 0
+        copied = 0
+        for node, entry in self._entries.items():
+            if mask[node]:
+                fresh._entries[node] = fresh._build_entry(node)
+                rebuilt += 1
+            else:
+                fresh._entries[node] = entry
+                copied += 1
+        registry = self._registry()
+        registry.inc("dynamics.entries_rebuilt", rebuilt)
+        registry.inc("dynamics.entries_copied", copied)
+        fresh.last_refresh_stats = {
+            "entries_rebuilt": rebuilt,
+            "entries_copied": copied,
+        }
+        return fresh
 
     def entry(self, node: int) -> PropagationEntry:
         """The propagation entry of *node*, building it if needed."""
@@ -1088,16 +1152,23 @@ class PropagationIndex:
         cache = self._csr
         if cache is None:
             graph = self._graph
-            indptr = graph._in_indptr.tolist()
-            in_probs = graph._in_probs.tolist()
+            indptr_arr = graph._in_indptr
+            probs_arr = graph._in_probs
+            indptr = indptr_arr.tolist()
+            in_probs = probs_arr.tolist()
             # Strongest in-edge per node: a branch at probability p only
             # needs its node expanded when p * max_in >= θ - every
             # extension through a weaker node provably fails the per-edge
-            # test, so the expansion skips the whole scan.
-            max_in = [
-                max(in_probs[indptr[v] : indptr[v + 1]], default=0.0)
-                for v in range(graph.n_nodes)
-            ]
+            # test, so the expansion skips the whole scan. Segmented max
+            # via reduceat (starts clipped so trailing empty rows stay
+            # in bounds; empty rows zeroed after).
+            if probs_arr.size:
+                starts = np.minimum(indptr_arr[:-1], probs_arr.size - 1)
+                peak = np.maximum.reduceat(probs_arr, starts)
+                peak[indptr_arr[:-1] == indptr_arr[1:]] = 0.0
+                max_in = peak.tolist()
+            else:
+                max_in = [0.0] * graph.n_nodes
             cache = (indptr, graph._in_sources.tolist(), in_probs, max_in)
             self._csr = cache
         return cache

@@ -418,20 +418,38 @@ class PersonalizedSearcher:
     # ------------------------------------------------------------------
     # Index wiring and cache management
     # ------------------------------------------------------------------
-    def set_propagation_index(self, index: PropagationIndex) -> "PersonalizedSearcher":
+    def set_propagation_index(
+        self,
+        index: PropagationIndex,
+        affected: Optional[np.ndarray] = None,
+    ) -> "PersonalizedSearcher":
         """Swap in a different propagation index (public engine/test hook).
 
-        Clears the bounded entry cache and every compiled plan's probe
-        cache so no stale Γ data survives the swap. Compatibility with the
-        topic space is the caller's contract
+        With *affected* omitted, clears the bounded entry cache and every
+        compiled plan's probe cache so no stale Γ data survives the swap.
+        The delta path passes *affected* - the node ids whose Γ may differ
+        between the two indexes - and only those entries are evicted;
+        everything else keeps serving warm. Compatibility with the topic
+        space is the caller's contract
         (:meth:`PITEngine.use_propagation_index` validates the graph).
         """
         self._propagation = index
+        if affected is None:
+            if self._entry_cache is not None:
+                self._entry_cache.clear()
+            if self._plans is not None:
+                for plan in self._plans.values():
+                    plan.probe_cache.clear()
+            return self
+        wanted = set(int(n) for n in np.asarray(affected).ravel())
         if self._entry_cache is not None:
-            self._entry_cache.clear()
+            for node in self._entry_cache.keys():
+                if node in wanted:
+                    self._entry_cache.pop(node)
         if self._plans is not None:
             for plan in self._plans.values():
-                plan.probe_cache.clear()
+                for node in wanted.intersection(plan.probe_cache):
+                    del plan.probe_cache[node]
         return self
 
     def set_topic_index(self, topic_index: TopicIndex) -> "PersonalizedSearcher":

@@ -472,6 +472,83 @@ class ServingEngine:
                 removed += 1
         return removed
 
+    def apply_delta(self, delta) -> Dict[str, int]:
+        """Stream a :class:`~repro.core.dynamics.GraphDelta` into the
+        live engine with surgical cache invalidation.
+
+        The incremental-dynamics fast path: the delta is applied to the
+        serving graph, the propagation index is refreshed only for the
+        theta-affected node set (dirty-shard rewrite under the mmap
+        backend, targeted entry rebuild in memory), and the cache tiers
+        are trimmed - not cleared. Only theta-affected nodes leave the
+        entry tier and the plan probe caches - entries outside the theta
+        horizon are bit-identical - while the answer tier evicts the
+        plain-reachable users, the set theta-paths can compose into
+        across probe chains; every other resident answer keeps serving
+        and is still bit-exact (see :mod:`repro.core.dynamics` for the
+        soundness argument). Summaries are intentionally left as built -
+        the graceful-staleness contract - so post-delta answers match a
+        from-scratch engine over (new graph, same summaries artifact).
+
+        Unlike a hot reload this swaps no engine and bumps no
+        generation; tiers stay warm for the unaffected majority. Returns
+        the application report (edit counts, affected size, refresh
+        stats, answers invalidated).
+        """
+        from .dynamics import affected_nodes, apply_delta_to_graph
+
+        registry = self._registry()
+        with registry.timer("dynamics.apply_delta_seconds"):
+            with registry.timer("dynamics.affected_seconds"):
+                new_graph, application = apply_delta_to_graph(
+                    self._graph, delta
+                )
+                affected = affected_nodes(
+                    self._graph,
+                    new_graph,
+                    application,
+                    theta=self.propagation_index.theta,
+                )
+                reachable = affected_nodes(
+                    self._graph, new_graph, application
+                )
+            index = self.propagation_index
+            with registry.timer("dynamics.refresh_seconds"):
+                if index.shards is not None:
+                    from .shards import refresh_sharded_index
+
+                    new_index = refresh_sharded_index(
+                        index.shards, new_graph, affected,
+                        metrics=self._metrics,
+                    )
+                else:
+                    new_index = index.rebuilt_for(new_graph, affected)
+            self._graph = new_graph
+            self.propagation_index = new_index
+            if self._metrics is not None:
+                new_index.set_metrics(self._metrics)
+            self._searcher.set_propagation_index(new_index, affected=affected)
+            invalidated = self.invalidate_answers(users=reachable.tolist())
+            registry.inc("dynamics.deltas_applied")
+            registry.inc("dynamics.edges_inserted", application.n_inserted)
+            registry.inc("dynamics.edges_deleted", application.n_deleted)
+            registry.inc("dynamics.edges_reweighted", application.n_reweighted)
+            registry.inc("dynamics.edges_aged_out", application.n_aged)
+            registry.inc("dynamics.nodes_affected", int(affected.size))
+            registry.inc("dynamics.nodes_reachable", int(reachable.size))
+            registry.inc("dynamics.answers_invalidated", invalidated)
+        report = {
+            "inserted": application.n_inserted,
+            "deleted": application.n_deleted,
+            "reweighted": application.n_reweighted,
+            "aged_out": application.n_aged,
+            "affected": int(affected.size),
+            "reachable": int(reachable.size),
+            "answers_invalidated": invalidated,
+        }
+        report.update(new_index.last_refresh_stats or {})
+        return report
+
     def set_reload_generation(self, generation: int) -> "ServingEngine":
         """Record the daemon reload generation this engine serves.
 

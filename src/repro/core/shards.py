@@ -442,6 +442,11 @@ class MmapShardBackend:
         return self._shard_nodes
 
     @property
+    def cache_bytes(self) -> int:
+        """The paging budget this backend was opened with."""
+        return int(self._cache.stats().max_bytes)
+
+    @property
     def n_shards(self) -> int:
         """Number of shard segments."""
         return len(self._records)
@@ -562,6 +567,17 @@ class PropagationShardWriter:
             n_members=int(n_members), n_marked=int(n_marked),
         )
 
+    def adopt(self, record: Mapping[str, object], *, verify: bool = True) -> dict:
+        """Carry a clean shard's record into this writer's manifest.
+
+        The delta-refresh path: a graph edit changes the manifest meta
+        (``n_edges``), so :meth:`resume` refuses the old manifest - but
+        shards untouched by the delta keep byte-identical files. Adopting
+        re-verifies the file against the record (size + SHA-256) and
+        lists it in the new manifest without rewriting it.
+        """
+        return self._writer.adopt_shard(record, verify=verify)
+
     def finalize(self, failed_nodes: Tuple[int, ...] = ()) -> dict:
         """Publish the completed manifest."""
         return self._writer.finalize(
@@ -627,4 +643,97 @@ def load_sharded_index(
         metrics=metrics,
     )
     index.attach_shards(backend)
+    return index
+
+
+def refresh_sharded_index(
+    backend: MmapShardBackend,
+    graph: SocialGraph,
+    affected,
+    *,
+    cache_bytes: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> PropagationIndex:
+    """Rewrite only the dirty shards of a sharded index for an edited graph.
+
+    The sharded arm of the delta engine (:mod:`repro.core.dynamics`):
+    *affected* is the node set whose Γ can change (see
+    :func:`~repro.core.dynamics.affected_nodes`), *graph* is the
+    post-delta graph over the same node set. Shards containing an
+    affected node are repacked - affected entries rebuilt against the
+    new graph's CSR, unaffected entries copied zero-copy out of the old
+    mapped segment - and atomically replaced in the same directory;
+    clean shards are carried into the new manifest byte-untouched (the
+    manifest must be rewritten regardless, because its ``meta`` records
+    the edge count). Affected nodes drop off the ``failed_nodes`` list:
+    their slots are rebuilt for real.
+
+    Returns a fresh shard-served :class:`PropagationIndex` (same shape
+    as :func:`load_sharded_index`) with
+    ``{"shards_rewritten", "shards_carried", "entries_rebuilt",
+    "entries_copied"}`` in ``last_refresh_stats``. The *old* backend's
+    mapped segments keep serving their pre-delta bytes until dropped -
+    discard it after the swap.
+
+    The directory is momentarily incomplete while shards are replaced;
+    a crash mid-refresh leaves a manifest that loaders refuse, and the
+    recovery is a full ``build_sharded`` (see ``docs/dynamics.md``).
+    """
+    if graph.n_nodes != backend._graph.n_nodes:
+        raise ConfigurationError(
+            f"delta graphs must keep the node set: got {graph.n_nodes} "
+            f"nodes, shards cover {backend._graph.n_nodes}"
+        )
+    affected = np.asarray(affected, dtype=np.int64)
+    mask = np.zeros(graph.n_nodes, dtype=bool)
+    mask[affected] = True
+    builder = PropagationIndex(
+        graph, backend.theta,
+        max_branches=backend.max_branches,
+        strict=backend.strict,
+        metrics=metrics,
+    )
+    writer = PropagationShardWriter(
+        backend.directory, builder, backend.shard_nodes
+    )
+    dirty = set((affected // backend.shard_nodes).tolist())
+    failed = set(backend.failed_nodes)
+    rewritten = carried = rebuilt = copied = 0
+    for shard_id, record in enumerate(backend._records):
+        lo, hi = int(record["lo"]), int(record["hi"])
+        if shard_id not in dirty:
+            writer.adopt(record)
+            carried += 1
+            continue
+        entries: Dict[int, PropagationEntry] = {}
+        for node in range(lo, hi):
+            if mask[node]:
+                entries[node] = builder.build_entry(node)
+                rebuilt += 1
+            elif node not in failed:
+                entries[node] = backend.get(node)
+                copied += 1
+        writer.write_range(lo, hi, entries)
+        rewritten += 1
+    writer.finalize(
+        failed_nodes=tuple(n for n in failed if not mask[n])
+    )
+    registry = metrics if metrics is not None else get_registry()
+    registry.inc("dynamics.shards_rewritten", rewritten)
+    registry.inc("dynamics.shards_carried", carried)
+    registry.inc("dynamics.entries_rebuilt", rebuilt)
+    registry.inc("dynamics.entries_copied", copied)
+    index = load_sharded_index(
+        backend.directory, graph,
+        cache_bytes=(
+            backend.cache_bytes if cache_bytes is None else cache_bytes
+        ),
+        metrics=metrics,
+    )
+    index.last_refresh_stats = {
+        "shards_rewritten": rewritten,
+        "shards_carried": carried,
+        "entries_rebuilt": rebuilt,
+        "entries_copied": copied,
+    }
     return index

@@ -113,6 +113,23 @@ class TopicSummary:
         """Weight of one representative (0 when not a representative)."""
         return float(self.weights.get(int(node), 0.0))
 
+    def with_topic_id(self, topic_id: int) -> "TopicSummary":
+        """This summary re-keyed under *topic_id* (same representatives).
+
+        Topic ids are label-ordered, so an unrelated topic appearing or
+        vanishing renumbers every id; dynamic maintenance re-keys the
+        surviving summaries. The cached array form carries over - the
+        weights are untouched, so the arrays stay valid.
+        """
+        topic_id = int(topic_id)
+        if topic_id == self.topic_id:
+            return self
+        rekeyed = TopicSummary(topic_id, dict(self.weights))
+        cached = self.__dict__.get("_array_form")
+        if cached is not None:
+            object.__setattr__(rekeyed, "_array_form", cached)
+        return rekeyed
+
     def restricted_to(self, nodes: Iterable[int]) -> "TopicSummary":
         """A summary keeping only representatives in *nodes*."""
         keep = set(int(v) for v in nodes)

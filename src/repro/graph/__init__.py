@@ -31,6 +31,8 @@ from .sampling import (
     sample_rate_to_count,
 )
 from .traversal import (
+    forward_closure,
+    theta_forward_closure,
     forward_reachable,
     hop_distance,
     hop_distance_matrix,
@@ -56,6 +58,8 @@ __all__ = [
     "sample_nodes_by_degree",
     "sample_nodes_uniform",
     "sample_rate_to_count",
+    "forward_closure",
+    "theta_forward_closure",
     "forward_reachable",
     "reverse_reachable",
     "hop_distances",

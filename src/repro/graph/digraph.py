@@ -74,6 +74,74 @@ class SocialGraph:
         # Hash lookup for (u, v) -> probability; built lazily on first use.
         self._edge_lookup: Optional[Dict[Tuple[int, int], float]] = None
 
+    @classmethod
+    def from_arrays(
+        cls,
+        n_nodes: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        probs: np.ndarray,
+    ) -> "SocialGraph":
+        """Construct a graph directly from parallel edge arrays.
+
+        Same validation and CSR layout as the triple-iterable constructor,
+        without the per-edge Python loop — the path the delta engine uses
+        to materialize an edited edge set in one vectorized pass.
+        """
+        if n_nodes < 0:
+            raise EdgeError(f"n_nodes must be non-negative, got {n_nodes}")
+        graph = cls.__new__(cls)
+        graph._n_nodes = int(n_nodes)
+        sources = np.ascontiguousarray(sources, dtype=np.int64)
+        targets = np.ascontiguousarray(targets, dtype=np.int64)
+        probs = np.ascontiguousarray(probs, dtype=np.float64)
+        if not sources.size == targets.size == probs.size:
+            raise EdgeError(
+                "sources, targets, and probs must have equal lengths"
+            )
+        graph._validate_edges(sources, targets, probs)
+        graph._out_indptr, graph._out_targets, graph._out_probs = cls._to_csr(
+            sources, targets, probs, graph._n_nodes
+        )
+        graph._in_indptr, graph._in_sources, graph._in_probs = cls._to_csr(
+            targets, sources, probs, graph._n_nodes
+        )
+        graph._edge_lookup = None
+        return graph
+
+    @classmethod
+    def _from_csr(
+        cls,
+        n_nodes: int,
+        out_csr: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        in_csr: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    ) -> "SocialGraph":
+        """Adopt prebuilt CSR faces without validation or sorting.
+
+        Private fast path for the delta engine, which splices edits into
+        an already-validated CSR pair. Both faces must describe the same
+        edge set and already be in canonical (row, column) order.
+        """
+        graph = cls.__new__(cls)
+        graph._n_nodes = int(n_nodes)
+        graph._out_indptr, graph._out_targets, graph._out_probs = out_csr
+        graph._in_indptr, graph._in_sources, graph._in_probs = in_csr
+        graph._edge_lookup = None
+        return graph
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The edge set as parallel ``(sources, targets, probs)`` arrays.
+
+        Rows come out in CSR order (sorted by source, then target). The
+        sources array is materialized from the indptr; the other two are
+        copies, so callers may edit them freely.
+        """
+        sources = np.repeat(
+            np.arange(self._n_nodes, dtype=np.int64),
+            np.diff(self._out_indptr),
+        )
+        return sources, self._out_targets.copy(), self._out_probs.copy()
+
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------

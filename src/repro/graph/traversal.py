@@ -36,6 +36,8 @@ __all__ = [
     "hop_distances",
     "reverse_hop_distances",
     "hop_distance",
+    "forward_closure",
+    "theta_forward_closure",
     "reachability_bitsets",
     "hop_distance_matrix",
     "unpack_bitset",
@@ -212,6 +214,107 @@ def reachability_bitsets(
     # Clear each target's own seed bit (distance 0 is not "reaching").
     np.bitwise_and.at(bits, (targets, words), ~(_ONE << shifts))
     return bits
+
+
+def forward_closure(
+    graph: SocialGraph,
+    sources,
+    max_hops: Optional[int] = None,
+    *,
+    extra_edges: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> np.ndarray:
+    """Sorted ids of every node reachable *from* any of *sources*.
+
+    The union-of-forward-BFS dual of :func:`reachability_bitsets`,
+    computed by the same packed-bitset propagation run over the in-CSR
+    arrays (so set bits spread along edge direction instead of against
+    it). Sources count as reaching themselves — the delta engine seeds
+    this with the endpoints of changed edges and needs those endpoints
+    in the result. With ``max_hops=None`` the propagation runs to the
+    transitive-closure fixpoint. Returns an empty array for an empty
+    source set.
+
+    ``extra_edges`` is a ``(sources, targets)`` pair of parallel arrays
+    of directed edges propagated *in addition to* the graph's own — the
+    delta engine passes the edges a batch removed, so a single run over
+    the new graph covers the union topology (and therefore both the old
+    and the new graph's closures) instead of running the kernel twice.
+    """
+    arr = graph.validate_nodes(sources)
+    if arr.size == 0:
+        return np.empty(0, dtype=np.int64)
+    extra_src = extra_tgt = None
+    if extra_edges is not None:
+        extra_src = np.asarray(extra_edges[0], dtype=np.int64)
+        extra_tgt = np.asarray(extra_edges[1], dtype=np.int64)
+        if extra_src.size == 0:
+            extra_src = None
+    remaining = graph.n_nodes if max_hops is None else max_hops
+    _, bits, _, _ = _seed_bits(graph, arr, remaining)
+    indptr, neighbors = graph._in_indptr, graph._in_sources
+    while remaining > 0:
+        new = _propagate_once(bits, indptr, neighbors)
+        if extra_src is not None:
+            if new is bits:
+                new = bits.copy()
+            # Unbuffered OR so several extra edges into one target all
+            # land; gathers from the pre-round state like the kernel.
+            np.bitwise_or.at(new, extra_tgt, bits[extra_src])
+        if new is bits or np.array_equal(new, bits):
+            break
+        bits = new
+        remaining -= 1
+    return np.flatnonzero(bits.any(axis=1)).astype(np.int64)
+
+
+def theta_forward_closure(
+    graph: SocialGraph, sources, theta: float, *,
+    max_hops: Optional[int] = None,
+) -> np.ndarray:
+    """Nodes some source reaches along a walk of probability >= *theta*.
+
+    The probability-bounded refinement of :func:`forward_closure`: node
+    ``v`` is included iff the best walk product from any source to ``v``
+    is at least *theta* (sources count with product 1). Because edge
+    probabilities are at most 1, every prefix of a qualifying walk also
+    clears *theta*, so the propagation can clamp sub-threshold values to
+    zero each round without losing any qualifying walk - which is what
+    makes this exact, not a heuristic, and lets it converge in a handful
+    of rounds on graphs whose plain transitive closure is everything.
+
+    This is precisely the set of entries a change at the source nodes
+    can reach in the propagation index's reverse branch expansion (which
+    prunes any branch whose running product drops below theta), so the
+    delta engine uses it as the entry-level affected set.
+    """
+    arr = graph.validate_nodes(sources)
+    if arr.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if not 0.0 < theta <= 1.0:
+        raise ConfigurationError(
+            f"theta must be in (0, 1], got {theta!r}"
+        )
+    best = np.zeros(graph.n_nodes, dtype=np.float64)
+    best[arr] = 1.0
+    indptr, in_sources = graph._in_indptr, graph._in_sources
+    in_probs = graph._in_probs
+    if in_sources.size == 0:
+        return np.sort(arr)
+    starts = np.minimum(indptr[:-1], in_sources.size - 1)
+    empty = indptr[:-1] == indptr[1:]
+    remaining = graph.n_nodes if max_hops is None else max_hops
+    while remaining > 0:
+        gathered = best[in_sources] * in_probs
+        hop = np.maximum.reduceat(gathered, starts)
+        if empty.any():
+            hop[empty] = 0.0
+        hop[hop < theta] = 0.0
+        new = np.maximum(best, hop)
+        if np.array_equal(new, best):
+            break
+        best = new
+        remaining -= 1
+    return np.flatnonzero(best > 0.0).astype(np.int64)
 
 
 def hop_distance_matrix(

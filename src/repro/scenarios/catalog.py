@@ -342,7 +342,10 @@ class EvolvingNetworkScenario(Scenario):
         "The paper's Section 4.4 story as serving traffic: a Zipf stream "
         "interrupted first by a targeted answer invalidation (a burst of "
         "activity around the head users) and then by a structural reload "
-        "(the offline stage re-ran after the network changed)."
+        "(the offline stage re-ran after the network changed). The "
+        "delta profiles replace the invalidation with a *real* streamed "
+        "graph delta - edge inserts, deletes, and re-weightings applied "
+        "to the live engine with surgical cache invalidation."
     )
     default_seed = 99
     profiles = {
@@ -359,6 +362,17 @@ class EvolvingNetworkScenario(Scenario):
             "n_nodes": 600, "n_queries": 8, "n_users": 6,
             "n_requests": 120, "k": 5, "burst": 4,
         },
+        # Streamed-delta variants: the mid-trace churn is an actual
+        # GraphDelta batch (repro.core.dynamics) instead of a manual
+        # answer invalidation.
+        "delta": {
+            "n_nodes": 260, "n_queries": 8, "n_users": 6,
+            "n_requests": 240, "k": 5, "burst": 4, "delta_mode": True,
+        },
+        "delta-smoke": {
+            "n_nodes": 140, "n_queries": 4, "n_users": 3,
+            "n_requests": 80, "k": 5, "burst": 4, "delta_mode": True,
+        },
     }
     min_summarized_precision = 0.5
 
@@ -370,8 +384,50 @@ class EvolvingNetworkScenario(Scenario):
     def build_trace(self, bundle, seed, params):
         return _zipf_trace(bundle, seed, params, skew=1.0)
 
+    def _delta_event(self, bundle, seed, after):
+        """A deterministic edit batch derived from the bundle graph.
+
+        Three deletes and three re-weightings of real edges plus three
+        inserts of genuinely absent edges, all drawn from a seeded RNG -
+        the same seed always streams the same delta, which is what keeps
+        the replay digest reproducible in delta mode.
+        """
+        graph = bundle.graph
+        sources, targets, probs = graph.edge_arrays()
+        n = graph.n_nodes
+        rng = np.random.default_rng(seed + 5)
+        picks = rng.choice(
+            sources.size, size=min(6, sources.size), replace=False
+        )
+        deletes = [
+            [int(sources[i]), int(targets[i])] for i in picks[:3]
+        ]
+        reweights = [
+            [int(sources[i]), int(targets[i]),
+             round(min(1.0, float(probs[i]) * 0.5 + 0.05), 6)]
+            for i in picks[3:]
+        ]
+        taken = set((sources * n + targets).tolist())
+        inserts: List[List[object]] = []
+        while len(inserts) < 3:
+            a = int(rng.integers(0, n))
+            b = int(rng.integers(0, n))
+            if a == b or a * n + b in taken:
+                continue
+            taken.add(a * n + b)
+            inserts.append([a, b, round(float(rng.uniform(0.05, 0.4)), 6)])
+        return {
+            "after": after, "kind": "delta",
+            "inserts": inserts, "deletes": deletes, "reweights": reweights,
+        }
+
     def build_events(self, bundle, records, seed, params):
         n = len(records)
+        if params.get("delta_mode"):
+            return [
+                self._delta_event(bundle, seed, n // 3),
+                {"after": (2 * n) // 3, "kind": "reload", "reseed": 1},
+            ]
         # The churn hits the trace's own head users: their cached
         # answers are the ones invalidation must actually evict.
         counts: Dict[int, int] = {}

@@ -289,6 +289,28 @@ def _replay_engine(
                 outcome["invalidated"] = engine.invalidate_answers(
                     users=event["users"]
                 )
+            elif event["kind"] == "delta":
+                from ..core.dynamics import GraphDelta
+
+                delta = GraphDelta(
+                    inserts=tuple(
+                        tuple(row) for row in event.get("inserts", ())
+                    ),
+                    deletes=tuple(
+                        tuple(row) for row in event.get("deletes", ())
+                    ),
+                    reweights=tuple(
+                        tuple(row) for row in event.get("reweights", ())
+                    ),
+                    decay=float(event.get("decay", 1.0)),
+                    decay_floor=float(event.get("decay_floor", 0.0)),
+                )
+                report = engine.apply_delta(delta)
+                outcome["applied"] = True
+                outcome["affected"] = report["affected"]
+                outcome["answers_invalidated"] = (
+                    report["answers_invalidated"]
+                )
             elif event["kind"] == "reload":
                 reseed = int(event.get("reseed", 1))
                 _, new_sums = _build_artifacts(
@@ -487,6 +509,23 @@ def _replay_daemon(
                     outcome["status"] = status
                     if isinstance(body, dict):
                         outcome["generation"] = body.get("generation")
+                elif event["kind"] == "delta":
+                    status, body = daemon.request(
+                        "POST", "/admin/delta",
+                        {
+                            key: event[key]
+                            for key in ("inserts", "deletes", "reweights",
+                                        "decay", "decay_floor")
+                            if key in event
+                        },
+                    )
+                    outcome["applied"] = status == 200
+                    outcome["status"] = status
+                    if isinstance(body, dict):
+                        outcome["affected"] = body.get("affected")
+                        outcome["answers_invalidated"] = body.get(
+                            "answers_invalidated"
+                        )
                 else:
                     outcome["applied"] = False
                     outcome["reason"] = "engine-mode event"
@@ -551,6 +590,9 @@ def _gates(
     reloads = [e for e in events if e["kind"] == "reload"]
     if reloads:
         gates["reloads_applied"] = all(e.get("applied") for e in reloads)
+    deltas = [e for e in events if e["kind"] == "delta"]
+    if deltas:
+        gates["deltas_applied"] = all(e.get("applied") for e in deltas)
     stale = [
         e for e in events if "stale_precompute_refused" in e
     ]

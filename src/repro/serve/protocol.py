@@ -42,6 +42,7 @@ __all__ = [
     "encode_response",
     "error_body",
     "error_for_exception",
+    "parse_delta_request",
     "parse_reload_request",
     "parse_search_request",
     "results_payload",
@@ -214,6 +215,84 @@ def parse_reload_request(body: bytes) -> Dict[str, str]:
             "reload fields 'index' and 'index_dir' are mutually exclusive",
         )
     return overrides
+
+
+_DELTA_KEYS = frozenset(
+    {"inserts", "deletes", "reweights", "decay", "decay_floor"}
+)
+
+
+def _delta_edges(payload: Mapping, field: str, arity: int) -> Tuple:
+    """Validate one edge-edit list: a list of ``arity``-element rows."""
+    rows = payload.get(field, [])
+    if not isinstance(rows, list):
+        raise HttpError(
+            400, "ValidationError", f"delta field {field!r} must be a list"
+        )
+    edits = []
+    for row in rows:
+        if (not isinstance(row, list) or len(row) != arity
+                or not all(isinstance(v, (int, float))
+                           and not isinstance(v, bool) for v in row)):
+            raise HttpError(
+                400, "ValidationError",
+                f"delta field {field!r} rows must be {arity}-element "
+                f"numeric lists, got {row!r}",
+            )
+        if any(not isinstance(v, int) for v in row[:2]):
+            raise HttpError(
+                400, "ValidationError",
+                f"delta field {field!r} endpoints must be integers, "
+                f"got {row!r}",
+            )
+        edits.append(tuple(row))
+    return tuple(edits)
+
+
+def parse_delta_request(body: bytes) -> Dict:
+    """Validate a ``POST /admin/delta`` body into GraphDelta kwargs.
+
+    The body mirrors :class:`~repro.core.dynamics.GraphDelta`:
+    ``inserts`` / ``reweights`` are lists of ``[source, target, prob]``,
+    ``deletes`` lists of ``[source, target]``, ``decay`` /
+    ``decay_floor`` optional floats. Shape errors are typed 400s here;
+    semantic errors (unknown edge, duplicate edit, bad probability) are
+    left to ``GraphDelta`` / the apply path, whose
+    :class:`~repro.exceptions.ConfigurationError` also maps to 400.
+    """
+    if not body:
+        raise HttpError(
+            400, "ValidationError",
+            "delta request requires a JSON body with at least one edit",
+        )
+    payload = _load_json_object(body)
+    unknown = set(payload) - _DELTA_KEYS
+    if unknown:
+        raise HttpError(
+            400, "ValidationError",
+            f"unknown delta field(s) {sorted(unknown)}; "
+            f"allowed: {sorted(_DELTA_KEYS)}",
+        )
+    kwargs: Dict = {
+        "inserts": _delta_edges(payload, "inserts", 3),
+        "deletes": _delta_edges(payload, "deletes", 2),
+        "reweights": _delta_edges(payload, "reweights", 3),
+    }
+    for field, default in (("decay", 1.0), ("decay_floor", 0.0)):
+        value = payload.get(field, default)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise HttpError(
+                400, "ValidationError",
+                f"delta field {field!r} must be a number",
+            )
+        kwargs[field] = float(value)
+    if (not kwargs["inserts"] and not kwargs["deletes"]
+            and not kwargs["reweights"] and kwargs["decay"] == 1.0):
+        raise HttpError(
+            400, "ValidationError",
+            "delta request contains no edits (empty lists and decay=1.0)",
+        )
+    return kwargs
 
 
 # ---------------------------------------------------------------------------

@@ -19,6 +19,10 @@ The moving parts and their contracts:
 * **Hot reload** (:mod:`repro.serve.reload`): ``POST /admin/reload`` or
   ``SIGHUP`` validates new artifacts off-loop and swaps atomically; a
   corrupt artifact is a 409 and the old engine keeps serving.
+* **Streaming deltas** (:mod:`repro.core.dynamics`): ``POST
+  /admin/delta`` applies a graph-edit batch to the live engine in place
+  with surgical cache invalidation - no engine swap, no generation bump,
+  warm state survives for every unaffected user.
 * **Lifecycle**: ``/healthz`` is process-alive; ``/readyz`` is
   load-balancer truth (503 while warming, reloading, or draining).
   SIGTERM stops the listener, drains in-flight work up to the drain
@@ -43,6 +47,7 @@ from .protocol import (
     HttpError,
     encode_response,
     error_for_exception,
+    parse_delta_request,
     parse_reload_request,
     parse_search_request,
     results_payload,
@@ -390,6 +395,10 @@ class PITServer:
                 if method != "POST":
                     raise HttpError(405, "MethodNotAllowed", "use POST")
                 return await self._admin_reload(body)
+            if path == "/admin/delta":
+                if method != "POST":
+                    raise HttpError(405, "MethodNotAllowed", "use POST")
+                return await self._admin_delta(body)
             raise HttpError(404, "NotFound", f"no route for {path}")
         except Exception as exc:  # noqa: BLE001 - typed JSON, never a traceback
             status, payload = error_for_exception(exc)
@@ -460,3 +469,33 @@ class PITServer:
         overrides = parse_reload_request(body)
         generation = await self.engines.reload(overrides)
         return 200, {"status": "reloaded", "generation": generation}, {}
+
+    async def _admin_delta(self, body: bytes) -> Tuple[int, object, Dict]:
+        """``POST /admin/delta``: stream a graph-edit batch into the
+        live engine (:meth:`ServingEngine.apply_delta`).
+
+        Runs on the search executor - the engine is single-threaded, and
+        the delta mutates it in place, so it must serialize with active
+        searches. Unlike a reload there is no generation bump: the same
+        engine keeps serving, minus exactly the invalidated state.
+        """
+        from ..core.dynamics import GraphDelta
+
+        if self._state != "ready":
+            raise HttpError(503, "NotReady", "server is not serving")
+        if self.engines.reloading:
+            raise HttpError(
+                503, "Reloading",
+                "a reload is in progress; retry the delta after it lands",
+            )
+        kwargs = parse_delta_request(body)
+        delta = GraphDelta(**kwargs)
+        engine = self.engines.current
+        if engine is None:
+            raise HttpError(503, "NotReady", "no engine is loaded")
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            self._search_executor, engine.apply_delta, delta
+        )
+        self._metrics.inc("serve.deltas")
+        return 200, {"status": "applied", **report}, {}

@@ -53,6 +53,22 @@ class TestTopicUpdate:
         b = TopicUpdate.adding(5, "y topic")
         assert a.merged_with(b).add[5] == ("x topic", "y topic")
 
+    def test_merge_dedups_added_labels(self):
+        a = TopicUpdate.adding(5, "x topic", "y topic")
+        b = TopicUpdate.adding(5, "x topic", "z topic")
+        # First-seen order, each label once.
+        assert a.merged_with(b).add[5] == ("x topic", "y topic", "z topic")
+
+    def test_merge_dedups_removed_labels(self):
+        a = TopicUpdate.removing(3, "x topic")
+        b = TopicUpdate.removing(3, "x topic", "y topic")
+        assert a.merged_with(b).remove[3] == ("x topic", "y topic")
+
+    def test_merge_dedups_labels_within_one_side(self):
+        a = TopicUpdate.adding(2, "x topic", "x topic", "y topic")
+        merged = a.merged_with(TopicUpdate())
+        assert merged.add[2] == ("x topic", "y topic")
+
 
 class TestUpdatedTopicIndex:
     def test_addition_grows_membership(self, topic_index):
@@ -155,6 +171,60 @@ class TestInvalidatePropagation:
         index = engine.propagation_index
         index.entry(0)
         assert invalidate_propagation(index, []) == 0
+
+    def test_shard_backend_rejected(self, engine, tmp_path):
+        from repro.core import load_sharded_index, save_sharded_index
+
+        engine.propagation_index.build_all(workers=1)
+        save_sharded_index(
+            engine.propagation_index, tmp_path / "shards", shard_nodes=16
+        )
+        index = load_sharded_index(tmp_path / "shards", engine.graph)
+        with pytest.raises(
+            ConfigurationError, match="refresh_sharded_index"
+        ):
+            invalidate_propagation(index, [0])
+
+    def test_shard_backend_empty_update_still_noop(self, engine, tmp_path):
+        from repro.core import load_sharded_index, save_sharded_index
+
+        engine.propagation_index.build_all(workers=1)
+        save_sharded_index(
+            engine.propagation_index, tmp_path / "shards", shard_nodes=16
+        )
+        index = load_sharded_index(tmp_path / "shards", engine.graph)
+        assert invalidate_propagation(index, []) == 0
+
+
+class TestReplaceTopicIndex:
+    def test_node_count_mismatch_rejected(self, engine):
+        with pytest.raises(ConfigurationError, match="nodes"):
+            engine.replace_topic_index(TopicIndex(61, {0: ["x topic"]}))
+
+    def test_miskeyed_summary_rejected(self, engine):
+        alpha = engine.topic_index.resolve("alpha topic")
+        summary = engine.summary(alpha)
+        new_index = TopicIndex(60, {0: ["alpha topic"], 5: ["zz topic"]})
+        with pytest.raises(ConfigurationError, match="re-key"):
+            engine.replace_topic_index(new_index, {alpha + 1: summary})
+
+    def test_kept_summaries_survive_swap(self, engine):
+        alpha = engine.topic_index.resolve("alpha topic")
+        summary = engine.summary(alpha)
+        new_index = TopicIndex(
+            60, {0: ["alpha topic"], 1: ["alpha topic"], 5: ["zz topic"]}
+        )
+        new_alpha = new_index.resolve("alpha topic")
+        engine.replace_topic_index(
+            new_index, {new_alpha: summary.with_topic_id(new_alpha)}
+        )
+        assert engine.topic_index is new_index
+        assert engine.summaries[new_alpha].topic_id == new_alpha
+
+    def test_unlisted_summaries_dropped(self, engine):
+        engine.summary(engine.topic_index.resolve("alpha topic"))
+        engine.replace_topic_index(TopicIndex(60, {0: ["solo topic"]}))
+        assert engine.n_summaries == 0
 
 
 class TestRefreshWalkIndex:

@@ -6,6 +6,7 @@ import pytest
 from repro.exceptions import ConfigurationError, NodeNotFoundError
 from repro.graph import (
     SocialGraph,
+    forward_closure,
     forward_reachable,
     hop_distance,
     hop_distances,
@@ -14,6 +15,7 @@ from repro.graph import (
     hop_distance_matrix,
     reachability_bitsets,
     reverse_reachable,
+    theta_forward_closure,
     unpack_bitset,
 )
 
@@ -252,3 +254,82 @@ class TestValidateNodes:
         assert chain_graph.validate_node(3) == 3
         with pytest.raises(NodeNotFoundError):
             chain_graph.validate_node(5)
+
+
+class TestForwardClosure:
+    """Packed-bitset forward reachability (the delta engine's kernel)."""
+
+    def test_chain_suffix(self, chain_graph):
+        assert forward_closure(chain_graph, [2]).tolist() == [2, 3, 4]
+
+    def test_sources_count_as_reached(self, chain_graph):
+        assert forward_closure(chain_graph, [4]).tolist() == [4]
+
+    def test_empty_sources(self, chain_graph):
+        assert forward_closure(chain_graph, []).size == 0
+
+    def test_union_of_sources(self, chain_graph):
+        closure = forward_closure(chain_graph, [0, 3])
+        assert closure.tolist() == [0, 1, 2, 3, 4]
+
+    def test_max_hops_caps_spread(self, chain_graph):
+        assert forward_closure(chain_graph, [0], max_hops=1).tolist() == [0, 1]
+
+    def test_cycle_converges(self, triangle_graph):
+        assert forward_closure(triangle_graph, [1]).tolist() == [0, 1, 2]
+
+    def test_extra_edges_propagate(self, chain_graph):
+        # The graph has no edge 4 -> 0; the extra edge closes the cycle,
+        # which is how the delta engine folds removed edges back in to
+        # cover the old graph's topology with a single run.
+        extra = (np.array([4], dtype=np.int64), np.array([0], dtype=np.int64))
+        closure = forward_closure(chain_graph, [4], extra_edges=extra)
+        assert closure.tolist() == [0, 1, 2, 3, 4]
+
+    def test_extra_edges_without_reached_source_inert(self, chain_graph):
+        extra = (np.array([0], dtype=np.int64), np.array([4], dtype=np.int64))
+        closure = forward_closure(chain_graph, [3], extra_edges=extra)
+        assert closure.tolist() == [3, 4]
+
+    def test_invalid_source_rejected(self, chain_graph):
+        with pytest.raises(NodeNotFoundError):
+            forward_closure(chain_graph, [9])
+
+
+class TestThetaForwardClosure:
+    """Probability-bounded closure: the entry-level affected set."""
+
+    def test_chain_horizon(self, chain_graph):
+        # Products from 0: 1.0, 0.5, 0.25, 0.125, 0.0625.
+        assert theta_forward_closure(chain_graph, [0], 0.3).tolist() == [0, 1]
+        assert theta_forward_closure(chain_graph, [0], 0.25).tolist() == \
+            [0, 1, 2]
+        assert theta_forward_closure(chain_graph, [0], 0.6).tolist() == [0]
+
+    def test_whole_graph_at_tiny_theta(self, chain_graph):
+        closure = theta_forward_closure(chain_graph, [0], 1e-6)
+        assert closure.tolist() == [0, 1, 2, 3, 4]
+
+    def test_cycle_converges(self, triangle_graph):
+        closure = theta_forward_closure(triangle_graph, [0], 1e-4)
+        assert closure.tolist() == [0, 1, 2]
+
+    def test_subset_of_plain_closure(self, diamond_graph):
+        for theta in (0.05, 0.2, 0.5):
+            bounded = theta_forward_closure(diamond_graph, [0], theta)
+            plain = forward_closure(diamond_graph, [0])
+            assert np.all(np.isin(bounded, plain))
+
+    def test_best_path_wins(self, diamond_graph):
+        # Node 3 is reachable at 0.1 (direct), 0.25 (via 1), 0.1 (via 2);
+        # the best walk 0 -> 1 -> 3 clears theta=0.2.
+        closure = theta_forward_closure(diamond_graph, [0], 0.2)
+        assert 3 in closure.tolist()
+
+    def test_empty_sources(self, chain_graph):
+        assert theta_forward_closure(chain_graph, [], 0.5).size == 0
+
+    @pytest.mark.parametrize("theta", [0.0, -0.1, 1.5])
+    def test_bad_theta_rejected(self, chain_graph, theta):
+        with pytest.raises(ConfigurationError):
+            theta_forward_closure(chain_graph, [0], theta)

@@ -1,0 +1,148 @@
+"""Live-daemon tests for ``POST /admin/delta``.
+
+The answer-tier invalidation contract, exercised end to end over real
+sockets: a delta streamed into a serving daemon must leave every
+subsequent response - answer-tier hits included - bit-exact against a
+from-scratch :class:`ServingEngine` oracle built over the edited graph
+(same summaries, per the graceful-staleness contract).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ServingEngine, apply_delta_to_graph
+from repro.core.dynamics import GraphDelta
+from repro.obs import MetricsRegistry
+
+
+def existing_edges(graph):
+    sources, targets, probs = graph.edge_arrays()
+    return [
+        (int(s), int(t), float(p))
+        for s, t, p in zip(sources, targets, probs)
+    ]
+
+
+class TestDeltaRoute:
+    def test_applied_report(self, make_daemon):
+        daemon = make_daemon()
+        s, t, p = existing_edges(daemon.server.engines.current.graph)[0]
+        status, body, _ = daemon.request(
+            "POST", "/admin/delta",
+            {"reweights": [[s, t, round(p * 0.5, 6)]]},
+        )
+        assert status == 200
+        assert body["status"] == "applied"
+        assert body["reweighted"] == 1
+        assert body["inserted"] == 0
+        assert body["affected"] >= 1
+        assert body["reachable"] >= body["affected"]
+        assert "answers_invalidated" in body
+
+    def test_serve_deltas_metric(self, make_daemon):
+        registry = MetricsRegistry()
+        daemon = make_daemon(registry=registry)
+        s, t, p = existing_edges(daemon.server.engines.current.graph)[0]
+        daemon.request(
+            "POST", "/admin/delta",
+            {"reweights": [[s, t, round(p * 0.5, 6)]]},
+        )
+        assert registry.snapshot().counters.get("serve.deltas") == 1
+
+    def test_malformed_body_is_400(self, daemon):
+        status, body, _ = daemon.request(
+            "POST", "/admin/delta", {"inserts": "nope"}
+        )
+        assert status == 400
+        assert body["error"]["type"] == "ValidationError"
+
+    def test_empty_body_is_400(self, daemon):
+        status, body, _ = daemon.request("POST", "/admin/delta", None)
+        assert status == 400
+
+    def test_semantic_error_is_400_and_engine_survives(self, daemon):
+        # Deleting a non-existent edge is a stale caller view; the typed
+        # error crosses the socket and the engine keeps serving.
+        graph = daemon.server.engines.current.graph
+        present = {(s, t) for s, t, _ in existing_edges(graph)}
+        missing = next(
+            (s, t)
+            for s in range(graph.n_nodes)
+            for t in range(graph.n_nodes)
+            if s != t and (s, t) not in present
+        )
+        status, body, _ = daemon.request(
+            "POST", "/admin/delta", {"deletes": [list(missing)]}
+        )
+        assert status == 400
+        assert "error" in body
+        status, _, _ = daemon.search(0, "phone")
+        assert status == 200
+
+    def test_get_method_rejected(self, daemon):
+        status, body, _ = daemon.request("GET", "/admin/delta")
+        assert status == 405
+
+    @pytest.mark.parametrize("seed", [7, 1234])
+    def test_never_stale_after_delta(self, stacks, make_daemon, seed):
+        stack = stacks[seed]
+        registry = MetricsRegistry()
+        daemon = make_daemon(
+            use_stack=stack, registry=registry,
+            answer_cache_bytes=1 << 20,
+        )
+        graph = stack.bundle.graph
+        rng = np.random.default_rng(seed)
+        requests = sorted({
+            (int(rng.integers(graph.n_nodes)), term)
+            for term in ("phone", "camera", "music")
+            for _ in range(3)
+        })
+        for user, term in requests:
+            status, _, _ = daemon.search(user, term, k=5)
+            assert status == 200
+
+        edges = existing_edges(graph)
+        picks = rng.choice(len(edges), size=2, replace=False)
+        ds, dt, _ = edges[picks[0]]
+        rs, rt, rp = edges[picks[1]]
+        status, report, _ = daemon.request(
+            "POST", "/admin/delta",
+            {
+                "deletes": [[ds, dt]],
+                "reweights": [[rs, rt, round(rp * 0.5 + 0.05, 6)]],
+            },
+        )
+        assert status == 200
+        assert report["status"] == "applied"
+
+        delta = GraphDelta(
+            deletes=((ds, dt),),
+            reweights=((rs, rt, round(rp * 0.5 + 0.05, 6)),),
+        )
+        new_graph, _ = apply_delta_to_graph(graph, delta)
+        oracle = ServingEngine(
+            new_graph,
+            stack.bundle.topic_index,
+            stack.engine.summaries,
+            theta=stack.engine.propagation_index.theta,
+        )
+        for user, term in requests:
+            status, body, _ = daemon.search(user, term, k=5)
+            assert status == 200
+            results, stats = oracle.search(user, term, k=5, with_stats=True)
+            assert body["results"] == [
+                {
+                    "topic_id": r.topic_id,
+                    "label": r.label,
+                    "influence": r.influence,
+                }
+                for r in results
+            ], f"stale or wrong answer for user={user} query={term!r}"
+            assert body["stats"] == {
+                "topics_considered": stats.topics_considered,
+                "topics_pruned": stats.topics_pruned,
+                "entries_probed": stats.entries_probed,
+                "expansion_rounds": stats.expansion_rounds,
+                "representatives_touched": stats.representatives_touched,
+            }

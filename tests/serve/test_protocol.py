@@ -15,6 +15,7 @@ from repro.serve.protocol import (
     encode_response,
     error_body,
     error_for_exception,
+    parse_delta_request,
     parse_reload_request,
     parse_search_request,
 )
@@ -216,3 +217,74 @@ class TestAdmissionController:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             AdmissionController(0)
+
+
+class TestParseDeltaRequest:
+    def test_full_valid_body(self):
+        kwargs = parse_delta_request(_encode({
+            "inserts": [[0, 1, 0.5]],
+            "deletes": [[2, 3]],
+            "reweights": [[4, 5, 0.25]],
+            "decay": 0.9,
+            "decay_floor": 0.01,
+        }))
+        assert kwargs == {
+            "inserts": ((0, 1, 0.5),),
+            "deletes": ((2, 3),),
+            "reweights": ((4, 5, 0.25),),
+            "decay": 0.9,
+            "decay_floor": 0.01,
+        }
+
+    def test_decay_only_body_valid(self):
+        kwargs = parse_delta_request(_encode({"decay": 0.95}))
+        assert kwargs["decay"] == pytest.approx(0.95)
+        assert kwargs["inserts"] == ()
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(HttpError) as exc:
+            parse_delta_request(b"")
+        assert exc.value.status == 400
+
+    def test_no_edits_rejected(self):
+        with pytest.raises(HttpError, match="no edits"):
+            parse_delta_request(_encode({"inserts": [], "decay": 1.0}))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(HttpError, match="unknown delta field"):
+            parse_delta_request(_encode({"insert": [[0, 1, 0.5]]}))
+
+    def test_non_list_field_rejected(self):
+        with pytest.raises(HttpError) as exc:
+            parse_delta_request(_encode({"inserts": "0,1,0.5"}))
+        assert exc.value.status == 400
+
+    @pytest.mark.parametrize("row", [
+        [0, 1],              # wrong arity for an insert
+        [0, 1, 0.5, 9],      # too many elements
+        [0, "1", 0.5],       # non-numeric entry
+        [True, 1, 0.5],      # bools are not endpoints
+        [0.5, 1, 0.5],       # float endpoint
+        "not a row",
+    ])
+    def test_malformed_insert_rows_rejected(self, row):
+        with pytest.raises(HttpError) as exc:
+            parse_delta_request(_encode({"inserts": [row]}))
+        assert exc.value.status == 400
+
+    def test_malformed_delete_row_rejected(self):
+        with pytest.raises(HttpError) as exc:
+            parse_delta_request(_encode({"deletes": [[0, 1, 0.5]]}))
+        assert exc.value.status == 400
+
+    @pytest.mark.parametrize("value", ["0.9", True, None, [0.9]])
+    def test_non_numeric_decay_rejected(self, value):
+        with pytest.raises(HttpError) as exc:
+            parse_delta_request(_encode({"decay": value}))
+        assert exc.value.status == 400
+
+    def test_semantic_validation_left_to_graph_delta(self):
+        # Shape-valid but semantically bad values pass the parser; the
+        # GraphDelta constructor / apply path turns them into 400s.
+        kwargs = parse_delta_request(_encode({"inserts": [[0, 0, 5.0]]}))
+        assert kwargs["inserts"] == ((0, 0, 5.0),)
